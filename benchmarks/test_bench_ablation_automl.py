@@ -1,0 +1,76 @@
+"""Ablation benches for the AutoML design choices called out in DESIGN.md.
+
+Two ablations over the same tasks and budget:
+
+* selector ablation — UCB1 bandit selection (the paper's choice, Equations
+  3-4) vs uniform random template selection;
+* tuner ablation — GP-EI Bayesian optimization (the paper's default tuner)
+  vs uniform random search.
+
+The paper's architecture assumes both components earn their keep; the
+shape to check is that the principled components do at least as well as
+their random counterparts on average.
+"""
+
+import numpy as np
+
+from repro.automl import AutoBazaarSearch
+from repro.tasks import build_task_suite
+from repro.tasks.types import TaskType
+from repro.tuning.selectors import UCB1Selector, UniformSelector
+from repro.tuning.tuners import GPEiTuner, UniformTuner
+
+TASK_COUNTS = {
+    TaskType("single_table", "classification"): 3,
+    TaskType("single_table", "regression"): 2,
+    TaskType("timeseries", "classification"): 1,
+    TaskType("graph", "link_prediction"): 1,
+}
+
+SEARCH_BUDGET = 9
+
+
+def _best_scores(suite, tuner_class, selector_class):
+    best = []
+    for task in suite:
+        searcher = AutoBazaarSearch(
+            tuner_class=tuner_class, selector_class=selector_class,
+            n_splits=2, random_state=0,
+        )
+        result = searcher.search(task, budget=SEARCH_BUDGET)
+        best.append(result.best_score if result.best_score is not None else np.nan)
+    return np.asarray(best, dtype=float)
+
+
+def test_ablation_selector_ucb1_vs_uniform(benchmark):
+    suite = build_task_suite(counts=TASK_COUNTS, random_state=3)
+
+    def run():
+        ucb1 = _best_scores(suite, GPEiTuner, UCB1Selector)
+        uniform = _best_scores(suite, GPEiTuner, UniformSelector)
+        return ucb1, uniform
+
+    ucb1, uniform = benchmark.pedantic(run, rounds=1, iterations=1)
+    wins = float(np.mean(ucb1 >= uniform - 1e-9))
+    print("\n\nAblation — template selector (UCB1 vs uniform), {} tasks".format(len(ucb1)))
+    print("mean best score with UCB1 selector:    {:.3f}".format(np.nanmean(ucb1)))
+    print("mean best score with uniform selector: {:.3f}".format(np.nanmean(uniform)))
+    print("UCB1 matches or beats uniform on {:.0%} of tasks".format(wins))
+    assert np.nanmean(ucb1) >= np.nanmean(uniform) - 0.05
+
+
+def test_ablation_tuner_gp_vs_random(benchmark):
+    suite = build_task_suite(counts=TASK_COUNTS, random_state=4)
+
+    def run():
+        gp = _best_scores(suite, GPEiTuner, UCB1Selector)
+        random_search = _best_scores(suite, UniformTuner, UCB1Selector)
+        return gp, random_search
+
+    gp, random_search = benchmark.pedantic(run, rounds=1, iterations=1)
+    wins = float(np.mean(gp >= random_search - 1e-9))
+    print("\n\nAblation — tuner (GP-EI vs uniform random search), {} tasks".format(len(gp)))
+    print("mean best score with GP-EI tuner:       {:.3f}".format(np.nanmean(gp)))
+    print("mean best score with random search:     {:.3f}".format(np.nanmean(random_search)))
+    print("GP-EI matches or beats random search on {:.0%} of tasks".format(wins))
+    assert np.nanmean(gp) >= np.nanmean(random_search) - 0.05

@@ -1,0 +1,59 @@
+"""Ablation — meta-learning warm start (the paper's future-work extension).
+
+The paper's conclusion anticipates meta-learning over the growing corpus
+of scored pipelines.  This bench measures the implemented version: a first
+batch of tasks populates the piex store, then a second batch of unseen
+tasks is solved twice — cold (plain GP-EI tuners) and warm (tuners seeded
+from the store via ``WarmStartGPTuner``) — and the early-budget best
+scores are compared.
+"""
+
+import numpy as np
+
+from repro.automl import AutoBazaarSearch
+from repro.explorer import PipelineStore
+from repro.tasks import synth
+
+N_PRIOR_TASKS = 4
+N_EVAL_TASKS = 4
+SEARCH_BUDGET = 6
+
+
+def _run_ablation():
+    # 1. populate the history store from prior tasks
+    history = PipelineStore()
+    for index in range(N_PRIOR_TASKS):
+        task = synth.make_single_table_classification(
+            name="prior_{}".format(index), random_state=200 + index
+        )
+        AutoBazaarSearch(n_splits=2, random_state=0, store=history).search(
+            task, budget=SEARCH_BUDGET
+        )
+
+    # 2. solve unseen tasks cold and warm
+    cold_scores, warm_scores = [], []
+    for index in range(N_EVAL_TASKS):
+        task = synth.make_single_table_classification(
+            name="eval_{}".format(index), random_state=300 + index
+        )
+        cold = AutoBazaarSearch(n_splits=2, random_state=0).search(task, budget=SEARCH_BUDGET)
+        warm = AutoBazaarSearch(n_splits=2, random_state=0,
+                                warm_start_store=history).search(task, budget=SEARCH_BUDGET)
+        cold_scores.append(cold.best_score)
+        warm_scores.append(warm.best_score)
+    return np.asarray(cold_scores, dtype=float), np.asarray(warm_scores, dtype=float), history
+
+
+def test_ablation_meta_learning_warm_start(benchmark):
+    cold, warm, history = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+
+    print("\n\nAblation — meta-learning warm start ({} prior tasks, {} evaluation tasks)".format(
+        N_PRIOR_TASKS, N_EVAL_TASKS))
+    print("prior pipelines harvested:     {}".format(len(history)))
+    print("mean best score, cold start:   {:.3f}".format(np.nanmean(cold)))
+    print("mean best score, warm start:   {:.3f}".format(np.nanmean(warm)))
+    print("warm start matches or beats cold on {:.0%} of tasks".format(
+        float(np.mean(warm >= cold - 1e-9))))
+
+    # shape: warm-starting from history must not hurt at equal budget
+    assert np.nanmean(warm) >= np.nanmean(cold) - 0.05

@@ -1,0 +1,62 @@
+"""Section VI-C case study — evaluating an AutoML primitive (GP kernels).
+
+The paper revisits Snoek et al. (2012) and compares a tuner using the
+squared exponential kernel (GP-SE-EI) against one using the Matérn 5/2
+kernel (GP-Matern52-EI) across 414 tasks / 431k pipelines, finding *no*
+improvement from the Matérn kernel — GP-SE-EI wins 60.1 percent of the
+comparisons.
+
+The laptop-scale version runs both tuners on the same tasks with the same
+templates and budget, and prints the win rate.  The shape to reproduce is
+that the two kernels are close, with no clear advantage for Matérn 5/2.
+"""
+
+from repro.automl import AutoBazaarSearch
+from repro.explorer import PipelineStore, pairwise_win_rate
+from repro.tasks import build_task_suite
+from repro.tasks.types import TaskType
+from repro.tuning.tuners import GPEiTuner, GPMatern52EiTuner
+
+TUNER_VARIANTS = {
+    "gp_se_ei": GPEiTuner,
+    "gp_matern52_ei": GPMatern52EiTuner,
+}
+
+TASK_COUNTS = {
+    TaskType("single_table", "classification"): 4,
+    TaskType("single_table", "regression"): 3,
+    TaskType("multi_table", "classification"): 2,
+    TaskType("timeseries", "classification"): 2,
+    TaskType("graph", "link_prediction"): 2,
+}
+
+SEARCH_BUDGET = 10
+
+
+def _run_case_study():
+    suite = build_task_suite(counts=TASK_COUNTS, random_state=2)
+    store = PipelineStore()
+    for task in suite:
+        for variant, tuner_class in TUNER_VARIANTS.items():
+            searcher = AutoBazaarSearch(tuner_class=tuner_class, n_splits=2, random_state=0)
+            result = searcher.search(task, budget=SEARCH_BUDGET)
+            store.add_result(result, tags={"tuner": variant})
+    return store
+
+
+def test_cs2_se_vs_matern52_kernel(benchmark):
+    store = benchmark.pedantic(_run_case_study, rounds=1, iterations=1)
+    comparison = pairwise_win_rate(store, "tuner", "gp_se_ei", "gp_matern52_ei")
+
+    print("\n\nCase study 2 (Section VI-C) — GP-SE-EI vs GP-Matern52-EI tuners")
+    print("tasks compared:           {}".format(comparison["n_tasks"]))
+    print("pipelines evaluated:      {}".format(len(store)))
+    print("GP-SE-EI win rate:        {:.1%}   (paper: 60.1%)".format(comparison["win_rate_a"]))
+    print("GP-Matern52-EI win rate:  {:.1%}   (paper: 39.9%)".format(comparison["win_rate_b"]))
+    print("\nPaper's conclusion (negative result): the Matérn 5/2 kernel alone does not "
+          "improve\ngeneral-purpose tuning over the SE kernel.")
+
+    # shape: no clear advantage for the Matérn 5/2 kernel — the SE tuner wins
+    # at least as often as a 35% share (i.e. Matérn does not dominate)
+    assert comparison["n_tasks"] >= 10
+    assert comparison["win_rate_a"] >= 0.35

@@ -1,0 +1,109 @@
+"""Figure 5 — AutoBazaar pipelines vs expert-designed baselines on 17 tasks.
+
+In the paper, DARPA curates 17 D3M tasks with pipelines manually designed
+and tuned by MIT Lincoln Laboratory experts; ML Bazaar outperforms the
+expert baseline on 15/17 tasks with a mean improvement of 0.17 (scores
+scaled to [0, 1]).
+
+The D3M datasets and the expert pipelines are not redistributable, so the
+substitution (documented in DESIGN.md) is: 17 synthetic tasks spanning the
+same mix of task types, with the "expert baseline" played by the curated
+default template at its default hyperparameters (a strong, hand-picked,
+untuned pipeline) and ML Bazaar played by the full AutoBazaar search.  The
+shape to reproduce is ML Bazaar winning the large majority of tasks with a
+positive mean improvement.
+"""
+
+import numpy as np
+
+from repro.automl import AutoBazaarSearch, evaluate_pipeline, get_templates
+from repro.tasks import synth
+from repro.tasks.task import split_task
+
+#: 17 tasks mirroring the mix of task types in the D3M comparison set.
+D3M_LIKE_TASKS = [
+    ("196_autoMpg", synth.make_single_table_regression),
+    ("185_baseball", synth.make_single_table_classification),
+    ("38_sick", synth.make_single_table_classification),
+    ("4550_MiceProtein", synth.make_single_table_classification),
+    ("26_radon_seed", synth.make_single_table_regression),
+    ("uu3_world_development_indicators", synth.make_single_table_regression),
+    ("30_personae", synth.make_text_classification),
+    ("32_wikiqa", synth.make_text_classification),
+    ("22_handgeometry", synth.make_image_regression),
+    ("uu1_datasmash", synth.make_timeseries_classification),
+    ("uu4_SPECT", synth.make_timeseries_classification),
+    ("59_umls", synth.make_link_prediction),
+    ("49_facebook", synth.make_graph_matching),
+    ("6_70_com_amazon", synth.make_community_detection),
+    ("LL1_net_nomination_seed", synth.make_vertex_nomination),
+    ("60_jester", synth.make_collaborative_filtering),
+    ("313_spectrometer", synth.make_multi_table_classification),
+]
+
+SEARCH_BUDGET = 6
+
+
+def _scale_scores(scores):
+    """Scale a set of normalized scores to [0, 1] like the paper's Figure 5."""
+    scores = np.asarray(scores, dtype=float)
+    low, high = scores.min(), scores.max()
+    if high == low:
+        return np.ones_like(scores)
+    return (scores - low) / (high - low)
+
+
+def _run_comparison():
+    rows = []
+    for index, (name, generator) in enumerate(D3M_LIKE_TASKS):
+        task = generator(name=name, random_state=100 + index)
+        train, test = split_task(task, test_size=0.3, random_state=0)
+
+        # expert baseline: the curated default template, untuned
+        template = get_templates(task.data_modality, task.problem_type)[0]
+        baseline_score, _, _ = evaluate_pipeline(
+            template, template.default_hyperparameters(), train, test
+        )
+
+        # ML Bazaar: full AutoBazaar search with selection + tuning
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0)
+        result = searcher.search(train, budget=SEARCH_BUDGET, test_task=test)
+        bazaar_score = result.test_score if result.test_score is not None else baseline_score
+        if not task.higher_is_better:
+            bazaar_score = -bazaar_score
+
+        rows.append({"task": name, "baseline": baseline_score, "ml_bazaar": bazaar_score})
+    return rows
+
+
+def test_fig5_automl_vs_expert_baselines(benchmark):
+    rows = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+
+    # scale each task's pair of scores jointly into [0, 1] (as in the figure,
+    # where all performance metrics are scaled to [0, 1])
+    all_scores = [row["baseline"] for row in rows] + [row["ml_bazaar"] for row in rows]
+    low = min(all_scores)
+    span = max(all_scores) - low or 1.0
+
+    wins = 0
+    improvements = []
+    print("\n\nFigure 5 — ML Bazaar vs expert baseline (scores scaled to [0, 1])")
+    print("{:36s} {:>10s} {:>10s} {:>6s}".format("task", "baseline", "ml_bazaar", "win"))
+    for row in rows:
+        baseline = (row["baseline"] - low) / span
+        bazaar = (row["ml_bazaar"] - low) / span
+        win = bazaar >= baseline
+        wins += int(win)
+        improvements.append(bazaar - baseline)
+        print("{:36s} {:>10.3f} {:>10.3f} {:>6s}".format(
+            row["task"], baseline, bazaar, "yes" if win else "no"))
+
+    mean_improvement = float(np.mean(improvements))
+    print("\nML Bazaar wins {} / {} tasks (paper: 15/17)".format(wins, len(rows)))
+    print("Mean improvement: {:+.3f} scaled units (paper: +0.17, sigma 0.18)".format(
+        mean_improvement))
+
+    # shape: the AutoML system should match or beat the untuned expert default
+    # on a clear majority of tasks
+    assert wins >= int(0.6 * len(rows))
+    assert mean_improvement >= 0.0

@@ -1,0 +1,55 @@
+"""Section VI-A — overall search performance (throughput and checkpointing).
+
+The paper reports solving each task on its own node at an average rate of
+0.13 pipelines scored per second over a 2-hour budget, selecting the best
+pipeline at checkpoints of 10, 30, 60 and 120 minutes.  This benchmark
+reports the same quantities for the in-process search over the scaled-down
+suite: pipelines per second, failure rate, and the best score at
+progressive fractions of the budget (the checkpoint analogue).
+"""
+
+import numpy as np
+
+
+def _best_at_checkpoints(result, fractions=(0.25, 0.5, 0.75, 1.0)):
+    scores = [record.score for record in result.records if not record.failed]
+    checkpoints = []
+    for fraction in fractions:
+        cutoff = max(1, int(round(fraction * len(result.records))))
+        seen = [r.score for r in result.records[:cutoff] if not r.failed]
+        checkpoints.append(max(seen) if seen else np.nan)
+    return checkpoints if scores else [np.nan] * len(fractions)
+
+
+def test_overall_search_rate_and_checkpoints(benchmark, suite_search):
+    results = suite_search["results"]
+    store = suite_search["store"]
+
+    def compute_summary():
+        rates = [r.pipelines_per_second for r in results if np.isfinite(r.pipelines_per_second)]
+        failures = sum(r.n_failed for r in results)
+        evaluated = sum(r.n_evaluated for r in results)
+        return {
+            "rate": float(np.mean(rates)),
+            "failure_rate": failures / evaluated if evaluated else 0.0,
+            "evaluated": evaluated,
+        }
+
+    summary = benchmark(compute_summary)
+
+    checkpoint_matrix = np.asarray([_best_at_checkpoints(r) for r in results], dtype=float)
+    checkpoint_means = np.nanmean(checkpoint_matrix, axis=0)
+
+    print("\n\nSection VI-A — overall search performance")
+    print("pipelines evaluated:        {}".format(summary["evaluated"]))
+    print("stored documents:           {}".format(len(store)))
+    print("pipelines scored / second:  {:.2f}   (paper: 0.13 on m4.xlarge nodes)".format(
+        summary["rate"]))
+    print("failed evaluations:         {:.1%}".format(summary["failure_rate"]))
+    print("mean best score at checkpoints (25/50/75/100% of budget): "
+          + " / ".join("{:.3f}".format(v) for v in checkpoint_means))
+
+    # shape: the search makes progress over checkpoints and rarely fails
+    assert summary["rate"] > 0.0
+    assert summary["failure_rate"] < 0.2
+    assert checkpoint_means[-1] >= checkpoint_means[0] - 1e-9

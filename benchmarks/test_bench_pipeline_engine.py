@@ -1,0 +1,81 @@
+"""Figure 3 / Listing 1 — pipeline engine throughput and graph recovery cost.
+
+These micro-benchmarks measure the MLBlocks-equivalent execution engine on
+the two pipelines drawn in paper Figure 3 (the ORION anomaly detection
+pipeline and the text classification pipeline), plus the cost of the
+Algorithm 1 graph-recovery procedure as a function of pipeline length —
+the design choice DESIGN.md calls out (graph recovery is run per pipeline
+validation, so it must stay negligible next to a single model fit).
+"""
+
+import numpy as np
+import pytest
+
+from repro import MLPipeline
+from repro.tasks import synth
+
+ORION_PRIMITIVES = [
+    "mlprimitives.custom.timeseries_preprocessing.time_segments_average",
+    "sklearn.impute.SimpleImputer",
+    "sklearn.preprocessing.MinMaxScaler",
+    "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences",
+    "keras.Sequential.LSTMTimeSeriesRegressor",
+    "mlprimitives.custom.timeseries_anomalies.regression_errors",
+    "mlprimitives.custom.timeseries_anomalies.find_anomalies",
+]
+
+TEXT_PRIMITIVES = [
+    "mlprimitives.custom.counters.UniqueCounter",
+    "mlprimitives.custom.text.TextCleaner",
+    "mlprimitives.custom.counters.VocabularyCounter",
+    "keras.preprocessing.text.Tokenizer",
+    "keras.preprocessing.sequence.pad_sequences",
+    "keras.Sequential.LSTMTextClassifier",
+]
+
+
+def test_orion_pipeline_fit_produce(benchmark):
+    signal, _ = synth.make_anomaly_signal(length=500, random_state=0)
+    pipeline = MLPipeline(ORION_PRIMITIVES, init_params={
+        "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences": {
+            "window_size": 30},
+        "keras.Sequential.LSTMTimeSeriesRegressor": {"epochs": 5, "random_state": 0},
+    })
+
+    def fit_and_detect():
+        pipeline.fit(X=signal)
+        return pipeline.predict(X=signal)
+
+    anomalies = benchmark.pedantic(fit_and_detect, rounds=3, iterations=1)
+    print("\nORION pipeline (Listing 1): {} steps, {} anomalies detected on a "
+          "{}-point signal".format(len(ORION_PRIMITIVES), len(anomalies), len(signal)))
+    assert isinstance(anomalies, list)
+
+
+def test_text_pipeline_fit_predict(benchmark):
+    task = synth.make_text_classification(n_samples=150, random_state=0)
+    X, y = task.context["X"], task.context["y"]
+    pipeline = MLPipeline(TEXT_PRIMITIVES, init_params={
+        "keras.Sequential.LSTMTextClassifier": {"epochs": 10, "random_state": 0},
+    })
+
+    def fit_and_predict():
+        pipeline.fit(X=X, y=y)
+        return pipeline.predict(X=X)
+
+    predictions = benchmark.pedantic(fit_and_predict, rounds=3, iterations=1)
+    accuracy = float(np.mean(predictions == y))
+    print("\nText classification pipeline (Figure 3, top): training accuracy {:.3f}".format(
+        accuracy))
+    assert accuracy > 0.6
+
+
+@pytest.mark.parametrize("n_steps", [2, 4, 8, 16])
+def test_graph_recovery_scales_with_pipeline_length(benchmark, n_steps):
+    # alternate imputer/scaler steps to build progressively longer chains
+    middle = ["sklearn.impute.SimpleImputer", "sklearn.preprocessing.StandardScaler"] * (
+        n_steps // 2
+    )
+    pipeline = MLPipeline(middle + ["xgboost.XGBRegressor"])
+    graph = benchmark(pipeline.graph)
+    assert graph.number_of_nodes() == len(middle) + 3  # steps + estimator + source + sink

@@ -1,0 +1,40 @@
+"""Table II — ML task types, task counts and default templates.
+
+The paper's suite has 456 tasks over 15 task types; our synthetic suite
+keeps the same composition at a laptop-friendly scale.  The benchmark
+prints, for every task type, the paper's task count, our scaled count and
+the default template assigned by the AutoBazaar catalog.
+"""
+
+from repro.automl import default_template_catalog
+from repro.tasks import TABLE_II_COUNTS, build_task_suite
+
+
+def test_table2_task_suite_composition(benchmark):
+    suite = benchmark.pedantic(
+        lambda: build_task_suite(total_tasks=30, random_state=0), rounds=1, iterations=1
+    )
+    counts = suite.counts_by_task_type()
+    catalog = default_template_catalog()
+
+    print("\n\nTable II — task types, task counts and default templates")
+    print("{:14s} {:26s} {:>6s} {:>6s}  {}".format(
+        "modality", "problem type", "paper", "ours", "default template"))
+    for task_type, paper_count in sorted(TABLE_II_COUNTS.items(),
+                                         key=lambda kv: (kv[0].data_modality, kv[0].problem_type)):
+        template = catalog.default_template(task_type.data_modality, task_type.problem_type)
+        print("{:14s} {:26s} {:>6d} {:>6d}  {}".format(
+            task_type.data_modality, task_type.problem_type, paper_count,
+            counts.get(task_type, 0),
+            " -> ".join(p.split(".")[-1] for p in template.primitives)))
+    print("{:41s} {:>6d} {:>6d}".format("total", sum(TABLE_II_COUNTS.values()), len(suite)))
+
+    # shape checks: all 15 task types covered; single-table classification largest,
+    # ~49% of tasks fall outside single-table classification (paper: 49 percent)
+    assert len(counts) == 15
+    largest = max(counts, key=counts.get)
+    assert largest == ("single_table", "classification")
+    outside = 1.0 - counts[largest] / len(suite)
+    print("\nFraction of tasks outside single-table classification: "
+          "{:.0%} (paper: 49%)".format(outside))
+    assert 0.25 <= outside <= 0.75

@@ -1,0 +1,49 @@
+"""Failure prediction in wind turbines (the GreenGuard use case, paper Section V-A.c).
+
+A fleet of turbines produces fixed-length sensor series; the task is to
+predict imminent stoppages (time series classification).  The example
+compares several candidate templates from the catalog and then lets
+AutoBazaar pick and tune one automatically.
+
+Run with:  python examples/wind_turbine_failures.py
+"""
+
+import numpy as np
+
+from repro.automl import AutoBazaarSearch, get_templates
+from repro.learners.metrics import f1_score
+from repro.tasks.synth import make_timeseries_classification
+from repro.tasks.task import split_task
+
+
+def main():
+    # each sample is one turbine's vibration series over a monitoring window;
+    # the label marks whether a stoppage followed
+    task = make_timeseries_classification(
+        name="turbine_stoppages", n_samples=200, series_length=40, noise=0.5, random_state=21
+    )
+    train, test = split_task(task, test_size=0.3, random_state=0)
+    print("{} turbines for training, {} held out".format(train.n_samples, test.n_samples))
+
+    # -- manual comparison of catalog templates ------------------------------------
+    print("\nCandidate templates (fixed default hyperparameters):")
+    for template in get_templates("timeseries", "classification"):
+        pipeline = template.build_pipeline()
+        pipeline.fit(**train.pipeline_data())
+        predictions = pipeline.predict(**test.pipeline_data(include_target=False))
+        print("  {:42s} macro-F1 = {:.3f}".format(
+            template.name, f1_score(test.context['y'], predictions)))
+
+    # -- AutoBazaar search ------------------------------------------------------------
+    searcher = AutoBazaarSearch(n_splits=3, random_state=0)
+    result = searcher.search(train, budget=10, test_task=test)
+    print("\nAutoBazaar best template: {}".format(result.best_template))
+    print("Cross-validation score:  {:.3f}".format(result.best_score))
+    print("Held-out test score:     {:.3f}".format(result.test_score))
+    print("Pipelines evaluated:     {} ({} failed)".format(result.n_evaluated, result.n_failed))
+    print("Improvement over default pipeline: {:.2f} standard deviations".format(
+        result.improvement_sigmas()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools entry point (kept so editable installs work without the wheel package)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description="Reproduction of 'The Machine Learning Bazaar' (Smith et al., SIGMOD 2020)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -1,0 +1,36 @@
+"""repro: a reproduction of "The Machine Learning Bazaar" (Smith et al., SIGMOD 2020).
+
+The package is organized the same way the paper organizes the ML Bazaar:
+
+* :mod:`repro.learners` — the ML substrate (numpy implementations standing
+  in for scikit-learn, XGBoost, Keras, LightFM, Featuretools, OpenCV, ...);
+* :mod:`repro.core` — primitives, pipelines, templates and hypertemplates
+  (MLPrimitives + MLBlocks);
+* :mod:`repro.tuning` — AutoML primitives: tuners and selectors (BTB);
+* :mod:`repro.automl` — the AutoBazaar search system;
+* :mod:`repro.tasks` — the ML task suite (synthetic tasks for 15 task types);
+* :mod:`repro.explorer` — pipeline result exploration and meta-analysis (piex).
+"""
+
+from repro.core import (
+    Hypertemplate,
+    MLPipeline,
+    PrimitiveAnnotation,
+    PrimitiveRegistry,
+    Template,
+    get_default_registry,
+    load_primitive,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MLPipeline",
+    "Template",
+    "Hypertemplate",
+    "PrimitiveAnnotation",
+    "PrimitiveRegistry",
+    "get_default_registry",
+    "load_primitive",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""AutoBazaar: the end-to-end, multi-task AutoML system (paper Section IV-C).
+
+The system combines ML primitives (templates from the curated catalog) and
+AutoML primitives (tuners and selectors from :mod:`repro.tuning`) in the
+search-and-evaluation loop of paper Algorithm 2.
+"""
+
+from repro.automl.catalog import TemplateCatalog, default_template_catalog, get_templates
+from repro.automl.search import AutoBazaarSearch, EvaluationRecord, SearchResult, evaluate_pipeline
+from repro.automl.session import AutoBazaarSession, run_from_directory
+
+__all__ = [
+    "TemplateCatalog",
+    "default_template_catalog",
+    "get_templates",
+    "AutoBazaarSearch",
+    "SearchResult",
+    "EvaluationRecord",
+    "evaluate_pipeline",
+    "AutoBazaarSession",
+    "run_from_directory",
+]

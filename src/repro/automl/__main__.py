@@ -1,0 +1,64 @@
+"""Command-line entry point: ``python -m repro.automl <task_dir> [options]``.
+
+Solves one on-disk task (a folder written by :func:`repro.tasks.io.save_task`)
+with AutoBazaar and prints the best pipeline, its scores and the session
+report.
+"""
+
+import argparse
+import sys
+
+from repro.automl.session import run_from_directory
+
+
+def build_parser():
+    """Build the argument parser for the AutoBazaar CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.automl",
+        description="Run an AutoBazaar pipeline search on a task stored on disk.",
+    )
+    parser.add_argument("task_dir", help="directory written by repro.tasks.io.save_task")
+    parser.add_argument("--budget", type=int, default=20,
+                        help="number of pipeline evaluations (default: 20)")
+    parser.add_argument("--tuner", default="gp_ei",
+                        help="tuner name: gp_ei, gp_matern52_ei, gcp_ei or uniform")
+    parser.add_argument("--selector", default="ucb1",
+                        help="selector name: ucb1, best_k, best_k_velocity, thompson or uniform")
+    parser.add_argument("--splits", type=int, default=3,
+                        help="cross-validation folds used to score candidates")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--output", default=None,
+                        help="optional path for the JSON dump of every scored pipeline")
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    arguments = build_parser().parse_args(argv)
+    try:
+        session = run_from_directory(
+            arguments.task_dir,
+            budget=arguments.budget,
+            tuner=arguments.tuner,
+            selector=arguments.selector,
+            n_splits=arguments.splits,
+            random_state=arguments.seed,
+            output=arguments.output,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+    result = session.results[-1]
+    print(session.report())
+    print()
+    print("best template        : {}".format(result.best_template))
+    print("cross-validation     : {}".format(result.best_score))
+    print("held-out test score  : {}".format(result.test_score))
+    if arguments.output:
+        print("evaluation store     : {}".format(arguments.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,335 @@
+"""The default template catalog per task type (paper Table II, right column).
+
+Each task type maps to an ordered list of templates: the first entry is the
+default template shown in Table II; the remaining entries are alternative
+estimators that give the AutoML selector something to choose between.
+
+Template names encode the estimator variant (``xgb``, ``rf``, ``linear``)
+so that the primitive-swap case study of Section VI-B can run the same
+search restricted to one variant or the other.
+"""
+
+from repro.core.template import Template
+from repro.tasks.types import TaskType
+
+
+# primitive name shorthands to keep the template definitions readable
+CLASS_ENCODER = "mlprimitives.custom.preprocessing.ClassEncoder"
+CLASS_DECODER = "mlprimitives.custom.preprocessing.ClassDecoder"
+DFS = "featuretools.dfs"
+IMPUTER = "sklearn.impute.SimpleImputer"
+SCALER = "sklearn.preprocessing.StandardScaler"
+CATEGORICAL_ENCODER = "mlprimitives.custom.feature_extraction.CategoricalEncoder"
+XGB_CLF = "xgboost.XGBClassifier"
+XGB_REG = "xgboost.XGBRegressor"
+RF_CLF = "sklearn.ensemble.RandomForestClassifier"
+RF_REG = "sklearn.ensemble.RandomForestRegressor"
+LOGISTIC = "sklearn.linear_model.LogisticRegression"
+RIDGE = "sklearn.linear_model.Ridge"
+GRAPH_FEATURES = "networkx.graph_feature_extraction"
+LINK_FEATURES = "networkx.link_prediction_feature_extraction"
+COMMUNITY = "community.best_partition"
+LIGHTFM = "lightfm.LightFM"
+TEXT_CLEANER = "mlprimitives.custom.text.TextCleaner"
+UNIQUE_COUNTER = "mlprimitives.custom.counters.UniqueCounter"
+VOCABULARY_COUNTER = "mlprimitives.custom.counters.VocabularyCounter"
+TOKENIZER = "keras.preprocessing.text.Tokenizer"
+PAD_SEQUENCES = "keras.preprocessing.sequence.pad_sequences"
+LSTM_TEXT = "keras.Sequential.LSTMTextClassifier"
+STRING_VECTORIZER = "mlprimitives.custom.feature_extraction.StringVectorizer"
+PREPROCESS_INPUT = "keras.applications.mobilenet.preprocess_input"
+MOBILENET = "keras.applications.mobilenet.MobileNet"
+HOG = "skimage.feature.hog"
+AR_REGRESSOR = "mlprimitives.custom.timeseries.ARRegressor"
+WORD_EMBEDDINGS = "mlprimitives.custom.text.WordEmbeddingVectorizer"
+SOBEL = "mlprimitives.custom.image.SobelEdgeFeaturizer"
+
+
+def _classification_template(name, estimator, extra_front=(), init_params=None, task_types=()):
+    primitives = [CLASS_ENCODER, *extra_front, DFS, IMPUTER, SCALER, estimator, CLASS_DECODER]
+    return Template(name, primitives, init_params=init_params, task_types=list(task_types))
+
+
+def _regression_template(name, estimator, extra_front=(), init_params=None, task_types=()):
+    primitives = [*extra_front, DFS, IMPUTER, SCALER, estimator]
+    return Template(name, primitives, init_params=init_params, task_types=list(task_types))
+
+
+def _build_default_templates():
+    """Build the per-task-type template lists (default template first)."""
+    templates = {}
+
+    # -- tabular classification (single table, multi table, timeseries) --------------
+    for modality in ("single_table", "multi_table", "timeseries"):
+        task_type = TaskType(modality, "classification")
+        templates[task_type] = [
+            _classification_template(
+                "{}_classification_xgb".format(modality), XGB_CLF, task_types=[task_type]
+            ),
+            _classification_template(
+                "{}_classification_rf".format(modality), RF_CLF, task_types=[task_type]
+            ),
+            Template(
+                "{}_classification_logistic".format(modality),
+                [CLASS_ENCODER, DFS, IMPUTER, SCALER, LOGISTIC, CLASS_DECODER],
+                task_types=[task_type],
+            ),
+        ]
+
+    # -- tabular regression and forecasting --------------------------------------------
+    for modality, problem in (("single_table", "regression"),
+                              ("multi_table", "regression"),
+                              ("single_table", "timeseries_forecasting")):
+        task_type = TaskType(modality, problem)
+        label = "{}_{}".format(modality, problem)
+        templates[task_type] = [
+            _regression_template("{}_xgb".format(label), XGB_REG, task_types=[task_type]),
+            _regression_template("{}_rf".format(label), RF_REG, task_types=[task_type]),
+            Template(
+                "{}_ridge".format(label),
+                [DFS, IMPUTER, SCALER, RIDGE],
+                task_types=[task_type],
+            ),
+        ]
+
+    # forecasting gets a classical autoregressive alternative on top of the
+    # regression templates it shares with Table II
+    forecasting = TaskType("single_table", "timeseries_forecasting")
+    templates[forecasting].append(Template(
+        "single_table_timeseries_forecasting_ar",
+        [DFS, IMPUTER, AR_REGRESSOR],
+        task_types=[forecasting],
+    ))
+
+    # -- collaborative filtering -----------------------------------------------------------
+    task_type = TaskType("single_table", "collaborative_filtering")
+    templates[task_type] = [
+        Template("collaborative_filtering_lightfm", [DFS, LIGHTFM], task_types=[task_type]),
+        Template(
+            "collaborative_filtering_xgb",
+            [DFS, IMPUTER, SCALER, XGB_REG],
+            task_types=[task_type],
+        ),
+    ]
+
+    # -- text classification and regression ---------------------------------------------------
+    task_type = TaskType("text", "classification")
+    templates[task_type] = [
+        Template(
+            "text_classification_lstm",
+            [UNIQUE_COUNTER, TEXT_CLEANER, VOCABULARY_COUNTER, TOKENIZER, PAD_SEQUENCES,
+             LSTM_TEXT],
+            task_types=[task_type],
+        ),
+        Template(
+            "text_classification_tfidf_xgb",
+            [CLASS_ENCODER, TEXT_CLEANER, STRING_VECTORIZER, XGB_CLF, CLASS_DECODER],
+            task_types=[task_type],
+        ),
+        Template(
+            "text_classification_tfidf_rf",
+            [CLASS_ENCODER, TEXT_CLEANER, STRING_VECTORIZER, RF_CLF, CLASS_DECODER],
+            task_types=[task_type],
+        ),
+        Template(
+            "text_classification_embedding_xgb",
+            [CLASS_ENCODER, TEXT_CLEANER, WORD_EMBEDDINGS, XGB_CLF, CLASS_DECODER],
+            task_types=[task_type],
+        ),
+    ]
+    task_type = TaskType("text", "regression")
+    templates[task_type] = [
+        Template(
+            "text_regression_xgb",
+            [STRING_VECTORIZER, IMPUTER, XGB_REG],
+            task_types=[task_type],
+        ),
+        Template(
+            "text_regression_ridge",
+            [STRING_VECTORIZER, IMPUTER, RIDGE],
+            task_types=[task_type],
+        ),
+    ]
+
+    # -- image classification and regression -----------------------------------------------------
+    task_type = TaskType("image", "classification")
+    templates[task_type] = [
+        Template(
+            "image_classification_mobilenet_xgb",
+            [CLASS_ENCODER, PREPROCESS_INPUT, MOBILENET, XGB_CLF, CLASS_DECODER],
+            task_types=[task_type],
+        ),
+        Template(
+            "image_classification_hog_rf",
+            [CLASS_ENCODER, PREPROCESS_INPUT, HOG, RF_CLF, CLASS_DECODER],
+            task_types=[task_type],
+        ),
+        Template(
+            "image_classification_sobel_logistic",
+            [CLASS_ENCODER, PREPROCESS_INPUT, SOBEL, LOGISTIC, CLASS_DECODER],
+            task_types=[task_type],
+        ),
+    ]
+    task_type = TaskType("image", "regression")
+    templates[task_type] = [
+        Template(
+            "image_regression_mobilenet_xgb",
+            [PREPROCESS_INPUT, MOBILENET, XGB_REG],
+            task_types=[task_type],
+        ),
+        Template(
+            "image_regression_hog_ridge",
+            [PREPROCESS_INPUT, HOG, RIDGE],
+            task_types=[task_type],
+        ),
+    ]
+
+    # -- graph task types ------------------------------------------------------------------------
+    task_type = TaskType("graph", "link_prediction")
+    templates[task_type] = [
+        Template(
+            "link_prediction_xgb",
+            [CLASS_ENCODER, LINK_FEATURES, CATEGORICAL_ENCODER, IMPUTER, SCALER, XGB_CLF,
+             CLASS_DECODER],
+            task_types=[task_type],
+        ),
+        Template(
+            "link_prediction_rf",
+            [CLASS_ENCODER, LINK_FEATURES, CATEGORICAL_ENCODER, IMPUTER, SCALER, RF_CLF,
+             CLASS_DECODER],
+            task_types=[task_type],
+        ),
+    ]
+    task_type = TaskType("graph", "graph_matching")
+    templates[task_type] = [
+        Template(
+            "graph_matching_xgb",
+            [CLASS_ENCODER, LINK_FEATURES, CATEGORICAL_ENCODER, IMPUTER, SCALER, XGB_CLF,
+             CLASS_DECODER],
+            task_types=[task_type],
+        ),
+        Template(
+            "graph_matching_rf",
+            [CLASS_ENCODER, LINK_FEATURES, CATEGORICAL_ENCODER, IMPUTER, SCALER, RF_CLF,
+             CLASS_DECODER],
+            task_types=[task_type],
+        ),
+    ]
+    task_type = TaskType("graph", "vertex_nomination")
+    templates[task_type] = [
+        Template(
+            "vertex_nomination_xgb",
+            [CLASS_ENCODER, GRAPH_FEATURES, CATEGORICAL_ENCODER, IMPUTER, SCALER, XGB_CLF,
+             CLASS_DECODER],
+            task_types=[task_type],
+        ),
+        Template(
+            "vertex_nomination_rf",
+            [CLASS_ENCODER, GRAPH_FEATURES, CATEGORICAL_ENCODER, IMPUTER, SCALER, RF_CLF,
+             CLASS_DECODER],
+            task_types=[task_type],
+        ),
+    ]
+    task_type = TaskType("graph", "community_detection")
+    templates[task_type] = [
+        Template(
+            "community_detection_louvain",
+            [COMMUNITY],
+            task_types=[task_type],
+        ),
+    ]
+
+    return templates
+
+
+class TemplateCatalog:
+    """Lookup of candidate templates per task type."""
+
+    def __init__(self, templates=None):
+        self._templates = templates or _build_default_templates()
+
+    def task_types(self):
+        """The task types this catalog provides templates for."""
+        return sorted(self._templates, key=lambda tt: (tt.data_modality, tt.problem_type))
+
+    def get(self, data_modality, problem_type, variant=None):
+        """Candidate templates for a task type.
+
+        Parameters
+        ----------
+        variant:
+            Optional estimator-variant filter (for example ``"xgb"`` or
+            ``"rf"``); used by the primitive-swap case study.
+        """
+        task_type = TaskType(data_modality, problem_type)
+        if task_type not in self._templates:
+            raise KeyError(
+                "No templates available for task type {!r}".format((data_modality, problem_type))
+            )
+        templates = list(self._templates[task_type])
+        if variant is not None:
+            filtered = [t for t in templates if t.name.endswith("_" + variant) or variant in t.name]
+            templates = filtered or templates
+        return templates
+
+    def default_template(self, data_modality, problem_type):
+        """The Table II default template for a task type (first in the list)."""
+        return self.get(data_modality, problem_type)[0]
+
+    def add(self, data_modality, problem_type, template, default=False):
+        """Register a custom template for a task type."""
+        task_type = TaskType(data_modality, problem_type)
+        entries = self._templates.setdefault(task_type, [])
+        if default:
+            entries.insert(0, template)
+        else:
+            entries.append(template)
+        return template
+
+    def __repr__(self):
+        return "TemplateCatalog(n_task_types={})".format(len(self._templates))
+
+
+def classification_hypertemplate(name="tabular_classification_hyper"):
+    """A hypertemplate for tabular classification (paper Figure 4 in practice).
+
+    Two conditional hyperparameters — the imputation strategy and the
+    estimator's tree booster depth regime — derive four concrete templates
+    whose tunable subspaces differ, which the AutoBazaar selector can then
+    treat as separate arms.
+    """
+    from repro.core.annotations import HyperparamSpec
+    from repro.core.template import ConditionalHyperparam, Hypertemplate
+
+    imputer_conditional = ConditionalHyperparam(
+        "sklearn.impute.SimpleImputer#0", "strategy", ["mean", "median"],
+    )
+    booster_conditional = ConditionalHyperparam(
+        "xgboost.XGBClassifier#0", "max_depth", [2, 4],
+        subspaces={
+            2: [HyperparamSpec("n_estimators", "int", 40, range=(20, 80))],
+            4: [HyperparamSpec("n_estimators", "int", 20, range=(10, 40))],
+        },
+    )
+    return Hypertemplate(
+        name,
+        [CLASS_ENCODER, DFS, IMPUTER, SCALER, XGB_CLF, CLASS_DECODER],
+        conditionals=[imputer_conditional, booster_conditional],
+        task_types=[TaskType("single_table", "classification")],
+    )
+
+
+_DEFAULT_CATALOG = None
+
+
+def default_template_catalog():
+    """The process-wide default template catalog."""
+    global _DEFAULT_CATALOG
+    if _DEFAULT_CATALOG is None:
+        _DEFAULT_CATALOG = TemplateCatalog()
+    return _DEFAULT_CATALOG
+
+
+def get_templates(data_modality, problem_type, variant=None):
+    """Convenience accessor over the default template catalog."""
+    return default_template_catalog().get(data_modality, problem_type, variant=variant)

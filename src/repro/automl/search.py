@@ -1,0 +1,359 @@
+"""Pipeline search and evaluation (paper Algorithm 2).
+
+Given an ML task and a computational budget, AutoBazaar loads the candidate
+templates for the task type, creates one tuner per template and a single
+selector over the templates, and iterates: select a template, propose
+hyperparameters, build and cross-validate the pipeline, and report the
+score back to the tuner and selector.  When the budget is exhausted, the
+best pipeline is refitted on the full training data and scored on the
+held-out test partition.
+"""
+
+import time
+
+import numpy as np
+
+from repro.automl.catalog import default_template_catalog
+from repro.tasks.task import split_task, task_cv_splits
+from repro.tuning.selectors import UCB1Selector
+from repro.tuning.tuners import GPEiTuner, UniformTuner
+
+
+class EvaluationRecord:
+    """One scored pipeline (one row of the paper's 2.5-million-pipeline dataset)."""
+
+    def __init__(self, task_name, template_name, hyperparameters, score, raw_score,
+                 iteration, elapsed, error=None, is_default=False):
+        self.task_name = task_name
+        self.template_name = template_name
+        self.hyperparameters = dict(hyperparameters)
+        self.score = score
+        self.raw_score = raw_score
+        self.iteration = iteration
+        self.elapsed = elapsed
+        self.error = error
+        self.is_default = is_default
+
+    @property
+    def failed(self):
+        """Whether the pipeline failed to evaluate."""
+        return self.error is not None
+
+    def to_dict(self):
+        """Serialize to a flat dict (the document stored by piex)."""
+        return {
+            "task_name": self.task_name,
+            "template_name": self.template_name,
+            "hyperparameters": {str(key): value for key, value in self.hyperparameters.items()},
+            "score": self.score,
+            "raw_score": self.raw_score,
+            "iteration": self.iteration,
+            "elapsed": self.elapsed,
+            "error": self.error,
+            "is_default": self.is_default,
+        }
+
+    def __repr__(self):
+        return "EvaluationRecord(template={!r}, score={}, iteration={})".format(
+            self.template_name, self.score, self.iteration
+        )
+
+
+class SearchResult:
+    """Outcome of one AutoBazaar search run on one task."""
+
+    def __init__(self, task_name, best_template, best_hyperparameters, best_score,
+                 best_pipeline, records, test_score=None, elapsed=0.0):
+        self.task_name = task_name
+        self.best_template = best_template
+        self.best_hyperparameters = best_hyperparameters
+        self.best_score = best_score
+        self.best_pipeline = best_pipeline
+        self.records = list(records)
+        self.test_score = test_score
+        self.elapsed = elapsed
+
+    @property
+    def n_evaluated(self):
+        """Number of pipelines evaluated (including failures)."""
+        return len(self.records)
+
+    @property
+    def n_failed(self):
+        """Number of pipelines that failed to evaluate."""
+        return sum(1 for record in self.records if record.failed)
+
+    @property
+    def default_score(self):
+        """Score of the first successfully evaluated default pipeline."""
+        for record in self.records:
+            if record.is_default and not record.failed:
+                return record.score
+        return None
+
+    @property
+    def pipelines_per_second(self):
+        """Throughput of the search (pipelines scored per second)."""
+        if self.elapsed <= 0:
+            return float("nan")
+        return self.n_evaluated / self.elapsed
+
+    def best_score_at_checkpoints(self, fractions=(0.25, 0.5, 0.75, 1.0)):
+        """Best score seen after each fraction of the budget (paper's checkpoint view).
+
+        The paper selects the best pipeline at 10/30/60/120-minute
+        checkpoints; the in-process analogue uses fractions of the
+        iteration budget.
+        """
+        checkpoints = []
+        for fraction in fractions:
+            cutoff = max(1, int(round(fraction * len(self.records))))
+            seen = [r.score for r in self.records[:cutoff] if not r.failed]
+            checkpoints.append(max(seen) if seen else None)
+        return checkpoints
+
+    def improvement_sigmas(self):
+        """Improvement of the best over the first default, in std-devs of all scores.
+
+        This is the per-task quantity plotted in paper Figure 6.
+        """
+        scores = [record.score for record in self.records if not record.failed]
+        default = self.default_score
+        if default is None or self.best_score is None or len(scores) < 2:
+            return 0.0
+        spread = float(np.std(scores))
+        if spread == 0.0:
+            return 0.0
+        return float((self.best_score - default) / spread)
+
+    def __repr__(self):
+        return ("SearchResult(task={!r}, best_template={!r}, best_score={}, "
+                "n_evaluated={})".format(self.task_name, self.best_template,
+                                         self.best_score, self.n_evaluated))
+
+
+def evaluate_pipeline(template, hyperparameters, train_task, test_task):
+    """Fit a template's pipeline on one task and score it on another.
+
+    Returns the normalized (higher-is-better) score and the raw metric value.
+    """
+    pipeline = template.build_pipeline(hyperparameters)
+    pipeline.fit(**train_task.pipeline_data())
+    predictions = pipeline.predict(**test_task.pipeline_data(include_target=False))
+    y_true = test_task.context["y"]
+    raw = test_task.score(y_true, predictions)
+    normalized = raw if test_task.higher_is_better else -raw
+    return normalized, raw, pipeline
+
+
+def cross_validate_template(template, hyperparameters, task, n_splits=3, random_state=None):
+    """Mean normalized cross-validation score of a template configuration on a task."""
+    splits = task_cv_splits(task, n_splits=n_splits, random_state=random_state)
+    scores = []
+    raw_scores = []
+    for train_task, val_task in splits:
+        normalized, raw, _ = evaluate_pipeline(template, hyperparameters, train_task, val_task)
+        scores.append(normalized)
+        raw_scores.append(raw)
+    return float(np.mean(scores)), float(np.mean(raw_scores))
+
+
+class AutoBazaarSearch:
+    """The AutoBazaar pipeline search engine (paper Algorithm 2).
+
+    Parameters
+    ----------
+    templates:
+        Candidate templates.  When omitted they are loaded from the default
+        template catalog based on the task's type.
+    tuner_class:
+        Tuner used for every template (default GP-EI, the paper's default).
+    selector_class:
+        Selector over templates (default UCB1).
+    n_splits:
+        Cross-validation folds used to score candidate pipelines.
+    store:
+        Optional :class:`~repro.explorer.store.PipelineStore`; every
+        evaluation record is appended to it.
+    warm_start_store:
+        Optional :class:`~repro.explorer.store.PipelineStore` holding
+        evaluations from *previous* tasks.  When given, tuners are
+        warm-started from the historical configurations of each template
+        (the meta-learning extension anticipated in the paper's
+        conclusion).
+    """
+
+    def __init__(self, templates=None, tuner_class=GPEiTuner, selector_class=UCB1Selector,
+                 n_splits=3, random_state=None, store=None, catalog=None,
+                 warm_start_store=None):
+        self.templates = templates
+        self.tuner_class = tuner_class
+        self.selector_class = selector_class
+        self.n_splits = n_splits
+        self.random_state = random_state
+        self.store = store
+        self.catalog = catalog or default_template_catalog()
+        self.warm_start_store = warm_start_store
+
+    # -- setup ----------------------------------------------------------------------
+
+    def _load_templates(self, task):
+        from repro.core.template import Hypertemplate
+
+        if self.templates is not None:
+            candidates = list(self.templates)
+        else:
+            candidates = self.catalog.get(task.data_modality, task.problem_type)
+        templates = []
+        for candidate in candidates:
+            if isinstance(candidate, Hypertemplate):
+                # hypertemplates contribute one selectable template per
+                # combination of their conditional hyperparameters (Figure 4)
+                templates.extend(candidate.derive_templates())
+            else:
+                templates.append(candidate)
+        return templates
+
+    def _build_tuners(self, templates, task):
+        from repro.tuning.meta import WarmStartGPTuner, harvest_history
+
+        tuners = {}
+        for template in templates:
+            space = template.get_tunable_hyperparameters()
+            if not space:
+                tuners[template.name] = None  # nothing to tune
+                continue
+            if self.warm_start_store is not None:
+                history = harvest_history(
+                    self.warm_start_store, template.name, exclude_task=task.name
+                )
+                tuners[template.name] = WarmStartGPTuner(
+                    space, history=history, random_state=self.random_state
+                )
+            else:
+                tuners[template.name] = self.tuner_class(space, random_state=self.random_state)
+        return tuners
+
+    # -- main loop ------------------------------------------------------------------
+
+    def search(self, task, budget=20, test_task=None, holdout=0.25, max_seconds=None):
+        """Search for the best pipeline for ``task`` within ``budget`` evaluations.
+
+        Parameters
+        ----------
+        task:
+            The training task.  When ``test_task`` is omitted, ``holdout``
+            of the task is split off as the test partition.
+        budget:
+            Number of pipeline evaluations.
+        max_seconds:
+            Optional wall-clock limit (the paper's per-task budget is a
+            2-hour wall-clock limit); the loop stops at whichever of the
+            two budgets is exhausted first.
+        """
+        start = time.time()
+        if test_task is None:
+            task, test_task = split_task(task, test_size=holdout, random_state=self.random_state)
+
+        templates = self._load_templates(task)
+        if not templates:
+            raise ValueError("No templates available for task {!r}".format(task.name))
+        template_index = {template.name: template for template in templates}
+        tuners = self._build_tuners(templates, task)
+        selector = self.selector_class(
+            [template.name for template in templates], random_state=self.random_state
+        )
+        template_scores = {template.name: [] for template in templates}
+
+        records = []
+        best_score = None
+        best_template = None
+        best_hyperparameters = None
+        defaults_pending = [template.name for template in templates]
+
+        for iteration in range(int(budget)):
+            if max_seconds is not None and time.time() - start > max_seconds:
+                break
+            # the first several iterations score each template once with defaults
+            if defaults_pending:
+                template_name = defaults_pending.pop(0)
+                is_default = True
+            else:
+                template_name = selector.select(template_scores)
+                is_default = False
+            template = template_index[template_name]
+            tuner = tuners[template_name]
+
+            if is_default or tuner is None:
+                hyperparameters = template.default_hyperparameters()
+            else:
+                hyperparameters = tuner.propose()
+
+            iteration_start = time.time()
+            error = None
+            score = raw_score = None
+            try:
+                score, raw_score = cross_validate_template(
+                    template, hyperparameters, task,
+                    n_splits=self.n_splits, random_state=self.random_state,
+                )
+            except Exception as failure:  # noqa: BLE001 - failed pipelines are recorded, not fatal
+                error = "{}: {}".format(type(failure).__name__, failure)
+            elapsed = time.time() - iteration_start
+
+            record = EvaluationRecord(
+                task_name=task.name,
+                template_name=template_name,
+                hyperparameters=hyperparameters,
+                score=score,
+                raw_score=raw_score,
+                iteration=iteration,
+                elapsed=elapsed,
+                error=error,
+                is_default=is_default,
+            )
+            records.append(record)
+            if self.store is not None:
+                self.store.add(record)
+
+            if error is not None:
+                continue
+
+            template_scores[template_name].append(score)
+            if tuner is not None:
+                tuner.record(hyperparameters, score)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_template = template_name
+                best_hyperparameters = dict(hyperparameters)
+
+        # refit the best pipeline on the full training partition and score on test
+        best_pipeline = None
+        test_score = None
+        if best_template is not None:
+            template = template_index[best_template]
+            try:
+                _, test_score, best_pipeline = evaluate_pipeline(
+                    template, best_hyperparameters, task, test_task
+                )
+            except Exception:  # noqa: BLE001 - keep the search result even if refit fails
+                best_pipeline = None
+
+        return SearchResult(
+            task_name=task.name,
+            best_template=best_template,
+            best_hyperparameters=best_hyperparameters,
+            best_score=best_score,
+            best_pipeline=best_pipeline,
+            records=records,
+            test_score=test_score,
+            elapsed=time.time() - start,
+        )
+
+
+class RandomSearch(AutoBazaarSearch):
+    """AutoBazaar with uniform-random tuning (the random-search ablation baseline)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("tuner_class", UniformTuner)
+        super().__init__(**kwargs)

@@ -1,0 +1,126 @@
+"""AutoBazaar sessions: configuration, suite runs and reporting.
+
+The paper describes AutoBazaar as more than the search loop: "user
+interfaces for administration and configuration, loaders and configuration
+for ML tasks and primitives, data stores for metadata and pipeline
+evaluation results, a pipeline execution engine, and an AutoML
+coordinator" (Section IV-C).  :class:`AutoBazaarSession` is that outer
+layer — it resolves tuner/selector names from configuration, runs whole
+suites or on-disk task folders, accumulates every evaluation in a piex
+store, and renders reports.
+"""
+
+import os
+
+from repro.automl.search import AutoBazaarSearch
+from repro.explorer import PipelineStore, report, summarize_store
+from repro.tasks.io import load_task
+from repro.tuning.selectors import get_selector
+from repro.tuning.tuners import get_tuner
+
+
+class AutoBazaarSession:
+    """A configured AutoBazaar instance that can solve many tasks.
+
+    Parameters
+    ----------
+    budget:
+        Pipeline evaluations per task.
+    tuner, selector:
+        Short names resolved through the BTB registries (for example
+        ``"gp_ei"``, ``"uniform"``, ``"ucb1"``, ``"thompson"``).
+    n_splits:
+        Cross-validation folds for candidate scoring.
+    warm_start:
+        If True, each new task's tuners are warm-started from the session's
+        own accumulated history (the meta-learning extension).
+    max_seconds_per_task:
+        Optional wall-clock cap per task.
+    """
+
+    def __init__(self, budget=20, tuner="gp_ei", selector="ucb1", n_splits=3,
+                 random_state=None, warm_start=False, max_seconds_per_task=None):
+        self.budget = budget
+        self.tuner_class = get_tuner(tuner)
+        self.selector_class = get_selector(selector)
+        self.n_splits = n_splits
+        self.random_state = random_state
+        self.warm_start = warm_start
+        self.max_seconds_per_task = max_seconds_per_task
+        self.store = PipelineStore()
+        self.results = []
+
+    # -- solving ------------------------------------------------------------------
+
+    def solve(self, task, test_task=None):
+        """Run the AutoBazaar search on one task and record the results."""
+        searcher = AutoBazaarSearch(
+            tuner_class=self.tuner_class,
+            selector_class=self.selector_class,
+            n_splits=self.n_splits,
+            random_state=self.random_state,
+            store=self.store,
+            warm_start_store=self.store if self.warm_start else None,
+        )
+        result = searcher.search(
+            task, budget=self.budget, test_task=test_task,
+            max_seconds=self.max_seconds_per_task,
+        )
+        self.results.append(result)
+        return result
+
+    def solve_suite(self, suite):
+        """Solve every task of a suite; returns the list of search results."""
+        return [self.solve(task) for task in suite]
+
+    def solve_directory(self, directory):
+        """Load a task folder produced by :func:`repro.tasks.io.save_task` and solve it."""
+        task = load_task(directory)
+        return self.solve(task)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def summary(self):
+        """Structured summary of everything evaluated in this session."""
+        summary = summarize_store(self.store)
+        summary["n_solved_tasks"] = len(self.results)
+        summary["test_scores"] = {
+            result.task_name: result.test_score for result in self.results
+        }
+        summary["best_templates"] = {
+            result.task_name: result.best_template for result in self.results
+        }
+        return summary
+
+    def report(self, title="AutoBazaar session"):
+        """Human-readable text report of the session."""
+        return report(self.store, title=title)
+
+    def save_store(self, path):
+        """Persist every evaluation document to a JSON file."""
+        self.store.dump_json(path)
+        return path
+
+    def __repr__(self):
+        return "AutoBazaarSession(budget={}, solved={}, evaluated={})".format(
+            self.budget, len(self.results), len(self.store)
+        )
+
+
+def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1",
+                       n_splits=3, random_state=0, output=None):
+    """One-shot helper behind the command-line interface.
+
+    Loads the task stored in ``task_directory``, runs a search, optionally
+    writes the evaluation store to ``output``, and returns the session.
+    """
+    if not os.path.isdir(task_directory):
+        raise FileNotFoundError("Task directory {!r} does not exist".format(task_directory))
+    session = AutoBazaarSession(
+        budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
+        random_state=random_state,
+    )
+    session.solve_directory(task_directory)
+    if output:
+        session.save_store(output)
+    return session

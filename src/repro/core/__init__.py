@@ -1,0 +1,37 @@
+"""Core ML Bazaar components: primitives, pipelines, templates.
+
+This package is the reproduction of the paper's primary contribution:
+
+* :mod:`repro.core.annotations` — the primitive annotation format
+  (MLPrimitives' JSON specification);
+* :mod:`repro.core.registry` — the primitive catalog / registry;
+* :mod:`repro.core.catalog` — the curated catalog of annotated primitives
+  (paper Table I);
+* :mod:`repro.core.pipeline` — ML pipelines, the pipeline description
+  interface and the execution engine (MLBlocks);
+* :mod:`repro.core.graph` — computational graph recovery (paper
+  Algorithm 1);
+* :mod:`repro.core.template` — templates and hypertemplates (paper
+  Section IV-A).
+"""
+
+from repro.core.annotations import HyperparamSpec, PrimitiveAnnotation
+from repro.core.registry import PrimitiveRegistry, get_default_registry, load_primitive
+from repro.core.pipeline import MLPipeline
+from repro.core.step import PipelineStep
+from repro.core.graph import InvalidPipelineError, recover_graph
+from repro.core.template import Hypertemplate, Template
+
+__all__ = [
+    "HyperparamSpec",
+    "PrimitiveAnnotation",
+    "PrimitiveRegistry",
+    "get_default_registry",
+    "load_primitive",
+    "MLPipeline",
+    "PipelineStep",
+    "recover_graph",
+    "InvalidPipelineError",
+    "Template",
+    "Hypertemplate",
+]

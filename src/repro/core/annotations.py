@@ -1,0 +1,338 @@
+"""Primitive annotations: the MLPrimitives specification format.
+
+A *primitive* is a reusable, self-contained ML component paired with
+structured metadata (paper Section III-A).  The annotation records
+
+* the fully-qualified name and the underlying Python implementation,
+* the ``fit`` and ``produce`` entry points with the names and *ML data
+  types* of their inputs and outputs,
+* the fixed and tunable hyperparameters with types, ranges and defaults,
+* descriptive metadata (source library, category, author, description).
+
+Annotations are plain-data objects that round-trip through JSON, exactly
+like the JSON files in the original MLPrimitives catalog.
+"""
+
+import json
+
+#: Categories used to organize the catalog (paper Figure 2).
+CATEGORIES = ("preprocessor", "feature_processor", "estimator", "postprocessor")
+
+#: Hyperparameter value types supported by the annotation format.
+HYPERPARAM_TYPES = ("int", "float", "bool", "categorical")
+
+
+class AnnotationError(ValueError):
+    """Raised when an annotation does not conform to the specification."""
+
+
+class HyperparamSpec:
+    """Specification of a single tunable hyperparameter.
+
+    Parameters
+    ----------
+    name:
+        Hyperparameter name (must match the keyword accepted by the
+        underlying implementation).
+    type:
+        One of ``"int"``, ``"float"``, ``"bool"`` or ``"categorical"``.
+    default:
+        Default value used when the hyperparameter is not tuned.
+    range:
+        ``(low, high)`` inclusive bounds for int/float hyperparameters.
+    values:
+        Candidate values for categorical hyperparameters.
+    tunable:
+        Whether AutoML tuners may modify this hyperparameter.
+    description:
+        Optional human-readable description.
+    """
+
+    def __init__(self, name, type, default, range=None, values=None, tunable=True,
+                 description=""):
+        self.name = name
+        self.type = type
+        self.default = default
+        self.range = tuple(range) if range is not None else None
+        self.values = list(values) if values is not None else None
+        self.tunable = tunable
+        self.description = description
+        self.validate()
+
+    def validate(self):
+        """Check internal consistency of the specification."""
+        if not self.name or not isinstance(self.name, str):
+            raise AnnotationError("Hyperparameter name must be a non-empty string")
+        if self.type not in HYPERPARAM_TYPES:
+            raise AnnotationError(
+                "Hyperparameter {!r} has invalid type {!r}; expected one of {}".format(
+                    self.name, self.type, HYPERPARAM_TYPES
+                )
+            )
+        if self.type in ("int", "float"):
+            if self.range is None or len(self.range) != 2:
+                raise AnnotationError(
+                    "Hyperparameter {!r} of type {!r} requires a (low, high) range".format(
+                        self.name, self.type
+                    )
+                )
+            low, high = self.range
+            if low > high:
+                raise AnnotationError(
+                    "Hyperparameter {!r} has an inverted range {!r}".format(self.name, self.range)
+                )
+            if self.default is not None and not low <= self.default <= high:
+                raise AnnotationError(
+                    "Default {!r} of hyperparameter {!r} is outside its range {!r}".format(
+                        self.default, self.name, self.range
+                    )
+                )
+        if self.type == "categorical":
+            if not self.values:
+                raise AnnotationError(
+                    "Categorical hyperparameter {!r} requires a non-empty 'values' list".format(
+                        self.name
+                    )
+                )
+            if self.default not in self.values:
+                raise AnnotationError(
+                    "Default {!r} of categorical hyperparameter {!r} is not among its "
+                    "values {!r}".format(self.default, self.name, self.values)
+                )
+        if self.type == "bool" and not isinstance(self.default, bool):
+            raise AnnotationError(
+                "Boolean hyperparameter {!r} requires a boolean default".format(self.name)
+            )
+
+    def to_dict(self):
+        """Serialize to a JSON-compatible dict."""
+        payload = {
+            "name": self.name,
+            "type": self.type,
+            "default": self.default,
+            "tunable": self.tunable,
+        }
+        if self.range is not None:
+            payload["range"] = list(self.range)
+        if self.values is not None:
+            payload["values"] = list(self.values)
+        if self.description:
+            payload["description"] = self.description
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Deserialize from a dict produced by :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            type=payload["type"],
+            default=payload.get("default"),
+            range=payload.get("range"),
+            values=payload.get("values"),
+            tunable=payload.get("tunable", True),
+            description=payload.get("description", ""),
+        )
+
+    def __repr__(self):
+        return "HyperparamSpec(name={!r}, type={!r}, default={!r})".format(
+            self.name, self.type, self.default
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, HyperparamSpec) and self.to_dict() == other.to_dict()
+
+
+class PrimitiveAnnotation:
+    """Structured metadata for one ML primitive.
+
+    Parameters
+    ----------
+    name:
+        Fully-qualified primitive name, for example
+        ``"repro.preprocessing.StandardScaler"``.
+    primitive:
+        The underlying Python callable or class implementing the primitive.
+    category:
+        One of :data:`CATEGORIES`.
+    source:
+        Label of the library the primitive is sourced from (used for the
+        Table I catalog breakdown), for example ``"sklearn"`` or
+        ``"custom"``.
+    fit:
+        ``None`` for stateless primitives, otherwise a dict
+        ``{"method": str, "args": [{"name", "type"}, ...]}``; ``type`` is
+        the ML data type drawn from the execution context.
+    produce:
+        Dict ``{"method": str, "args": [...], "output": [...]}`` describing
+        the produce entry point.  For function primitives, ``method`` is
+        ``None`` and the callable itself is invoked.
+    hyperparameters:
+        Dict with optional ``"fixed"`` (name -> value) and ``"tunable"``
+        (list of :class:`HyperparamSpec` or dicts) entries.
+    metadata:
+        Free-form metadata (author, description, documentation URL).
+    """
+
+    def __init__(self, name, primitive, category, source, produce, fit=None,
+                 hyperparameters=None, metadata=None):
+        self.name = name
+        self.primitive = primitive
+        self.category = category
+        self.source = source
+        self.fit = fit
+        self.produce = produce
+        hyperparameters = hyperparameters or {}
+        self.fixed_hyperparameters = dict(hyperparameters.get("fixed", {}))
+        tunable = hyperparameters.get("tunable", [])
+        self.tunable_hyperparameters = [
+            spec if isinstance(spec, HyperparamSpec) else HyperparamSpec.from_dict(spec)
+            for spec in tunable
+        ]
+        self.metadata = dict(metadata or {})
+        self.validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self):
+        """Validate the annotation against the specification."""
+        if not self.name or not isinstance(self.name, str):
+            raise AnnotationError("Primitive name must be a non-empty string")
+        if self.primitive is None or not callable(self.primitive):
+            raise AnnotationError(
+                "Primitive {!r} must reference a callable implementation".format(self.name)
+            )
+        if self.category not in CATEGORIES:
+            raise AnnotationError(
+                "Primitive {!r} has invalid category {!r}; expected one of {}".format(
+                    self.name, self.category, CATEGORIES
+                )
+            )
+        if not self.source:
+            raise AnnotationError("Primitive {!r} must declare a source library".format(self.name))
+        self._validate_entry_point("produce", self.produce, require_output=True)
+        if self.fit is not None:
+            self._validate_entry_point("fit", self.fit, require_output=False)
+        names = [spec.name for spec in self.tunable_hyperparameters]
+        if len(names) != len(set(names)):
+            raise AnnotationError(
+                "Primitive {!r} declares duplicate tunable hyperparameters".format(self.name)
+            )
+        overlap = set(names) & set(self.fixed_hyperparameters)
+        if overlap:
+            raise AnnotationError(
+                "Primitive {!r} declares hyperparameters as both fixed and tunable: {}".format(
+                    self.name, sorted(overlap)
+                )
+            )
+
+    def _validate_entry_point(self, label, spec, require_output):
+        if not isinstance(spec, dict):
+            raise AnnotationError(
+                "Primitive {!r}: {} specification must be a dict".format(self.name, label)
+            )
+        for arg in spec.get("args", []):
+            if "name" not in arg or "type" not in arg:
+                raise AnnotationError(
+                    "Primitive {!r}: every {} argument needs 'name' and 'type'".format(
+                        self.name, label
+                    )
+                )
+        if require_output:
+            outputs = spec.get("output", [])
+            if not outputs:
+                raise AnnotationError(
+                    "Primitive {!r}: produce must declare at least one output".format(self.name)
+                )
+            for output in outputs:
+                if "name" not in output or "type" not in output:
+                    raise AnnotationError(
+                        "Primitive {!r}: every output needs 'name' and 'type'".format(self.name)
+                    )
+
+    # -- convenience accessors ----------------------------------------------
+
+    @property
+    def fit_args(self):
+        """ML data types consumed by the fit entry point."""
+        if self.fit is None:
+            return []
+        return list(self.fit.get("args", []))
+
+    @property
+    def produce_args(self):
+        """ML data types consumed by the produce entry point."""
+        return list(self.produce.get("args", []))
+
+    @property
+    def produce_output(self):
+        """ML data types produced by the produce entry point."""
+        return list(self.produce.get("output", []))
+
+    def tunable_defaults(self):
+        """Default values of all tunable hyperparameters."""
+        return {spec.name: spec.default for spec in self.tunable_hyperparameters}
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self):
+        """Serialize to a JSON-compatible dict (the implementation is referenced by path)."""
+        return {
+            "name": self.name,
+            "primitive": "{}.{}".format(self.primitive.__module__, self.primitive.__qualname__),
+            "category": self.category,
+            "source": self.source,
+            "fit": self.fit,
+            "produce": self.produce,
+            "hyperparameters": {
+                "fixed": self.fixed_hyperparameters,
+                "tunable": [spec.to_dict() for spec in self.tunable_hyperparameters],
+            },
+            "metadata": self.metadata,
+        }
+
+    def to_json(self, indent=2):
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    @classmethod
+    def from_dict(cls, payload, primitive=None):
+        """Deserialize from a dict.
+
+        The Python implementation cannot be reconstructed from JSON alone;
+        either pass it explicitly or let the registry resolve it by path.
+        """
+        if primitive is None:
+            primitive = _import_object(payload["primitive"])
+        return cls(
+            name=payload["name"],
+            primitive=primitive,
+            category=payload["category"],
+            source=payload["source"],
+            fit=payload.get("fit"),
+            produce=payload["produce"],
+            hyperparameters=payload.get("hyperparameters"),
+            metadata=payload.get("metadata"),
+        )
+
+    def __repr__(self):
+        return "PrimitiveAnnotation(name={!r}, category={!r}, source={!r})".format(
+            self.name, self.category, self.source
+        )
+
+
+def _import_object(path):
+    """Import an object given its dotted path."""
+    import importlib
+
+    module_path, _, attribute = path.rpartition(".")
+    if not module_path:
+        raise AnnotationError("Cannot import primitive from path {!r}".format(path))
+    try:
+        module = importlib.import_module(module_path)
+        return getattr(module, attribute)
+    except (ImportError, AttributeError):
+        # the path may point at a nested attribute (for example a classmethod)
+        parent_path, _, parent_attribute = module_path.rpartition(".")
+        module = importlib.import_module(parent_path)
+        parent = getattr(module, parent_attribute)
+        return getattr(parent, attribute)

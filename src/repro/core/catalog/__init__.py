@@ -1,0 +1,47 @@
+"""The curated primitive catalog (paper Table I).
+
+Every primitive keeps the fully-qualified name used in the original
+MLPrimitives catalog (for example ``sklearn.preprocessing.StandardScaler``
+or ``mlprimitives.custom.timeseries_anomalies.find_anomalies``) so that
+pipeline specifications from the paper — such as the ORION pipeline of
+Listing 1 — load verbatim.  The underlying implementations, however, are
+the pure-numpy learners from :mod:`repro.learners` (see DESIGN.md for the
+substitution rationale).
+"""
+
+from repro.core.registry import PrimitiveRegistry
+
+from repro.core.catalog import (
+    custom_primitives,
+    extension_primitives,
+    featuretools_primitives,
+    graph_primitives,
+    image_primitives,
+    keras_primitives,
+    recommendation_primitives,
+    sklearn_extra_primitives,
+    sklearn_primitives,
+    xgboost_primitives,
+)
+
+#: Modules contributing primitives to the curated catalog, in registration order.
+_CATALOG_MODULES = (
+    sklearn_primitives,
+    sklearn_extra_primitives,
+    xgboost_primitives,
+    keras_primitives,
+    custom_primitives,
+    extension_primitives,
+    featuretools_primitives,
+    graph_primitives,
+    image_primitives,
+    recommendation_primitives,
+)
+
+
+def build_catalog():
+    """Build a fresh :class:`PrimitiveRegistry` with every curated primitive."""
+    registry = PrimitiveRegistry(name="curated")
+    for module in _CATALOG_MODULES:
+        module.register(registry)
+    return registry

@@ -1,0 +1,93 @@
+"""Shared helpers for building primitive annotations concisely."""
+
+from repro.core.annotations import HyperparamSpec, PrimitiveAnnotation
+
+
+def arg(name, type, optional=False):
+    """Build an input argument specification."""
+    spec = {"name": name, "type": type}
+    if optional:
+        spec["optional"] = True
+    return spec
+
+
+def out(name, type=None):
+    """Build an output specification (type defaults to the name)."""
+    return {"name": name, "type": type or name}
+
+
+def hp_int(name, default, low, high, tunable=True, description=""):
+    """Integer hyperparameter spec."""
+    return HyperparamSpec(name, "int", default, range=(low, high), tunable=tunable,
+                          description=description)
+
+
+def hp_float(name, default, low, high, tunable=True, description=""):
+    """Float hyperparameter spec."""
+    return HyperparamSpec(name, "float", default, range=(low, high), tunable=tunable,
+                          description=description)
+
+
+def hp_bool(name, default, tunable=True, description=""):
+    """Boolean hyperparameter spec."""
+    return HyperparamSpec(name, "bool", default, tunable=tunable, description=description)
+
+
+def hp_cat(name, default, values, tunable=True, description=""):
+    """Categorical hyperparameter spec."""
+    return HyperparamSpec(name, "categorical", default, values=values, tunable=tunable,
+                          description=description)
+
+
+def transformer(name, primitive, source, category="feature_processor", tunable=None,
+                fixed=None, description="", fit_on=("X",), produce_on=("X",),
+                produce_method="transform", fit_method="fit", output="X"):
+    """Annotation for a standard fit/transform feature processor."""
+    return PrimitiveAnnotation(
+        name=name,
+        primitive=primitive,
+        category=category,
+        source=source,
+        fit={"method": fit_method, "args": [arg(key, key) for key in fit_on]},
+        produce={
+            "method": produce_method,
+            "args": [arg(key, key) for key in produce_on],
+            "output": [out(output)],
+        },
+        hyperparameters={"fixed": dict(fixed or {}), "tunable": list(tunable or [])},
+        metadata={"description": description},
+    )
+
+
+def estimator(name, primitive, source, tunable=None, fixed=None, description="",
+              output="y", produce_method="predict"):
+    """Annotation for a supervised estimator with fit(X, y) / predict(X)."""
+    return PrimitiveAnnotation(
+        name=name,
+        primitive=primitive,
+        category="estimator",
+        source=source,
+        fit={"method": "fit", "args": [arg("X", "X"), arg("y", "y")]},
+        produce={
+            "method": produce_method,
+            "args": [arg("X", "X")],
+            "output": [out("y", output)],
+        },
+        hyperparameters={"fixed": dict(fixed or {}), "tunable": list(tunable or [])},
+        metadata={"description": description},
+    )
+
+
+def function_primitive(name, primitive, source, args, outputs, category="preprocessor",
+                       tunable=None, fixed=None, description=""):
+    """Annotation for a stateless function primitive."""
+    return PrimitiveAnnotation(
+        name=name,
+        primitive=primitive,
+        category=category,
+        source=source,
+        fit=None,
+        produce={"method": None, "args": list(args), "output": list(outputs)},
+        hyperparameters={"fixed": dict(fixed or {}), "tunable": list(tunable or [])},
+        metadata={"description": description},
+    )

@@ -1,0 +1,169 @@
+"""Custom MLPrimitives-style primitives (the ``mlprimitives.custom.*`` namespace).
+
+These include the time series preprocessing and anomaly detection
+primitives that make up the ORION pipeline (paper Listing 1), the text
+counters used by the text-classification template, and the target
+encoders/decoders that bracket most Table II templates.
+"""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import (
+    arg,
+    function_primitive,
+    hp_cat,
+    hp_float,
+    hp_int,
+    out,
+    transformer,
+)
+from repro.learners.preprocessing import CategoricalEncoder, ClassDecoder, ClassEncoder
+from repro.learners.text import SequencePadder, StringVectorizer, TextCleaner, UniqueCounter, VocabularyCounter
+from repro.learners.timeseries import (
+    find_anomalies,
+    regression_errors,
+    rolling_window_sequences,
+    time_segments_average,
+)
+from repro.learners.tree import ExtraTreesFeatureSelector
+
+SOURCE = "MLPrimitives (custom)"
+
+
+def register(registry):
+    """Register the custom primitives."""
+    annotations = [
+        # -- target encoding -------------------------------------------------------
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.preprocessing.ClassEncoder",
+            primitive=ClassEncoder,
+            category="preprocessor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("y", "y")]},
+            produce={"method": "produce", "args": [arg("y", "y")],
+                     "output": [out("y"), out("classes")]},
+            metadata={"description": "Encode target labels and expose the class array."},
+        ),
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.preprocessing.ClassDecoder",
+            primitive=ClassDecoder,
+            category="postprocessor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("classes", "classes")]},
+            produce={"method": "produce", "args": [arg("y", "y")], "output": [out("y")]},
+            metadata={"description": "Decode integer predictions back to the original labels."},
+        ),
+        # -- feature processing ------------------------------------------------------
+        transformer(
+            "mlprimitives.custom.feature_extraction.CategoricalEncoder",
+            CategoricalEncoder, SOURCE,
+            category="feature_processor",
+            description="One-hot encode the categorical columns of a mixed feature matrix.",
+        ),
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.feature_selection.ExtraTreesSelector",
+            primitive=ExtraTreesFeatureSelector,
+            category="feature_processor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X"), arg("y", "y")]},
+            produce={"method": "transform", "args": [arg("X", "X")], "output": [out("X")]},
+            hyperparameters={"tunable": [
+                hp_int("n_estimators", 10, 4, 30),
+                hp_cat("problem_type", "classification", ["classification", "regression"],
+                       tunable=False),
+            ]},
+            metadata={"description": "Keep the features ranked most important by extra trees."},
+        ),
+        # -- text ----------------------------------------------------------------------
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.counters.UniqueCounter",
+            primitive=UniqueCounter,
+            category="preprocessor",
+            source=SOURCE,
+            fit=None,
+            produce={"method": "produce", "args": [arg("y", "y")], "output": [out("classes")]},
+            metadata={"description": "Count the number of distinct classes in the target."},
+        ),
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.text.TextCleaner",
+            primitive=TextCleaner,
+            category="preprocessor",
+            source=SOURCE,
+            fit=None,
+            produce={"method": "produce", "args": [arg("X", "X")], "output": [out("X")]},
+            hyperparameters={"fixed": {"lowercase": True, "strip_punctuation": True}},
+            metadata={"description": "Lowercase, strip punctuation and collapse whitespace."},
+        ),
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.counters.VocabularyCounter",
+            primitive=VocabularyCounter,
+            category="preprocessor",
+            source=SOURCE,
+            fit=None,
+            produce={"method": "produce", "args": [arg("X", "X")],
+                     "output": [out("vocabulary_size")]},
+            metadata={"description": "Count distinct tokens across the corpus."},
+        ),
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.padding.SequencePadder",
+            primitive=SequencePadder,
+            category="preprocessor",
+            source=SOURCE,
+            fit=None,
+            produce={"method": "produce", "args": [arg("X", "X")], "output": [out("X")]},
+            hyperparameters={"fixed": {"maxlen": 50}},
+            metadata={"description": "Pad token sequences to a fixed length."},
+        ),
+        transformer(
+            "mlprimitives.custom.feature_extraction.StringVectorizer",
+            StringVectorizer, SOURCE,
+            category="feature_processor",
+            tunable=[hp_int("max_features", 500, 50, 2000)],
+            description="TF-IDF features from raw strings (text regression template).",
+        ),
+        # -- time series preprocessing (ORION pipeline) ---------------------------------
+        function_primitive(
+            "mlprimitives.custom.timeseries_preprocessing.time_segments_average",
+            time_segments_average, SOURCE,
+            args=[arg("X", "X")],
+            outputs=[out("X"), out("index")],
+            category="preprocessor",
+            fixed={"interval": 1, "time_column": 0, "value_column": 1},
+            description="Aggregate an irregular signal into equal-width time segments.",
+        ),
+        function_primitive(
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences",
+            rolling_window_sequences, SOURCE,
+            args=[arg("X", "X"), arg("index", "index", optional=True)],
+            outputs=[out("X"), out("y"), out("index"), out("target_index")],
+            category="preprocessor",
+            tunable=[hp_int("window_size", 50, 10, 200)],
+            fixed={"target_size": 1, "step_size": 1, "target_column": 0},
+            description="Create rolling window input/target pairs from a series.",
+        ),
+        # -- anomaly detection postprocessing (ORION pipeline) ----------------------------
+        function_primitive(
+            "mlprimitives.custom.timeseries_anomalies.regression_errors",
+            regression_errors, SOURCE,
+            args=[arg("y_true", "y"), arg("y_pred", "y_hat")],
+            outputs=[out("errors")],
+            category="postprocessor",
+            tunable=[hp_float("smoothing_window", 0.01, 0.001, 0.2)],
+            description="Smoothed absolute forecast errors.",
+        ),
+        function_primitive(
+            "mlprimitives.custom.timeseries_anomalies.find_anomalies",
+            find_anomalies, SOURCE,
+            args=[arg("errors", "errors"), arg("index", "target_index", optional=True)],
+            outputs=[out("anomalies")],
+            category="postprocessor",
+            tunable=[
+                hp_float("z_threshold", 3.0, 1.5, 6.0),
+                hp_int("window_size", 200, 50, 500),
+                hp_int("anomaly_padding", 2, 0, 10),
+            ],
+            description="Dynamic-threshold anomaly interval detection over forecast errors.",
+        ),
+    ]
+    for annotation in annotations:
+        registry.register(annotation)
+    return registry

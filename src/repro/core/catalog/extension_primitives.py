@@ -1,0 +1,101 @@
+"""Extension primitives: classical forecasters, anomaly detectors, embeddings, edges.
+
+These map to the ``AnomalyDetector`` / ``BoundaryDetector`` postprocessors
+and the additional featurizers shown in paper Figure 2, and give the
+AutoML selector more alternatives per task type.
+"""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import (
+    arg,
+    estimator,
+    hp_bool,
+    hp_float,
+    hp_int,
+    out,
+    transformer,
+)
+from repro.learners.outliers import IsolationTreeDetector, ZScoreBoundaryDetector
+from repro.learners.preprocessing import DatetimeFeaturizer
+from repro.learners.text import WordEmbeddingVectorizer
+from repro.learners.timeseries import ARRegressor, ExponentialSmoothingRegressor
+from repro.learners.image import SobelEdgeFeaturizer
+
+SOURCE = "MLPrimitives (custom)"
+
+
+def register(registry):
+    """Register the extension primitives."""
+    annotations = [
+        # -- classical forecasters -------------------------------------------------------
+        estimator(
+            "mlprimitives.custom.timeseries.ARRegressor", ARRegressor, SOURCE,
+            tunable=[hp_float("alpha", 1.0, 0.0, 50.0)],
+            description="Ridge-regularized autoregressive forecaster over windows.",
+        ),
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.timeseries.ExponentialSmoothingRegressor",
+            primitive=ExponentialSmoothingRegressor,
+            category="estimator",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X")]},
+            produce={"method": "predict", "args": [arg("X", "X")], "output": [out("y", "y_hat")]},
+            hyperparameters={"tunable": [
+                hp_float("smoothing", 0.5, 0.05, 1.0),
+                hp_bool("trend", True),
+            ]},
+            metadata={"description": "Exponentially weighted window forecaster."},
+        ),
+        # -- tabular anomaly detection (Figure 2 postprocessors) ----------------------------
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.anomalies.AnomalyDetector",
+            primitive=IsolationTreeDetector,
+            category="postprocessor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X")]},
+            produce={"method": "predict", "args": [arg("X", "X")], "output": [out("y")]},
+            hyperparameters={"tunable": [
+                hp_int("n_estimators", 30, 10, 80),
+                hp_float("contamination", 0.1, 0.01, 0.4),
+            ]},
+            metadata={"description": "Isolation-forest-style tabular anomaly detector."},
+        ),
+        PrimitiveAnnotation(
+            name="mlprimitives.custom.anomalies.BoundaryDetector",
+            primitive=ZScoreBoundaryDetector,
+            category="postprocessor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X")]},
+            produce={"method": "predict", "args": [arg("X", "X")], "output": [out("y")]},
+            hyperparameters={"tunable": [hp_float("threshold", 3.5, 1.5, 8.0)]},
+            metadata={"description": "Robust z-score boundary detector."},
+        ),
+        # -- text embeddings -------------------------------------------------------------------
+        transformer(
+            "mlprimitives.custom.text.WordEmbeddingVectorizer",
+            WordEmbeddingVectorizer, SOURCE,
+            category="feature_processor",
+            tunable=[
+                hp_int("embedding_dim", 32, 4, 128),
+                hp_int("window", 3, 1, 8),
+            ],
+            description="SVD co-occurrence word embeddings averaged per document.",
+        ),
+        # -- datetime featurization (the pandas bucket of Table I) ---------------------------------
+        transformer(
+            "pandas.DatetimeFeaturizer", DatetimeFeaturizer, "pandas",
+            category="feature_processor",
+            description="Expand timestamp columns into calendar features.",
+        ),
+        # -- image edges --------------------------------------------------------------------------
+        transformer(
+            "mlprimitives.custom.image.SobelEdgeFeaturizer",
+            SobelEdgeFeaturizer, SOURCE,
+            category="feature_processor",
+            tunable=[hp_int("grid", 4, 2, 8)],
+            description="Grid-pooled Sobel edge-magnitude features.",
+        ),
+    ]
+    for annotation in annotations:
+        registry.register(annotation)
+    return registry

@@ -1,0 +1,31 @@
+"""Primitives emulating Featuretools (deep feature synthesis)."""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import arg, hp_int, out
+from repro.learners.relational import DeepFeatureSynthesis
+
+SOURCE = "Featuretools"
+
+
+def register(registry):
+    """Register the Featuretools-equivalent primitives."""
+    registry.register(PrimitiveAnnotation(
+        name="featuretools.dfs",
+        primitive=DeepFeatureSynthesis,
+        category="feature_processor",
+        source=SOURCE,
+        fit=None,
+        produce={
+            "method": "produce",
+            "args": [arg("X", "X"), arg("entityset", "entityset", optional=True)],
+            "output": [out("X")],
+        },
+        hyperparameters={"tunable": [hp_int("max_depth", 2, 1, 3)]},
+        metadata={
+            "description": (
+                "Deep feature synthesis over an EntitySet; passes plain feature "
+                "matrices through unchanged for single-table tasks."
+            ),
+        },
+    ))
+    return registry

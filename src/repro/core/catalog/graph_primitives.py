@@ -1,0 +1,43 @@
+"""Graph primitives (NetworkX and python-louvain equivalents)."""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import arg, hp_float, out, function_primitive
+from repro.learners.graph import (
+    CommunityBestPartition,
+    graph_feature_extraction,
+    link_prediction_feature_extraction,
+)
+
+
+def register(registry):
+    """Register the graph primitives."""
+    registry.register(function_primitive(
+        "networkx.graph_feature_extraction", graph_feature_extraction, "NetworkX",
+        args=[arg("graph", "graph"), arg("nodes", "X")],
+        outputs=[out("X")],
+        category="feature_processor",
+        description="Per-node structural features (degree, clustering, pagerank, core number).",
+    ))
+    registry.register(function_primitive(
+        "networkx.link_prediction_feature_extraction",
+        link_prediction_feature_extraction, "NetworkX",
+        args=[arg("graph", "graph"), arg("pairs", "X")],
+        outputs=[out("X")],
+        category="feature_processor",
+        description="Pairwise topological features for candidate edges.",
+    ))
+    registry.register(PrimitiveAnnotation(
+        name="community.best_partition",
+        primitive=CommunityBestPartition,
+        category="estimator",
+        source="python-louvain",
+        fit=None,
+        produce={
+            "method": "produce",
+            "args": [arg("graph", "graph"), arg("nodes", "X")],
+            "output": [out("y")],
+        },
+        hyperparameters={"tunable": [hp_float("resolution", 1.0, 0.2, 3.0)]},
+        metadata={"description": "Louvain-style community detection over a graph."},
+    ))
+    return registry

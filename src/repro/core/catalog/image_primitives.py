@@ -1,0 +1,34 @@
+"""Image primitives (OpenCV, scikit-image and NumPy equivalents)."""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import arg, function_primitive, hp_int, out, transformer
+from repro.learners.image import GaussianBlur, HOGFeaturizer
+from repro.learners.image.features import flatten_images
+
+
+def register(registry):
+    """Register the image primitives."""
+    registry.register(PrimitiveAnnotation(
+        name="cv2.GaussianBlur",
+        primitive=GaussianBlur,
+        category="preprocessor",
+        source="OpenCV",
+        fit=None,
+        produce={"method": "produce", "args": [arg("images", "X")], "output": [out("X")]},
+        hyperparameters={"fixed": {"kernel_size": 3, "sigma": 1.0}},
+        metadata={"description": "Gaussian blur over a stack of images."},
+    ))
+    registry.register(transformer(
+        "skimage.feature.hog", HOGFeaturizer, "scikit-image",
+        category="feature_processor",
+        tunable=[hp_int("cell_size", 8, 4, 16), hp_int("n_bins", 9, 4, 18)],
+        description="Histogram-of-oriented-gradients image features.",
+    ))
+    registry.register(function_primitive(
+        "numpy.flatten_images", flatten_images, "NumPy",
+        args=[arg("X", "X")],
+        outputs=[out("X")],
+        category="feature_processor",
+        description="Flatten a stack of images into one feature row per image.",
+    ))
+    return registry

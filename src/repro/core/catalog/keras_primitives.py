@@ -1,0 +1,111 @@
+"""Primitives emulating the Keras portion of the curated catalog.
+
+The deep-learning primitives (LSTM models, pretrained CNN featurizers and
+the text/sequence utilities) keep their Keras-style names so the paper's
+pipelines load unchanged, while being backed by the numpy models in
+:mod:`repro.learners.neural` and :mod:`repro.learners.image`.
+"""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import (
+    arg,
+    function_primitive,
+    hp_cat,
+    hp_float,
+    hp_int,
+    out,
+    transformer,
+)
+from repro.learners.neural import LSTMTextClassifier, LSTMTimeSeriesRegressor
+from repro.learners.text import Tokenizer, pad_sequences
+from repro.learners.image import PretrainedCNNFeaturizer, preprocess_input
+
+SOURCE = "Keras"
+
+
+def register(registry):
+    """Register the Keras-equivalent primitives."""
+    annotations = [
+        PrimitiveAnnotation(
+            name="keras.Sequential.LSTMTimeSeriesRegressor",
+            primitive=LSTMTimeSeriesRegressor,
+            category="estimator",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X"), arg("y", "y")]},
+            produce={
+                "method": "predict",
+                "args": [arg("X", "X")],
+                "output": [out("y", "y_hat")],
+            },
+            hyperparameters={"tunable": [
+                hp_cat("hidden_units", (64, 32), [(32,), (64,), (64, 32), (128, 64)]),
+                hp_int("epochs", 35, 5, 100),
+                hp_float("learning_rate", 0.01, 0.001, 0.1),
+            ]},
+            metadata={"description": "Windowed sequence regressor for time series forecasting."},
+        ),
+        PrimitiveAnnotation(
+            name="keras.Sequential.LSTMTextClassifier",
+            primitive=LSTMTextClassifier,
+            category="estimator",
+            source=SOURCE,
+            fit={"method": "fit", "args": [
+                arg("X", "X"),
+                arg("y", "y"),
+                arg("vocabulary_size", "vocabulary_size", optional=True),
+                arg("classes", "classes", optional=True),
+            ]},
+            produce={"method": "predict", "args": [arg("X", "X")], "output": [out("y")]},
+            hyperparameters={"tunable": [
+                hp_int("embedding_dim", 32, 8, 128),
+                hp_int("epochs", 30, 5, 80),
+                hp_float("learning_rate", 0.01, 0.001, 0.1),
+            ]},
+            metadata={"description": "Embedding + pooling classifier over padded token sequences."},
+        ),
+        PrimitiveAnnotation(
+            name="keras.preprocessing.text.Tokenizer",
+            primitive=Tokenizer,
+            category="preprocessor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X")]},
+            produce={"method": "transform", "args": [arg("X", "X")], "output": [out("X")]},
+            hyperparameters={"fixed": {"num_words": None, "lower": True}},
+            metadata={"description": "Map documents to sequences of integer token indices."},
+        ),
+        function_primitive(
+            "keras.preprocessing.sequence.pad_sequences", pad_sequences, SOURCE,
+            args=[arg("sequences", "X")],
+            outputs=[out("X")],
+            category="preprocessor",
+            fixed={"maxlen": 50, "padding": "pre", "truncating": "pre"},
+            description="Pad variable-length token sequences to a fixed length.",
+        ),
+        function_primitive(
+            "keras.applications.mobilenet.preprocess_input", preprocess_input, SOURCE,
+            args=[arg("images", "X")],
+            outputs=[out("X")],
+            category="preprocessor",
+            description="Scale raw image pixels to the [-1, 1] range.",
+        ),
+    ]
+
+    # frozen CNN featurizers: same implementation, different capacity presets,
+    # mirroring the MobileNet / ResNet50 / DenseNet121 / Xception primitives
+    cnn_variants = {
+        "keras.applications.mobilenet.MobileNet": {"n_filters": 12, "filter_size": 5, "stride": 4},
+        "keras.applications.resnet50.ResNet50": {"n_filters": 24, "filter_size": 5, "stride": 3},
+        "keras.applications.densenet.DenseNet121": {"n_filters": 16, "filter_size": 3, "stride": 3},
+        "keras.applications.xception.Xception": {"n_filters": 20, "filter_size": 7, "stride": 4},
+    }
+    for name, fixed in cnn_variants.items():
+        annotations.append(transformer(
+            name, PretrainedCNNFeaturizer, SOURCE,
+            category="feature_processor",
+            fixed=fixed,
+            description="Frozen convolutional featurizer standing in for a pretrained CNN.",
+        ))
+
+    for annotation in annotations:
+        registry.register(annotation)
+    return registry

@@ -1,0 +1,21 @@
+"""Collaborative filtering primitives (LightFM equivalent)."""
+
+from repro.core.catalog._helpers import estimator, hp_float, hp_int
+from repro.learners.recommendation import MatrixFactorization
+
+SOURCE = "LightFM"
+
+
+def register(registry):
+    """Register the collaborative filtering primitives."""
+    registry.register(estimator(
+        "lightfm.LightFM", MatrixFactorization, SOURCE,
+        tunable=[
+            hp_int("n_factors", 8, 2, 64),
+            hp_float("learning_rate", 0.05, 0.005, 0.3),
+            hp_int("epochs", 30, 5, 80),
+            hp_float("reg", 0.02, 0.0, 0.5),
+        ],
+        description="Biased matrix factorization over (user, item, rating) interactions.",
+    ))
+    return registry

@@ -1,0 +1,152 @@
+"""Additional scikit-learn-equivalent primitives (feature engineering, SVMs,
+clustering and extra ensembles).
+
+Registered separately from :mod:`sklearn_primitives` to keep each catalog
+module focused; both contribute to the same ``scikit-learn`` source bucket
+of Table I.
+"""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import (
+    arg,
+    estimator,
+    hp_cat,
+    hp_float,
+    hp_int,
+    out,
+    transformer,
+)
+from repro.learners.cluster import KMeans
+from repro.learners.ensemble import AdaBoostClassifier, BaggingClassifier, BaggingRegressor
+from repro.learners.preprocessing import (
+    Binarizer,
+    KBinsDiscretizer,
+    Normalizer,
+    PolynomialFeatures,
+    SelectKBest,
+    VarianceThreshold,
+)
+from repro.learners.svm import LinearSVC, LinearSVR
+from repro.learners.stacking import StackingClassifier, StackingRegressor, VotingClassifier
+
+SOURCE = "scikit-learn"
+
+
+def register(registry):
+    """Register the additional scikit-learn-equivalent primitives."""
+    annotations = [
+        # -- feature engineering -----------------------------------------------------
+        transformer(
+            "sklearn.preprocessing.Normalizer", Normalizer, SOURCE,
+            category="preprocessor",
+            tunable=[hp_cat("norm", "l2", ["l1", "l2", "max"])],
+            description="Scale individual samples to unit norm.",
+        ),
+        transformer(
+            "sklearn.preprocessing.Binarizer", Binarizer, SOURCE,
+            category="preprocessor",
+            tunable=[hp_float("threshold", 0.0, -5.0, 5.0)],
+            description="Threshold features to 0/1.",
+        ),
+        transformer(
+            "sklearn.preprocessing.PolynomialFeatures", PolynomialFeatures, SOURCE,
+            description="Degree-2 polynomial feature expansion.",
+        ),
+        transformer(
+            "sklearn.preprocessing.KBinsDiscretizer", KBinsDiscretizer, SOURCE,
+            tunable=[hp_int("n_bins", 5, 2, 20)],
+            description="Equal-frequency discretization of numeric features.",
+        ),
+        transformer(
+            "sklearn.feature_selection.VarianceThreshold", VarianceThreshold, SOURCE,
+            tunable=[hp_float("threshold", 0.0, 0.0, 1.0)],
+            description="Drop features with variance below a threshold.",
+        ),
+        PrimitiveAnnotation(
+            name="sklearn.feature_selection.SelectKBest",
+            primitive=SelectKBest,
+            category="feature_processor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X"), arg("y", "y")]},
+            produce={"method": "transform", "args": [arg("X", "X")], "output": [out("X")]},
+            hyperparameters={"tunable": [
+                hp_int("k", 10, 1, 50),
+                hp_cat("problem_type", "classification", ["classification", "regression"],
+                       tunable=False),
+            ]},
+            metadata={"description": "Keep the K best features by univariate score."},
+        ),
+        # -- support vector machines ---------------------------------------------------
+        estimator(
+            "sklearn.svm.LinearSVC", LinearSVC, SOURCE,
+            tunable=[hp_float("C", 1.0, 0.01, 100.0), hp_int("max_iter", 200, 50, 500)],
+            description="Linear support vector classifier (hinge loss).",
+        ),
+        estimator(
+            "sklearn.svm.LinearSVR", LinearSVR, SOURCE,
+            tunable=[
+                hp_float("C", 1.0, 0.01, 100.0),
+                hp_float("epsilon", 0.1, 0.0, 1.0),
+            ],
+            description="Linear support vector regressor (epsilon-insensitive loss).",
+        ),
+        # -- extra ensembles --------------------------------------------------------------
+        estimator(
+            "sklearn.ensemble.AdaBoostClassifier", AdaBoostClassifier, SOURCE,
+            tunable=[
+                hp_int("n_estimators", 20, 5, 60),
+                hp_int("max_depth", 1, 1, 4),
+                hp_float("learning_rate", 1.0, 0.1, 2.0),
+            ],
+            description="SAMME AdaBoost over shallow decision trees.",
+        ),
+        estimator(
+            "sklearn.ensemble.BaggingClassifier", BaggingClassifier, SOURCE,
+            tunable=[
+                hp_int("n_estimators", 10, 3, 30),
+                hp_float("max_samples", 1.0, 0.3, 1.0),
+            ],
+            description="Bootstrap aggregation of CART classifiers.",
+        ),
+        estimator(
+            "sklearn.ensemble.BaggingRegressor", BaggingRegressor, SOURCE,
+            tunable=[
+                hp_int("n_estimators", 10, 3, 30),
+                hp_float("max_samples", 1.0, 0.3, 1.0),
+            ],
+            description="Bootstrap aggregation of CART regressors.",
+        ),
+        # -- model combination --------------------------------------------------------------
+        estimator(
+            "sklearn.ensemble.VotingClassifier", VotingClassifier, SOURCE,
+            tunable=[hp_cat("voting", "hard", ["hard", "soft"])],
+            description="Majority/soft vote over a diverse set of classifiers.",
+        ),
+        estimator(
+            "sklearn.ensemble.StackingClassifier", StackingClassifier, SOURCE,
+            tunable=[hp_int("n_splits", 3, 2, 5)],
+            description="Out-of-fold stacking with a logistic meta-model.",
+        ),
+        estimator(
+            "sklearn.ensemble.StackingRegressor", StackingRegressor, SOURCE,
+            tunable=[hp_int("n_splits", 3, 2, 5)],
+            description="Out-of-fold stacking with a ridge meta-model.",
+        ),
+        # -- clustering ----------------------------------------------------------------------
+        PrimitiveAnnotation(
+            name="sklearn.cluster.KMeans",
+            primitive=KMeans,
+            category="estimator",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("X", "X")]},
+            produce={"method": "predict", "args": [arg("X", "X")], "output": [out("y")]},
+            hyperparameters={"tunable": [
+                hp_int("n_clusters", 3, 2, 12),
+                hp_int("n_init", 3, 1, 10),
+            ]},
+            metadata={"description": "K-means clustering with k-means++ seeding."},
+        ),
+    ]
+    for annotation in annotations:
+        registry.register(annotation)
+    return registry

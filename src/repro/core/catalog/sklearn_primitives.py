@@ -1,0 +1,228 @@
+"""Primitives emulating the scikit-learn portion of the curated catalog."""
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog._helpers import (
+    arg,
+    estimator,
+    hp_bool,
+    hp_cat,
+    hp_float,
+    hp_int,
+    out,
+    transformer,
+)
+from repro.learners.preprocessing import (
+    PCA,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    RobustScaler,
+    SimpleImputer,
+    StandardScaler,
+    TruncatedSVD,
+)
+from repro.learners.linear import Lasso, LinearRegression, LogisticRegression, Ridge
+from repro.learners.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    ExtraTreesClassifier,
+    ExtraTreesRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.learners.neighbors import KNeighborsClassifier, KNeighborsRegressor
+from repro.learners.naive_bayes import GaussianNB, MultinomialNB
+from repro.learners.neural import MLPClassifier, MLPRegressor
+from repro.learners.text import CountVectorizer, TfidfVectorizer
+
+SOURCE = "scikit-learn"
+
+
+def _forest_tunable():
+    return [
+        hp_int("n_estimators", 10, 4, 40),
+        hp_int("max_depth", 8, 2, 20),
+        hp_int("min_samples_split", 2, 2, 10),
+        hp_cat("max_features", "sqrt", ["sqrt", "log2", None]),
+    ]
+
+
+def _tree_tunable():
+    return [
+        hp_int("max_depth", 6, 1, 20),
+        hp_int("min_samples_split", 2, 2, 10),
+        hp_int("min_samples_leaf", 1, 1, 10),
+    ]
+
+
+def _mlp_tunable():
+    return [
+        hp_cat("hidden_units", (32,), [(16,), (32,), (64,), (64, 32)]),
+        hp_float("learning_rate", 0.01, 0.0005, 0.1),
+        hp_int("epochs", 30, 5, 80),
+    ]
+
+
+def register(registry):
+    """Register the scikit-learn-equivalent primitives."""
+    annotations = [
+        # -- preprocessors ----------------------------------------------------
+        transformer(
+            "sklearn.impute.SimpleImputer", SimpleImputer, SOURCE,
+            category="preprocessor",
+            tunable=[hp_cat("strategy", "mean", ["mean", "median", "most_frequent"])],
+            description="Column-wise imputation of missing values.",
+        ),
+        transformer(
+            "sklearn.preprocessing.StandardScaler", StandardScaler, SOURCE,
+            category="preprocessor",
+            tunable=[hp_bool("with_mean", True), hp_bool("with_std", True)],
+            description="Standardize features to zero mean and unit variance.",
+        ),
+        transformer(
+            "sklearn.preprocessing.MinMaxScaler", MinMaxScaler, SOURCE,
+            category="preprocessor",
+            description="Scale features to the [0, 1] range.",
+        ),
+        transformer(
+            "sklearn.preprocessing.RobustScaler", RobustScaler, SOURCE,
+            category="preprocessor",
+            description="Scale features using the median and interquartile range.",
+        ),
+        transformer(
+            "sklearn.preprocessing.OneHotEncoder", OneHotEncoder, SOURCE,
+            category="feature_processor",
+            description="One-hot encode categorical feature columns.",
+        ),
+        transformer(
+            "sklearn.preprocessing.OrdinalEncoder", OrdinalEncoder, SOURCE,
+            category="feature_processor",
+            description="Integer-encode categorical feature columns.",
+        ),
+        PrimitiveAnnotation(
+            name="sklearn.preprocessing.LabelEncoder",
+            primitive=LabelEncoder,
+            category="preprocessor",
+            source=SOURCE,
+            fit={"method": "fit", "args": [arg("y", "y")]},
+            produce={"method": "transform", "args": [arg("y", "y")], "output": [out("y")]},
+            metadata={"description": "Encode target labels as consecutive integers."},
+        ),
+        transformer(
+            "sklearn.decomposition.PCA", PCA, SOURCE,
+            tunable=[hp_int("n_components", 5, 1, 30), hp_bool("whiten", False)],
+            description="Principal component analysis.",
+        ),
+        transformer(
+            "sklearn.decomposition.TruncatedSVD", TruncatedSVD, SOURCE,
+            tunable=[hp_int("n_components", 5, 1, 30)],
+            description="Truncated singular value decomposition.",
+        ),
+        # -- text feature extraction ---------------------------------------------
+        transformer(
+            "sklearn.feature_extraction.text.CountVectorizer", CountVectorizer, SOURCE,
+            tunable=[hp_int("max_features", 500, 50, 2000)],
+            description="Bag-of-words token counts.",
+        ),
+        transformer(
+            "sklearn.feature_extraction.text.TfidfVectorizer", TfidfVectorizer, SOURCE,
+            tunable=[hp_int("max_features", 500, 50, 2000)],
+            description="TF-IDF weighted bag-of-words features.",
+        ),
+        # -- estimators: linear ----------------------------------------------------
+        estimator(
+            "sklearn.linear_model.LinearRegression", LinearRegression, SOURCE,
+            description="Ordinary least squares regression.",
+        ),
+        estimator(
+            "sklearn.linear_model.Ridge", Ridge, SOURCE,
+            tunable=[hp_float("alpha", 1.0, 1e-4, 100.0)],
+            description="L2-regularized linear regression.",
+        ),
+        estimator(
+            "sklearn.linear_model.Lasso", Lasso, SOURCE,
+            tunable=[hp_float("alpha", 0.1, 1e-4, 10.0)],
+            description="L1-regularized linear regression.",
+        ),
+        estimator(
+            "sklearn.linear_model.LogisticRegression", LogisticRegression, SOURCE,
+            tunable=[
+                hp_float("C", 1.0, 1e-3, 100.0),
+                hp_float("learning_rate", 0.1, 0.001, 1.0),
+                hp_int("max_iter", 200, 50, 500),
+            ],
+            description="Multinomial logistic regression.",
+        ),
+        # -- estimators: trees and forests -------------------------------------------
+        estimator(
+            "sklearn.tree.DecisionTreeClassifier", DecisionTreeClassifier, SOURCE,
+            tunable=_tree_tunable(),
+            description="CART decision tree classifier.",
+        ),
+        estimator(
+            "sklearn.tree.DecisionTreeRegressor", DecisionTreeRegressor, SOURCE,
+            tunable=_tree_tunable(),
+            description="CART decision tree regressor.",
+        ),
+        estimator(
+            "sklearn.ensemble.RandomForestClassifier", RandomForestClassifier, SOURCE,
+            tunable=_forest_tunable(),
+            description="Bootstrap-aggregated forest of CART classifiers.",
+        ),
+        estimator(
+            "sklearn.ensemble.RandomForestRegressor", RandomForestRegressor, SOURCE,
+            tunable=_forest_tunable(),
+            description="Bootstrap-aggregated forest of CART regressors.",
+        ),
+        estimator(
+            "sklearn.ensemble.ExtraTreesClassifier", ExtraTreesClassifier, SOURCE,
+            tunable=_forest_tunable(),
+            description="Extremely randomized trees classifier.",
+        ),
+        estimator(
+            "sklearn.ensemble.ExtraTreesRegressor", ExtraTreesRegressor, SOURCE,
+            tunable=_forest_tunable(),
+            description="Extremely randomized trees regressor.",
+        ),
+        # -- estimators: instance-based and probabilistic ------------------------------
+        estimator(
+            "sklearn.neighbors.KNeighborsClassifier", KNeighborsClassifier, SOURCE,
+            tunable=[
+                hp_int("n_neighbors", 5, 1, 30),
+                hp_cat("weights", "uniform", ["uniform", "distance"]),
+            ],
+            description="K-nearest-neighbors classifier.",
+        ),
+        estimator(
+            "sklearn.neighbors.KNeighborsRegressor", KNeighborsRegressor, SOURCE,
+            tunable=[
+                hp_int("n_neighbors", 5, 1, 30),
+                hp_cat("weights", "uniform", ["uniform", "distance"]),
+            ],
+            description="K-nearest-neighbors regressor.",
+        ),
+        estimator(
+            "sklearn.naive_bayes.GaussianNB", GaussianNB, SOURCE,
+            description="Gaussian naive Bayes classifier.",
+        ),
+        estimator(
+            "sklearn.naive_bayes.MultinomialNB", MultinomialNB, SOURCE,
+            tunable=[hp_float("alpha", 1.0, 0.01, 10.0)],
+            description="Multinomial naive Bayes classifier for count features.",
+        ),
+        # -- estimators: neural networks ----------------------------------------------
+        estimator(
+            "sklearn.neural_network.MLPClassifier", MLPClassifier, SOURCE,
+            tunable=_mlp_tunable(),
+            description="Feed-forward neural network classifier.",
+        ),
+        estimator(
+            "sklearn.neural_network.MLPRegressor", MLPRegressor, SOURCE,
+            tunable=_mlp_tunable(),
+            description="Feed-forward neural network regressor.",
+        ),
+    ]
+    for annotation in annotations:
+        registry.register(annotation)
+    return registry

@@ -1,0 +1,31 @@
+"""Primitives emulating the XGBoost estimators of the curated catalog."""
+
+from repro.core.catalog._helpers import estimator, hp_float, hp_int
+from repro.learners.tree import GradientBoostingClassifier, GradientBoostingRegressor
+
+SOURCE = "XGBoost"
+
+
+def _xgb_tunable():
+    return [
+        hp_int("n_estimators", 30, 10, 100),
+        hp_int("max_depth", 3, 1, 8),
+        hp_float("learning_rate", 0.1, 0.01, 0.5),
+        hp_float("subsample", 1.0, 0.5, 1.0),
+        hp_float("reg_lambda", 1.0, 0.0, 10.0),
+    ]
+
+
+def register(registry):
+    """Register the XGBoost-equivalent gradient boosting primitives."""
+    registry.register(estimator(
+        "xgboost.XGBClassifier", GradientBoostingClassifier, SOURCE,
+        tunable=_xgb_tunable(),
+        description="Gradient boosted trees classifier with second-order updates.",
+    ))
+    registry.register(estimator(
+        "xgboost.XGBRegressor", GradientBoostingRegressor, SOURCE,
+        tunable=_xgb_tunable(),
+        description="Gradient boosted trees regressor with second-order updates.",
+    ))
+    return registry

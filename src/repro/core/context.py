@@ -1,0 +1,44 @@
+"""The execution context: a key-value store of ML data objects.
+
+The MLBlocks execution engine (paper Section III-B2) iteratively
+transforms "a collection of objects and a metadata tracker in a key-value
+store" through the pipeline steps.  ``Context`` is that store: keys are ML
+data type names (``X``, ``y``, ``classes``, ``graph``, ...) and values are
+whatever the primitives exchange.
+"""
+
+
+class Context(dict):
+    """Dictionary of ML data objects with provenance tracking."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._history = []
+
+    def record(self, step_name, outputs):
+        """Store the outputs of a pipeline step and remember who wrote them."""
+        for key, value in outputs.items():
+            self[key] = value
+            self._history.append((step_name, key))
+
+    @property
+    def history(self):
+        """Ordered list of ``(step_name, key)`` write events."""
+        return list(self._history)
+
+    def require(self, keys):
+        """Return the values for ``keys``, raising ``KeyError`` listing what is missing."""
+        missing = [key for key in keys if key not in self]
+        if missing:
+            raise KeyError(
+                "Context is missing required data: {} (available: {})".format(
+                    sorted(missing), sorted(self.keys())
+                )
+            )
+        return {key: self[key] for key in keys}
+
+    def copy(self):
+        """Shallow copy preserving the history."""
+        duplicate = Context(self)
+        duplicate._history = list(self._history)
+        return duplicate

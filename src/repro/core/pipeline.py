@@ -1,0 +1,248 @@
+"""ML pipelines: the pipeline description interface and execution engine.
+
+This module reproduces MLBlocks (paper Section III-B): a pipeline is
+specified as a topologically ordered list of primitive names (the PDI),
+optionally with per-step hyperparameters and input/output renames, and can
+then be fitted, used for prediction, tuned, serialized to JSON, and
+analyzed as a computational graph.
+"""
+
+import json
+
+import networkx as nx
+
+from repro.core.context import Context
+from repro.core.graph import recover_graph
+from repro.core.registry import get_default_registry
+from repro.core.step import PipelineStep
+
+
+class MLPipeline:
+    """An end-to-end machine learning pipeline.
+
+    Parameters
+    ----------
+    primitives:
+        Ordered list of fully-qualified primitive names (the pipeline
+        description interface).
+    init_params:
+        Mapping from step name (or primitive name) to a dict of
+        hyperparameter overrides applied at construction time.
+    input_names, output_names:
+        Mapping from step name to per-step input/output context-key
+        renames, exactly like MLBlocks.
+    outputs:
+        Name of the context key holding the pipeline's final output.
+        Defaults to the first declared output of the last step.
+    registry:
+        Primitive catalog to resolve names against (defaults to the
+        curated catalog).
+    """
+
+    def __init__(self, primitives, init_params=None, input_names=None, output_names=None,
+                 outputs=None, registry=None):
+        if not primitives:
+            raise ValueError("A pipeline requires at least one primitive")
+        self.primitives = list(primitives)
+        self.init_params = dict(init_params or {})
+        self.input_names = dict(input_names or {})
+        self.output_names = dict(output_names or {})
+        self._registry = registry or get_default_registry()
+
+        self.steps = []
+        occurrences = {}
+        for primitive_name in self.primitives:
+            occurrences[primitive_name] = occurrences.get(primitive_name, 0)
+            step_name = "{}#{}".format(primitive_name, occurrences[primitive_name])
+            occurrences[primitive_name] += 1
+            annotation = self._registry.get(primitive_name)
+            hyperparameters = {}
+            hyperparameters.update(self.init_params.get(primitive_name, {}))
+            hyperparameters.update(self.init_params.get(step_name, {}))
+            step = PipelineStep(
+                annotation,
+                name=step_name,
+                hyperparameters=hyperparameters,
+                input_names=self._lookup(self.input_names, primitive_name, step_name),
+                output_names=self._lookup(self.output_names, primitive_name, step_name),
+            )
+            self.steps.append(step)
+
+        if outputs is None:
+            outputs = self.steps[-1].produce_outputs()[0]
+        self.outputs = outputs
+        self.fitted = False
+
+    @staticmethod
+    def _lookup(mapping, primitive_name, step_name):
+        merged = {}
+        merged.update(mapping.get(primitive_name, {}))
+        merged.update(mapping.get(step_name, {}))
+        return merged
+
+    # -- execution -------------------------------------------------------------
+
+    def fit(self, **data):
+        """Fit every step in order, flowing data through the shared context.
+
+        Keyword arguments seed the execution context (for example ``X=...``
+        and ``y=...``, or ``graph=...`` and ``pairs=...`` for graph tasks).
+        """
+        context = Context(data)
+        for step in self.steps:
+            step.fit(context)
+            outputs = step.produce(context, skip_if_missing=False)
+            if outputs is not None:
+                context.record(step.name, outputs)
+        self.fitted = True
+        self._fit_context_keys = sorted(context.keys())
+        return self
+
+    def predict(self, **data):
+        """Run the produce phase of every step and return the final output.
+
+        Steps whose inputs are unavailable at prediction time (for example
+        target encoders that consume ``y``) are skipped, mirroring the
+        MLBlocks inference behaviour.
+        """
+        if not self.fitted:
+            raise RuntimeError("Pipeline must be fitted before calling predict")
+        context = Context(data)
+        for step in self.steps:
+            outputs = step.produce(context, skip_if_missing=True)
+            if outputs is not None:
+                context.record(step.name, outputs)
+        if self.outputs not in context:
+            raise RuntimeError(
+                "Pipeline did not produce the expected output {!r}; context keys: {}".format(
+                    self.outputs, sorted(context.keys())
+                )
+            )
+        return context[self.outputs]
+
+    def fit_predict(self, **data):
+        """Fit the pipeline and return its output on the training context."""
+        self.fit(**data)
+        return self.predict(**data)
+
+    # -- hyperparameter management ----------------------------------------------
+
+    def get_tunable_hyperparameters(self):
+        """Tunable hyperparameter specs per step: ``{step_name: {name: spec}}``."""
+        return {step.name: step.get_tunable_hyperparameters() for step in self.steps}
+
+    def get_hyperparameters(self):
+        """Currently resolved hyperparameter values per step."""
+        return {step.name: step.get_hyperparameters() for step in self.steps}
+
+    def set_hyperparameters(self, hyperparameters):
+        """Set hyperparameter values.
+
+        Accepts either ``{step_name: {name: value}}`` nested dicts or a flat
+        ``{(step_name, name): value}`` mapping.
+        """
+        nested = {}
+        for key, value in hyperparameters.items():
+            if isinstance(key, tuple):
+                step_name, hyperparam = key
+                nested.setdefault(step_name, {})[hyperparam] = value
+            else:
+                nested[key] = dict(value)
+        step_index = {step.name: step for step in self.steps}
+        for step_name, values in nested.items():
+            if step_name not in step_index:
+                raise ValueError("Unknown pipeline step {!r}".format(step_name))
+            step_index[step_name].set_hyperparameters(values)
+        self.fitted = False
+        return self
+
+    # -- graph recovery -----------------------------------------------------------
+
+    def graph(self, inputs=("X", "y")):
+        """Recover the computational graph of this pipeline (paper Algorithm 1)."""
+        return recover_graph(self.steps, inputs=list(inputs), outputs=[self.outputs])
+
+    def validate(self, inputs=("X", "y")):
+        """Validate the pipeline's acceptability constraints; raises if invalid."""
+        self.graph(inputs=inputs)
+        return True
+
+    def describe(self, inputs=("X", "y")):
+        """Human-readable rendering of the recovered computational graph.
+
+        The pipeline description interface only lists step names; this
+        accompanies it with the recovered data flow (paper Section III-B2),
+        one line per edge, in topological order of the producers.
+        """
+        graph = self.graph(inputs=inputs)
+        ordering = {name: position for position, name in enumerate(nx.topological_sort(graph))}
+        edges = sorted(
+            graph.edges(data=True),
+            key=lambda edge: (ordering[edge[0]], ordering[edge[1]], edge[2]["data"]),
+        )
+        lines = ["Pipeline with {} steps (inputs: {})".format(len(self.steps), ", ".join(inputs))]
+        for producer, consumer, attributes in edges:
+            lines.append("  {} --[{}]--> {}".format(
+                _short_name(producer), attributes["data"], _short_name(consumer)
+            ))
+        return "\n".join(lines)
+
+    # -- serialization --------------------------------------------------------------
+
+    def to_dict(self):
+        """Serialize the pipeline specification (not the fitted state) to a dict."""
+        return {
+            "primitives": list(self.primitives),
+            "init_params": {
+                step.name: step.get_hyperparameters() for step in self.steps
+            },
+            "input_names": self.input_names,
+            "output_names": self.output_names,
+            "outputs": self.outputs,
+        }
+
+    def to_json(self, indent=2):
+        """Serialize the pipeline specification to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, default=_jsonify)
+
+    def save(self, path):
+        """Write the pipeline specification to a JSON file."""
+        with open(path, "w") as stream:
+            stream.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, payload, registry=None):
+        """Rebuild a pipeline from the output of :meth:`to_dict`."""
+        return cls(
+            primitives=payload["primitives"],
+            init_params=payload.get("init_params"),
+            input_names=payload.get("input_names"),
+            output_names=payload.get("output_names"),
+            outputs=payload.get("outputs"),
+            registry=registry,
+        )
+
+    @classmethod
+    def load(cls, path, registry=None):
+        """Load a pipeline specification from a JSON file."""
+        with open(path) as stream:
+            payload = json.load(stream)
+        return cls.from_dict(payload, registry=registry)
+
+    def __repr__(self):
+        return "MLPipeline({} steps: {})".format(
+            len(self.steps), " -> ".join(p.split(".")[-1] for p in self.primitives)
+        )
+
+
+def _jsonify(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return str(value)
+
+
+def _short_name(node_name):
+    """Compact display name for a step or virtual node."""
+    if node_name.startswith("__"):
+        return node_name.strip("_")
+    return node_name.split(".")[-1].split("#")[0]

@@ -1,0 +1,121 @@
+"""The primitive registry: a curated, queryable catalog of annotations.
+
+The registry plays the role of the MLPrimitives curated catalog
+(paper Table I): primitives are registered under fully-qualified names,
+can be looked up by name, filtered by category or source, and counted per
+source library.
+"""
+
+import json
+from collections import Counter
+
+from repro.core.annotations import PrimitiveAnnotation
+
+
+class PrimitiveNotFoundError(KeyError):
+    """Raised when a primitive name is not present in the registry."""
+
+
+class PrimitiveRegistry:
+    """A mapping from fully-qualified primitive names to annotations."""
+
+    def __init__(self, name="catalog"):
+        self.name = name
+        self._annotations = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, annotation):
+        """Add an annotation to the registry.
+
+        Re-registering an existing name raises ``ValueError`` to protect
+        against accidental catalog collisions.
+        """
+        if not isinstance(annotation, PrimitiveAnnotation):
+            raise TypeError("register expects a PrimitiveAnnotation")
+        if annotation.name in self._annotations:
+            raise ValueError("Primitive {!r} is already registered".format(annotation.name))
+        annotation.validate()
+        self._annotations[annotation.name] = annotation
+        return annotation
+
+    def unregister(self, name):
+        """Remove a primitive from the registry."""
+        self._annotations.pop(name, None)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name):
+        """Return the annotation registered under ``name``."""
+        try:
+            return self._annotations[name]
+        except KeyError:
+            suggestions = [key for key in self._annotations if name.split(".")[-1] in key]
+            message = "Primitive {!r} not found in catalog {!r}".format(name, self.name)
+            if suggestions:
+                message += "; did you mean one of {}?".format(sorted(suggestions)[:3])
+            raise PrimitiveNotFoundError(message) from None
+
+    def __contains__(self, name):
+        return name in self._annotations
+
+    def __len__(self):
+        return len(self._annotations)
+
+    def __iter__(self):
+        return iter(self._annotations.values())
+
+    def names(self):
+        """Sorted list of registered primitive names."""
+        return sorted(self._annotations)
+
+    def search(self, category=None, source=None):
+        """Annotations filtered by category and/or source library."""
+        results = []
+        for annotation in self._annotations.values():
+            if category is not None and annotation.category != category:
+                continue
+            if source is not None and annotation.source != source:
+                continue
+            results.append(annotation)
+        return sorted(results, key=lambda a: a.name)
+
+    def count_by_source(self):
+        """Number of registered primitives per source library (paper Table I)."""
+        return dict(Counter(annotation.source for annotation in self._annotations.values()))
+
+    def count_by_category(self):
+        """Number of registered primitives per category."""
+        return dict(Counter(annotation.category for annotation in self._annotations.values()))
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self):
+        """Serialize every annotation to a JSON-compatible structure."""
+        return {name: annotation.to_dict() for name, annotation in sorted(self._annotations.items())}
+
+    def dump_json(self, path):
+        """Write the whole catalog as a JSON file."""
+        with open(path, "w") as stream:
+            json.dump(self.to_dict(), stream, indent=2, default=str)
+
+    def __repr__(self):
+        return "PrimitiveRegistry(name={!r}, n_primitives={})".format(self.name, len(self))
+
+
+_DEFAULT_REGISTRY = None
+
+
+def get_default_registry():
+    """Return the process-wide curated catalog, loading it on first use."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        from repro.core.catalog import build_catalog
+
+        _DEFAULT_REGISTRY = build_catalog()
+    return _DEFAULT_REGISTRY
+
+
+def load_primitive(name):
+    """Look up a primitive annotation by name in the default catalog."""
+    return get_default_registry().get(name)

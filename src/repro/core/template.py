@@ -1,0 +1,229 @@
+"""Templates and hypertemplates (paper Section IV-A).
+
+A *template* is a pipeline with an unset joint hyperparameter
+configuration space Lambda; providing concrete values for the tunable
+hyperparameters yields a pipeline.  A *hypertemplate* additionally has
+*conditional* hyperparameters whose values change the tunable subspace;
+fixing each combination of conditional values derives a family of
+templates (paper Figure 4).
+"""
+
+import itertools
+
+from repro.core.annotations import HyperparamSpec
+from repro.core.pipeline import MLPipeline
+from repro.core.registry import get_default_registry
+
+
+class Template:
+    """A pipeline specification with a tunable hyperparameter space.
+
+    Parameters
+    ----------
+    name:
+        Template name (used by selectors and result stores).
+    primitives:
+        Ordered list of primitive names (the PDI of the derived pipelines).
+    init_params, input_names, output_names, outputs:
+        Passed through to :class:`~repro.core.pipeline.MLPipeline`.
+    tunable:
+        Optional override of the tunable space as
+        ``{step_name: {hyperparam_name: HyperparamSpec}}``.  When omitted
+        the space is assembled from the primitive annotations.
+    task_types:
+        Optional list of ``(data_modality, problem_type)`` pairs this
+        template is suitable for (used by the AutoBazaar template catalog).
+    """
+
+    def __init__(self, name, primitives, init_params=None, input_names=None,
+                 output_names=None, outputs=None, tunable=None, task_types=None,
+                 registry=None):
+        self.name = name
+        self.primitives = list(primitives)
+        self.init_params = dict(init_params or {})
+        self.input_names = dict(input_names or {})
+        self.output_names = dict(output_names or {})
+        self.outputs = outputs
+        self.task_types = list(task_types or [])
+        self._registry = registry or get_default_registry()
+        self._tunable_override = tunable
+
+    # -- hyperparameter space ---------------------------------------------------
+
+    def build_pipeline(self, hyperparameters=None):
+        """Instantiate a concrete pipeline, optionally with tuned hyperparameters.
+
+        ``hyperparameters`` uses the flat ``{(step_name, name): value}``
+        convention produced by the tuners.
+        """
+        pipeline = MLPipeline(
+            primitives=self.primitives,
+            init_params=self.init_params,
+            input_names=self.input_names,
+            output_names=self.output_names,
+            outputs=self.outputs,
+            registry=self._registry,
+        )
+        if hyperparameters:
+            pipeline.set_hyperparameters(hyperparameters)
+        return pipeline
+
+    def get_tunable_hyperparameters(self):
+        """The joint tunable space as ``{(step_name, hyperparam_name): HyperparamSpec}``."""
+        if self._tunable_override is not None:
+            space = {}
+            for step_name, specs in self._tunable_override.items():
+                for hyperparam_name, spec in specs.items():
+                    space[(step_name, hyperparam_name)] = spec
+            return space
+        pipeline = self.build_pipeline()
+        space = {}
+        for step_name, specs in pipeline.get_tunable_hyperparameters().items():
+            fixed_for_step = set(self.init_params.get(step_name, {}))
+            primitive_name = step_name.rsplit("#", 1)[0]
+            fixed_for_step |= set(self.init_params.get(primitive_name, {}))
+            for hyperparam_name, spec in specs.items():
+                if hyperparam_name in fixed_for_step:
+                    continue  # values fixed at template definition are not tunable
+                space[(step_name, hyperparam_name)] = spec
+        return space
+
+    def default_hyperparameters(self):
+        """Default value for every tunable hyperparameter in the template space."""
+        return {key: spec.default for key, spec in self.get_tunable_hyperparameters().items()}
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self):
+        """Serialize the template specification."""
+        return {
+            "name": self.name,
+            "primitives": list(self.primitives),
+            "init_params": self.init_params,
+            "input_names": self.input_names,
+            "output_names": self.output_names,
+            "outputs": self.outputs,
+            "task_types": [list(task_type) for task_type in self.task_types],
+        }
+
+    @classmethod
+    def from_dict(cls, payload, registry=None):
+        """Rebuild a template from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            primitives=payload["primitives"],
+            init_params=payload.get("init_params"),
+            input_names=payload.get("input_names"),
+            output_names=payload.get("output_names"),
+            outputs=payload.get("outputs"),
+            task_types=[tuple(task_type) for task_type in payload.get("task_types", [])],
+            registry=registry,
+        )
+
+    def __repr__(self):
+        return "Template(name={!r}, primitives={})".format(
+            self.name, [p.split(".")[-1] for p in self.primitives]
+        )
+
+
+class ConditionalHyperparam:
+    """A conditional hyperparameter of a hypertemplate.
+
+    Parameters
+    ----------
+    step:
+        Step name the hyperparameter belongs to.
+    name:
+        Hyperparameter name.
+    values:
+        The possible values of the conditional hyperparameter.
+    subspaces:
+        Mapping from each value to the list of extra
+        :class:`HyperparamSpec` that become tunable when that value is
+        chosen (may be empty).
+    """
+
+    def __init__(self, step, name, values, subspaces=None):
+        if not values:
+            raise ValueError("A conditional hyperparameter requires at least one value")
+        self.step = step
+        self.name = name
+        self.values = list(values)
+        self.subspaces = {value: list((subspaces or {}).get(value, [])) for value in self.values}
+        for value, specs in self.subspaces.items():
+            for spec in specs:
+                if not isinstance(spec, HyperparamSpec):
+                    raise TypeError("Conditional subspaces must contain HyperparamSpec objects")
+
+    def __repr__(self):
+        return "ConditionalHyperparam(step={!r}, name={!r}, values={!r})".format(
+            self.step, self.name, self.values
+        )
+
+
+class Hypertemplate:
+    """A template family indexed by conditional hyperparameter values.
+
+    Fixing every conditional hyperparameter to one of its values derives a
+    concrete :class:`Template` whose tunable space is the base space plus
+    the subspace attached to each chosen value (paper Figure 4).
+    """
+
+    def __init__(self, name, primitives, conditionals, init_params=None, input_names=None,
+                 output_names=None, outputs=None, task_types=None, registry=None):
+        self.name = name
+        self.primitives = list(primitives)
+        self.conditionals = list(conditionals)
+        if not self.conditionals:
+            raise ValueError("A hypertemplate requires at least one conditional hyperparameter")
+        self.init_params = dict(init_params or {})
+        self.input_names = dict(input_names or {})
+        self.output_names = dict(output_names or {})
+        self.outputs = outputs
+        self.task_types = list(task_types or [])
+        self._registry = registry or get_default_registry()
+
+    def n_templates(self):
+        """Number of templates derivable from this hypertemplate."""
+        count = 1
+        for conditional in self.conditionals:
+            count *= len(conditional.values)
+        return count
+
+    def derive_templates(self):
+        """Derive every concrete template by fixing the conditional hyperparameters."""
+        templates = []
+        value_lists = [conditional.values for conditional in self.conditionals]
+        for combination in itertools.product(*value_lists):
+            init_params = {step: dict(values) for step, values in self.init_params.items()}
+            extra_tunable = {}
+            label_parts = []
+            for conditional, value in zip(self.conditionals, combination):
+                init_params.setdefault(conditional.step, {})[conditional.name] = value
+                label_parts.append("{}={}".format(conditional.name, value))
+                for spec in conditional.subspaces[value]:
+                    extra_tunable.setdefault(conditional.step, {})[spec.name] = spec
+            template = Template(
+                name="{}[{}]".format(self.name, ",".join(label_parts)),
+                primitives=self.primitives,
+                init_params=init_params,
+                input_names=self.input_names,
+                output_names=self.output_names,
+                outputs=self.outputs,
+                task_types=self.task_types,
+                registry=self._registry,
+            )
+            base_space = template.get_tunable_hyperparameters()
+            for step, specs in extra_tunable.items():
+                for hyperparam_name, spec in specs.items():
+                    base_space[(step, hyperparam_name)] = spec
+            # freeze the combined space as an explicit override
+            override = {}
+            for (step_name, hyperparam_name), spec in base_space.items():
+                override.setdefault(step_name, {})[hyperparam_name] = spec
+            template._tunable_override = override
+            templates.append(template)
+        return templates
+
+    def __repr__(self):
+        return "Hypertemplate(name={!r}, n_templates={})".format(self.name, self.n_templates())

@@ -1,0 +1,28 @@
+"""piex: exploration and meta-analysis of scored pipelines (paper Section I-C).
+
+The original piex library queries the MongoDB document store populated by
+the distributed AutoBazaar runs; here the store is an in-memory (optionally
+JSON-persisted) collection of evaluation records with the same query and
+meta-analysis surface used by the paper's experiments (Figures 5-6 and the
+two case studies of Section VI).
+"""
+
+from repro.explorer.store import PipelineStore
+from repro.explorer.analysis import (
+    best_score_per_task,
+    improvement_sigmas_per_task,
+    pairwise_win_rate,
+    summarize_improvements,
+)
+from repro.explorer.report import format_report, report, summarize_store
+
+__all__ = [
+    "PipelineStore",
+    "best_score_per_task",
+    "improvement_sigmas_per_task",
+    "summarize_improvements",
+    "pairwise_win_rate",
+    "summarize_store",
+    "format_report",
+    "report",
+]

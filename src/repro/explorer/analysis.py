@@ -1,0 +1,93 @@
+"""Meta-analysis over stored pipeline evaluations.
+
+These functions compute the statistics reported in the paper's evaluation:
+per-task best scores, tuning improvement measured in standard deviations
+(Figure 6), and pairwise win rates between experimental variants (the
+XGB-vs-RF and kernel case studies of Sections VI-B and VI-C).
+"""
+
+import numpy as np
+
+
+def _successful(documents):
+    return [d for d in documents if d.get("score") is not None]
+
+
+def best_score_per_task(store, **filters):
+    """Best (normalized) score per task, restricted by optional filters."""
+    best = {}
+    for task_name in store.tasks():
+        scores = store.scores_for_task(task_name, **filters)
+        if scores:
+            best[task_name] = max(scores)
+    return best
+
+
+def improvement_sigmas_per_task(store, **filters):
+    """Per-task improvement of the best pipeline over the first default pipeline.
+
+    The improvement is expressed in standard deviations of all pipelines
+    evaluated for that task, which is exactly the quantity whose
+    distribution paper Figure 6 plots.
+    """
+    improvements = {}
+    for task_name in store.tasks():
+        documents = _successful(store.find(task_name=task_name, **filters))
+        if len(documents) < 2:
+            continue
+        scores = np.asarray([d["score"] for d in documents], dtype=float)
+        defaults = [d for d in documents if d.get("is_default")]
+        default_score = defaults[0]["score"] if defaults else scores[0]
+        spread = scores.std()
+        if spread == 0.0:
+            improvements[task_name] = 0.0
+        else:
+            improvements[task_name] = float((scores.max() - default_score) / spread)
+    return improvements
+
+
+def summarize_improvements(improvements):
+    """Summary statistics of the Figure 6 distribution.
+
+    Returns a dict with the mean improvement (the paper reports 1.06 sigma)
+    and the fraction of tasks improving by more than one sigma (the paper
+    reports 31.7 percent).
+    """
+    values = np.asarray(list(improvements.values()), dtype=float)
+    if values.size == 0:
+        return {"n_tasks": 0, "mean_sigmas": 0.0, "fraction_above_1_sigma": 0.0}
+    return {
+        "n_tasks": int(values.size),
+        "mean_sigmas": float(values.mean()),
+        "median_sigmas": float(np.median(values)),
+        "fraction_above_1_sigma": float(np.mean(values > 1.0)),
+    }
+
+
+def pairwise_win_rate(store, variant_field, variant_a, variant_b):
+    """Fraction of tasks on which variant A's best pipeline beats variant B's.
+
+    ``variant_field`` is the tag added to the documents when the two
+    experimental arms were stored (for example ``"estimator"`` with values
+    ``"xgb"`` / ``"rf"``, or ``"tuner"`` with values ``"gp_se_ei"`` /
+    ``"gp_matern52_ei"``).  Ties are split evenly, matching the paper's
+    "percent of comparisons won" phrasing.
+    """
+    best_a = best_score_per_task(store, **{variant_field: variant_a})
+    best_b = best_score_per_task(store, **{variant_field: variant_b})
+    common_tasks = sorted(set(best_a) & set(best_b))
+    if not common_tasks:
+        raise ValueError("No tasks have results for both variants")
+    wins_a = 0.0
+    for task_name in common_tasks:
+        if best_a[task_name] > best_b[task_name]:
+            wins_a += 1.0
+        elif best_a[task_name] == best_b[task_name]:
+            wins_a += 0.5
+    return {
+        "n_tasks": len(common_tasks),
+        "win_rate_a": wins_a / len(common_tasks),
+        "win_rate_b": 1.0 - wins_a / len(common_tasks),
+        "variant_a": variant_a,
+        "variant_b": variant_b,
+    }

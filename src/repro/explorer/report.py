@@ -1,0 +1,75 @@
+"""Plain-text reporting over a pipeline store (piex's human-facing output).
+
+``summarize_store`` builds a structured summary (per-task best scores,
+per-template usage, improvement statistics); ``format_report`` renders it
+as an aligned text table suitable for logs or terminals.
+"""
+
+import numpy as np
+
+from repro.explorer.analysis import (
+    best_score_per_task,
+    improvement_sigmas_per_task,
+    summarize_improvements,
+)
+
+
+def summarize_store(store, **filters):
+    """Structured summary of a pipeline store.
+
+    Returns a dict with overall counts, per-task bests and per-template
+    aggregate statistics, restricted by the optional equality filters.
+    """
+    documents = store.find(**filters) if filters else list(store)
+    successful = [d for d in documents if d.get("score") is not None]
+    failed = [d for d in documents if d.get("score") is None]
+
+    per_template = {}
+    for document in successful:
+        entry = per_template.setdefault(document["template_name"], [])
+        entry.append(document["score"])
+    template_stats = {
+        name: {
+            "n_pipelines": len(scores),
+            "mean_score": float(np.mean(scores)),
+            "best_score": float(np.max(scores)),
+        }
+        for name, scores in per_template.items()
+    }
+
+    improvements = improvement_sigmas_per_task(store, **filters)
+    return {
+        "n_documents": len(documents),
+        "n_failed": len(failed),
+        "n_tasks": len({d["task_name"] for d in documents}),
+        "best_per_task": best_score_per_task(store, **filters),
+        "templates": template_stats,
+        "improvement": summarize_improvements(improvements),
+    }
+
+
+def format_report(summary, title="piex report"):
+    """Render a :func:`summarize_store` summary as a text report."""
+    lines = [title, "=" * len(title), ""]
+    lines.append("pipelines evaluated : {}".format(summary["n_documents"]))
+    lines.append("failed evaluations  : {}".format(summary["n_failed"]))
+    lines.append("tasks covered       : {}".format(summary["n_tasks"]))
+    improvement = summary["improvement"]
+    lines.append("mean tuning gain    : {:.2f} sigma ({:.0%} of tasks > 1 sigma)".format(
+        improvement["mean_sigmas"], improvement["fraction_above_1_sigma"]))
+    lines.append("")
+    lines.append("{:48s} {:>6s} {:>10s} {:>10s}".format("template", "n", "mean", "best"))
+    for name, stats in sorted(summary["templates"].items(),
+                              key=lambda kv: -kv[1]["best_score"]):
+        lines.append("{:48s} {:>6d} {:>10.3f} {:>10.3f}".format(
+            name, stats["n_pipelines"], stats["mean_score"], stats["best_score"]))
+    lines.append("")
+    lines.append("{:48s} {:>10s}".format("task", "best"))
+    for task_name, best in sorted(summary["best_per_task"].items()):
+        lines.append("{:48s} {:>10.3f}".format(task_name, best))
+    return "\n".join(lines)
+
+
+def report(store, title="piex report", **filters):
+    """Convenience wrapper: summarize and format in one call."""
+    return format_report(summarize_store(store, **filters), title=title)

@@ -1,0 +1,92 @@
+"""An in-memory document store of pipeline evaluation records.
+
+Stands in for the MongoDB store of the paper's distributed architecture:
+every pipeline scored by AutoBazaar is appended here with its template,
+hyperparameters, score and timing, and can later be queried for
+meta-analysis with :mod:`repro.explorer.analysis`.
+"""
+
+import json
+
+
+class PipelineStore:
+    """Append-only collection of pipeline evaluation documents."""
+
+    def __init__(self):
+        self._documents = []
+
+    def add(self, record):
+        """Add an evaluation record (an ``EvaluationRecord`` or a plain dict)."""
+        document = record.to_dict() if hasattr(record, "to_dict") else dict(record)
+        required = {"task_name", "template_name", "score"}
+        missing = required - set(document)
+        if missing:
+            raise ValueError("Evaluation document is missing fields: {}".format(sorted(missing)))
+        self._documents.append(document)
+        return document
+
+    def add_result(self, search_result, tags=None):
+        """Add every record of a :class:`~repro.automl.search.SearchResult`.
+
+        ``tags`` is an optional dict merged into each document — used by the
+        case studies to label which experimental variant produced the record.
+        """
+        tags = dict(tags or {})
+        for record in search_result.records:
+            document = record.to_dict()
+            document.update(tags)
+            self._documents.append(document)
+        return self
+
+    def __len__(self):
+        return len(self._documents)
+
+    def __iter__(self):
+        return iter(self._documents)
+
+    # -- querying ----------------------------------------------------------------
+
+    def find(self, **filters):
+        """Documents whose fields equal the given filter values."""
+        results = []
+        for document in self._documents:
+            if all(document.get(key) == value for key, value in filters.items()):
+                results.append(document)
+        return results
+
+    def tasks(self):
+        """Sorted list of distinct task names in the store."""
+        return sorted({document["task_name"] for document in self._documents})
+
+    def templates(self):
+        """Sorted list of distinct template names in the store."""
+        return sorted({document["template_name"] for document in self._documents})
+
+    def scores_for_task(self, task_name, include_failed=False, **filters):
+        """All scores recorded for one task (successful evaluations only by default)."""
+        documents = self.find(task_name=task_name, **filters)
+        scores = []
+        for document in documents:
+            if document.get("score") is None and not include_failed:
+                continue
+            scores.append(document["score"])
+        return scores
+
+    # -- persistence ---------------------------------------------------------------
+
+    def dump_json(self, path):
+        """Write every document to a JSON file."""
+        with open(path, "w") as stream:
+            json.dump(self._documents, stream, indent=2, default=str)
+
+    @classmethod
+    def load_json(cls, path):
+        """Load a store previously written by :meth:`dump_json`."""
+        store = cls()
+        with open(path) as stream:
+            for document in json.load(stream):
+                store._documents.append(document)
+        return store
+
+    def __repr__(self):
+        return "PipelineStore(n_documents={})".format(len(self._documents))

@@ -1,0 +1,18 @@
+"""Pure-numpy machine learning substrate for the ML Bazaar reproduction.
+
+This package stands in for the third-party libraries that the original
+ML Bazaar wraps (scikit-learn, XGBoost, Keras, LightFM, OpenCV,
+Featuretools, python-louvain).  Every estimator and transformer follows a
+``fit`` / ``predict`` / ``transform`` convention compatible with the
+primitive annotations in :mod:`repro.core.catalog`.
+"""
+
+from repro.learners.base import BaseEstimator, ClassifierMixin, RegressorMixin, TransformerMixin, clone
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "RegressorMixin",
+    "TransformerMixin",
+    "clone",
+]

@@ -1,0 +1,92 @@
+"""Clustering models (KMeans), used as unsupervised primitives."""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin, check_random_state
+from repro.learners.validation import check_array
+
+
+class KMeans(BaseEstimator, TransformerMixin):
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    n_init:
+        Number of random restarts; the best inertia wins.
+    max_iter, tol:
+        Convergence controls for each run.
+    """
+
+    def __init__(self, n_clusters=3, n_init=3, max_iter=100, tol=1e-6, random_state=None):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def _init_centers(self, X, rng):
+        # k-means++ seeding
+        n_samples = X.shape[0]
+        centers = [X[rng.randint(n_samples)]]
+        for _ in range(1, self.n_clusters):
+            distances = np.min(
+                np.stack([np.sum((X - center) ** 2, axis=1) for center in centers]), axis=0
+            )
+            total = distances.sum()
+            if total == 0.0:
+                centers.append(X[rng.randint(n_samples)])
+                continue
+            probabilities = distances / total
+            centers.append(X[rng.choice(n_samples, p=probabilities)])
+        return np.stack(centers)
+
+    def _run_once(self, X, rng):
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(X.shape[0], dtype=int)
+        for _ in range(self.max_iter):
+            distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = np.argmin(distances, axis=1)
+            new_centers = np.stack([
+                X[labels == k].mean(axis=0) if np.any(labels == k) else centers[k]
+                for k in range(self.n_clusters)
+            ])
+            shift = np.abs(new_centers - centers).max()
+            centers = new_centers
+            if shift < self.tol:
+                break
+        distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        inertia = float(distances[np.arange(len(labels)), labels].sum())
+        return centers, labels, inertia
+
+    def fit(self, X, y=None):
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        X = check_array(X)
+        if X.shape[0] < self.n_clusters:
+            raise ValueError("n_clusters cannot exceed the number of samples")
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(max(1, self.n_init)):
+            centers, labels, inertia = self._run_once(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X):
+        self._check_fitted("cluster_centers_")
+        X = check_array(X)
+        distances = ((X[:, None, :] - self.cluster_centers_[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(distances, axis=1)
+
+    def transform(self, X):
+        """Distances from each sample to each cluster center."""
+        self._check_fitted("cluster_centers_")
+        X = check_array(X)
+        return np.sqrt(((X[:, None, :] - self.cluster_centers_[None, :, :]) ** 2).sum(axis=2))
+
+    def fit_predict(self, X, y=None):
+        return self.fit(X).labels_

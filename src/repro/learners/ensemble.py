@@ -1,0 +1,161 @@
+"""Additional ensemble methods: AdaBoost and bagging.
+
+These complement the random forests and gradient boosting in
+:mod:`repro.learners.tree`, filling out the estimator section of the
+curated catalog.
+"""
+
+import numpy as np
+
+from repro.learners.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_random_state,
+    clone,
+)
+from repro.learners.validation import check_X_y, check_array
+from repro.learners.tree.decision_tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
+    """SAMME AdaBoost over shallow decision trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    max_depth:
+        Depth of each weak learner (1 = decision stumps).
+    learning_rate:
+        Shrinkage applied to each learner's vote.
+    """
+
+    def __init__(self, n_estimators=20, max_depth=1, learning_rate=1.0, random_state=None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("AdaBoostClassifier requires at least 2 classes")
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        sample_weight = np.full(n_samples, 1.0 / n_samples)
+        self.estimators_ = []
+        self.estimator_weights_ = []
+        for _ in range(self.n_estimators):
+            seed = int(rng.randint(0, 2 ** 31 - 1))
+            tree = DecisionTreeClassifier(max_depth=self.max_depth, random_state=seed)
+            # weighted fitting by resampling proportionally to the weights
+            indices = rng.choice(n_samples, size=n_samples, p=sample_weight)
+            tree.fit(X[indices], y[indices])
+            predictions = tree.predict(X)
+            incorrect = predictions != y
+            error = float(np.dot(sample_weight, incorrect))
+            error = min(max(error, 1e-10), 1.0 - 1e-10)
+            alpha = self.learning_rate * (
+                np.log((1.0 - error) / error) + np.log(n_classes - 1.0)
+            )
+            if alpha <= 0.0:
+                break
+            sample_weight = sample_weight * np.exp(alpha * incorrect)
+            sample_weight = sample_weight / sample_weight.sum()
+            self.estimators_.append(tree)
+            self.estimator_weights_.append(alpha)
+        if not self.estimators_:
+            tree = DecisionTreeClassifier(max_depth=self.max_depth, random_state=0)
+            tree.fit(X, y)
+            self.estimators_ = [tree]
+            self.estimator_weights_ = [1.0]
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X):
+        self._check_fitted("estimators_")
+        X = check_array(X)
+        votes = np.zeros((X.shape[0], len(self.classes_)))
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        for tree, alpha in zip(self.estimators_, self.estimator_weights_):
+            predictions = tree.predict(X)
+            for row, label in enumerate(predictions):
+                votes[row, class_index[label]] += alpha
+        return self.classes_[np.argmax(votes, axis=1)]
+
+
+class _BaseBagging(BaseEstimator):
+    """Shared machinery for bagging ensembles around an arbitrary base estimator."""
+
+    def __init__(self, base_estimator=None, n_estimators=10, max_samples=1.0, random_state=None):
+        self.base_estimator = base_estimator
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.random_state = random_state
+
+    def _default_base(self):
+        raise NotImplementedError
+
+    def _fit_members(self, X, y):
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        if not 0.0 < self.max_samples <= 1.0:
+            raise ValueError("max_samples must be in (0, 1]")
+        rng = check_random_state(self.random_state)
+        base = self.base_estimator if self.base_estimator is not None else self._default_base()
+        n_samples = X.shape[0]
+        n_draw = max(2, int(self.max_samples * n_samples))
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            member = clone(base)
+            if "random_state" in member.get_params():
+                member.set_params(random_state=int(rng.randint(0, 2 ** 31 - 1)))
+            indices = rng.randint(0, n_samples, size=n_draw)
+            member.fit(X[indices], y[indices])
+            self.estimators_.append(member)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+
+class BaggingClassifier(_BaseBagging, ClassifierMixin):
+    """Bootstrap aggregation of an arbitrary classifier (defaults to a CART tree)."""
+
+    def _default_base(self):
+        return DecisionTreeClassifier(max_depth=6)
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        return self._fit_members(X, y)
+
+    def predict(self, X):
+        self._check_fitted("estimators_")
+        X = check_array(X)
+        votes = np.zeros((X.shape[0], len(self.classes_)))
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        for member in self.estimators_:
+            for row, label in enumerate(member.predict(X)):
+                votes[row, class_index[label]] += 1.0
+        return self.classes_[np.argmax(votes, axis=1)]
+
+
+class BaggingRegressor(_BaseBagging, RegressorMixin):
+    """Bootstrap aggregation of an arbitrary regressor (defaults to a CART tree)."""
+
+    def _default_base(self):
+        return DecisionTreeRegressor(max_depth=6)
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y, y_numeric=True)
+        return self._fit_members(X, y)
+
+    def predict(self, X):
+        self._check_fitted("estimators_")
+        X = check_array(X)
+        predictions = np.stack([member.predict(X) for member in self.estimators_])
+        return predictions.mean(axis=0)

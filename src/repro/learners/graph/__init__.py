@@ -1,0 +1,18 @@
+"""Graph featurization, link prediction and community detection primitives."""
+
+from repro.learners.graph.features import (
+    GraphFeaturizer,
+    LinkPredictionFeatureExtractor,
+    graph_feature_extraction,
+    link_prediction_feature_extraction,
+)
+from repro.learners.graph.community import CommunityBestPartition, louvain_communities
+
+__all__ = [
+    "GraphFeaturizer",
+    "LinkPredictionFeatureExtractor",
+    "graph_feature_extraction",
+    "link_prediction_feature_extraction",
+    "CommunityBestPartition",
+    "louvain_communities",
+]

@@ -1,0 +1,19 @@
+"""Image featurization primitives (stand-ins for OpenCV / pretrained CNNs)."""
+
+from repro.learners.image.features import (
+    GaussianBlur,
+    HOGFeaturizer,
+    PretrainedCNNFeaturizer,
+    SobelEdgeFeaturizer,
+    flatten_images,
+    preprocess_input,
+)
+
+__all__ = [
+    "GaussianBlur",
+    "HOGFeaturizer",
+    "PretrainedCNNFeaturizer",
+    "SobelEdgeFeaturizer",
+    "flatten_images",
+    "preprocess_input",
+]

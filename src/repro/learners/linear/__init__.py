@@ -1,0 +1,6 @@
+"""Linear models: least squares, ridge, lasso and logistic regression."""
+
+from repro.learners.linear.regression import Lasso, LinearRegression, Ridge
+from repro.learners.linear.logistic import LogisticRegression
+
+__all__ = ["LinearRegression", "Ridge", "Lasso", "LogisticRegression"]

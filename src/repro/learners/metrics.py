@@ -1,0 +1,306 @@
+"""Evaluation metrics for classification, regression and ranking.
+
+These replace ``sklearn.metrics`` for the purpose of scoring pipelines in
+AutoBazaar (paper Algorithm 2) and in the experiment harnesses of
+Section VI.
+"""
+
+import numpy as np
+
+from repro.learners.validation import column_or_1d
+
+
+def _check_lengths(y_true, y_pred):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            "y_true and y_pred have different lengths: {} != {}".format(
+                y_true.shape[0], y_pred.shape[0]
+            )
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("Cannot compute a metric on empty arrays")
+    return y_true, y_pred
+
+
+# ---------------------------------------------------------------------------
+# Classification metrics
+# ---------------------------------------------------------------------------
+
+def accuracy_score(y_true, y_pred):
+    """Fraction of exactly matching predictions."""
+    y_true, y_pred = _check_lengths(y_true, y_pred)
+    return float(np.mean(np.asarray(y_true) == np.asarray(y_pred)))
+
+
+def confusion_matrix(y_true, y_pred, labels=None):
+    """Confusion matrix with rows = true labels and columns = predictions."""
+    y_true, y_pred = _check_lengths(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([np.asarray(y_true), np.asarray(y_pred)]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for true, pred in zip(y_true, y_pred):
+        matrix[index[true], index[pred]] += 1
+    return matrix
+
+
+def _precision_recall_counts(y_true, y_pred, label):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = np.sum((y_pred == label) & (y_true == label))
+    fp = np.sum((y_pred == label) & (y_true != label))
+    fn = np.sum((y_pred != label) & (y_true == label))
+    return tp, fp, fn
+
+
+def precision_score(y_true, y_pred, average="macro"):
+    """Precision, macro-averaged over classes by default."""
+    return _prf(y_true, y_pred, average)[0]
+
+
+def recall_score(y_true, y_pred, average="macro"):
+    """Recall, macro-averaged over classes by default."""
+    return _prf(y_true, y_pred, average)[1]
+
+
+def f1_score(y_true, y_pred, average="macro"):
+    """F1 score, macro-averaged over classes by default."""
+    return _prf(y_true, y_pred, average)[2]
+
+
+def _prf(y_true, y_pred, average):
+    y_true, y_pred = _check_lengths(y_true, y_pred)
+    labels = np.unique(np.asarray(y_true))
+    precisions, recalls, f1s, supports = [], [], [], []
+    for label in labels:
+        tp, fp, fn = _precision_recall_counts(y_true, y_pred, label)
+        precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+        recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if (precision + recall) > 0 else 0.0
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+        supports.append(np.sum(np.asarray(y_true) == label))
+    if average == "macro":
+        return float(np.mean(precisions)), float(np.mean(recalls)), float(np.mean(f1s))
+    if average == "weighted":
+        weights = np.asarray(supports, dtype=float)
+        weights = weights / weights.sum()
+        return (
+            float(np.dot(precisions, weights)),
+            float(np.dot(recalls, weights)),
+            float(np.dot(f1s, weights)),
+        )
+    if average == "micro":
+        tp_total = fp_total = fn_total = 0
+        for label in labels:
+            tp, fp, fn = _precision_recall_counts(y_true, y_pred, label)
+            tp_total += tp
+            fp_total += fp
+            fn_total += fn
+        precision = tp_total / (tp_total + fp_total) if (tp_total + fp_total) > 0 else 0.0
+        recall = tp_total / (tp_total + fn_total) if (tp_total + fn_total) > 0 else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if (precision + recall) > 0 else 0.0
+        return float(precision), float(recall), float(f1)
+    raise ValueError("Unknown average mode: {!r}".format(average))
+
+
+def log_loss(y_true, y_proba, labels=None, eps=1e-15):
+    """Multiclass logarithmic loss for probability predictions."""
+    y_true = column_or_1d(y_true)
+    y_proba = np.asarray(y_proba, dtype=float)
+    if y_proba.ndim == 1:
+        y_proba = np.column_stack([1.0 - y_proba, y_proba])
+    if labels is None:
+        labels = np.unique(y_true)
+    labels = np.asarray(labels)
+    if y_proba.shape[1] != len(labels):
+        raise ValueError(
+            "y_proba has {} columns but there are {} labels".format(y_proba.shape[1], len(labels))
+        )
+    y_proba = np.clip(y_proba, eps, 1.0 - eps)
+    y_proba = y_proba / y_proba.sum(axis=1, keepdims=True)
+    index = {label: i for i, label in enumerate(labels)}
+    rows = np.arange(len(y_true))
+    cols = np.array([index[label] for label in y_true])
+    return float(-np.mean(np.log(y_proba[rows, cols])))
+
+
+def roc_auc_score(y_true, y_score):
+    """Area under the ROC curve for binary targets.
+
+    ``y_true`` must contain exactly two classes; the larger one is treated
+    as the positive class.  Ties in ``y_score`` are handled by assigning
+    average ranks, which matches the Mann-Whitney U formulation.
+    """
+    y_true = column_or_1d(y_true)
+    y_score = column_or_1d(np.asarray(y_score, dtype=float))
+    classes = np.unique(y_true)
+    if len(classes) != 2:
+        raise ValueError("roc_auc_score requires exactly 2 classes, got {}".format(len(classes)))
+    positive = classes[1]
+    pos_mask = y_true == positive
+    n_pos = int(pos_mask.sum())
+    n_neg = int((~pos_mask).sum())
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=float)
+    sorted_scores = y_score[order]
+    # average ranks for tied scores
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = ranks[pos_mask].sum()
+    auc = (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    return float(auc)
+
+
+def adjusted_rand_score(labels_true, labels_pred):
+    """Adjusted Rand index between two clusterings (permutation invariant).
+
+    Used to score community detection tasks, where the predicted community
+    ids carry no intrinsic meaning and only the grouping matters.
+    """
+    labels_true = column_or_1d(labels_true)
+    labels_pred = column_or_1d(labels_pred)
+    if len(labels_true) != len(labels_pred):
+        raise ValueError("labels_true and labels_pred must be aligned")
+    n_samples = len(labels_true)
+    if n_samples == 0:
+        raise ValueError("Cannot compute ARI on empty arrays")
+
+    classes, class_idx = np.unique(labels_true, return_inverse=True)
+    clusters, cluster_idx = np.unique(labels_pred, return_inverse=True)
+    contingency = np.zeros((len(classes), len(clusters)), dtype=float)
+    for i, j in zip(class_idx, cluster_idx):
+        contingency[i, j] += 1
+
+    def comb2(values):
+        return values * (values - 1) / 2.0
+
+    sum_comb_c = comb2(contingency.sum(axis=1)).sum()
+    sum_comb_k = comb2(contingency.sum(axis=0)).sum()
+    sum_comb = comb2(contingency).sum()
+    total_comb = comb2(np.array([n_samples]))[0]
+    expected = sum_comb_c * sum_comb_k / total_comb if total_comb > 0 else 0.0
+    max_index = 0.5 * (sum_comb_c + sum_comb_k)
+    if max_index == expected:
+        return 1.0
+    return float((sum_comb - expected) / (max_index - expected))
+
+
+# ---------------------------------------------------------------------------
+# Regression metrics
+# ---------------------------------------------------------------------------
+
+def mean_squared_error(y_true, y_pred):
+    """Mean squared error."""
+    y_true, y_pred = _check_lengths(y_true, y_pred)
+    diff = np.asarray(y_true, dtype=float) - np.asarray(y_pred, dtype=float)
+    return float(np.mean(diff ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred):
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred):
+    """Mean absolute error."""
+    y_true, y_pred = _check_lengths(y_true, y_pred)
+    diff = np.asarray(y_true, dtype=float) - np.asarray(y_pred, dtype=float)
+    return float(np.mean(np.abs(diff)))
+
+
+def r2_score(y_true, y_pred):
+    """Coefficient of determination R^2."""
+    y_true, y_pred = _check_lengths(y_true, y_pred)
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    ss_res = np.sum((y_true - y_pred) ** 2)
+    ss_tot = np.sum((y_true - np.mean(y_true)) ** 2)
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def mean_absolute_percentage_error(y_true, y_pred, eps=1e-9):
+    """Mean absolute percentage error, guarding against zero targets."""
+    y_true, y_pred = _check_lengths(y_true, y_pred)
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    denominator = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs((y_true - y_pred) / denominator)))
+
+
+# ---------------------------------------------------------------------------
+# Anomaly detection / interval metrics (ORION use case)
+# ---------------------------------------------------------------------------
+
+def _intervals_overlap(a, b):
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def anomaly_f1_score(true_anomalies, detected_anomalies):
+    """Overlap-based F1 score between true and detected anomaly intervals.
+
+    Each anomaly is an ``(start, end)`` pair of indices.  A true anomaly
+    counts as detected if any detected interval overlaps it; a detected
+    interval counts as a true positive if it overlaps any true anomaly.
+    This matches the evaluation used by the ORION satellite telemetry use
+    case (paper Section V-A).
+    """
+    true_anomalies = [tuple(interval) for interval in true_anomalies]
+    detected_anomalies = [tuple(interval) for interval in detected_anomalies]
+    if not true_anomalies and not detected_anomalies:
+        return 1.0
+    if not true_anomalies or not detected_anomalies:
+        return 0.0
+    detected_true = sum(
+        1 for t in true_anomalies if any(_intervals_overlap(t, d) for d in detected_anomalies)
+    )
+    correct_detections = sum(
+        1 for d in detected_anomalies if any(_intervals_overlap(d, t) for t in true_anomalies)
+    )
+    recall = detected_true / len(true_anomalies)
+    precision = correct_detections / len(detected_anomalies)
+    if precision + recall == 0:
+        return 0.0
+    return float(2 * precision * recall / (precision + recall))
+
+
+# ---------------------------------------------------------------------------
+# Metric registry used by tasks and AutoBazaar
+# ---------------------------------------------------------------------------
+
+#: Mapping from metric name to (callable, higher_is_better).
+METRICS = {
+    "accuracy": (accuracy_score, True),
+    "f1_macro": (lambda y, p: f1_score(y, p, average="macro"), True),
+    "f1_micro": (lambda y, p: f1_score(y, p, average="micro"), True),
+    "roc_auc": (roc_auc_score, True),
+    "log_loss": (log_loss, False),
+    "mse": (mean_squared_error, False),
+    "rmse": (root_mean_squared_error, False),
+    "mae": (mean_absolute_error, False),
+    "mape": (mean_absolute_percentage_error, False),
+    "r2": (r2_score, True),
+    "anomaly_f1": (anomaly_f1_score, True),
+    "adjusted_rand": (adjusted_rand_score, True),
+}
+
+
+def get_metric(name):
+    """Return ``(metric_function, higher_is_better)`` for a metric name."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ValueError(
+            "Unknown metric {!r}; available metrics: {}".format(name, sorted(METRICS))
+        ) from None

@@ -1,0 +1,167 @@
+"""Dataset splitting and cross-validation utilities.
+
+AutoBazaar (paper Algorithm 2) scores every candidate pipeline with
+cross-validation over the training partition; these helpers provide the
+splitting machinery.
+"""
+
+import numpy as np
+
+from repro.learners.base import check_random_state
+
+
+def train_test_split(*arrays, test_size=0.25, random_state=None, stratify=None):
+    """Split arrays into random train and test subsets.
+
+    Parameters
+    ----------
+    arrays:
+        One or more indexables with the same first dimension.
+    test_size:
+        Fraction (0 < test_size < 1) or absolute number of test samples.
+    random_state:
+        Seed or RandomState for reproducibility.
+    stratify:
+        Optional label array; when given, class proportions are preserved
+        in both splits.
+    """
+    if not arrays:
+        raise ValueError("At least one array is required")
+    n_samples = len(arrays[0])
+    for array in arrays:
+        if len(array) != n_samples:
+            raise ValueError("All arrays must have the same length")
+
+    if isinstance(test_size, float):
+        if not 0.0 < test_size < 1.0:
+            raise ValueError("test_size as a float must be in (0, 1)")
+        n_test = max(1, int(round(test_size * n_samples)))
+    else:
+        n_test = int(test_size)
+    if n_test >= n_samples:
+        raise ValueError("test_size={} leaves no training samples".format(test_size))
+
+    rng = check_random_state(random_state)
+    if stratify is not None:
+        stratify = np.asarray(stratify)
+        test_indices = []
+        for label in np.unique(stratify):
+            label_indices = np.flatnonzero(stratify == label)
+            rng.shuffle(label_indices)
+            n_label_test = max(1, int(round(len(label_indices) * n_test / n_samples)))
+            test_indices.extend(label_indices[:n_label_test])
+        test_indices = np.asarray(sorted(test_indices))
+    else:
+        permutation = rng.permutation(n_samples)
+        test_indices = np.sort(permutation[:n_test])
+
+    test_mask = np.zeros(n_samples, dtype=bool)
+    test_mask[test_indices] = True
+    train_indices = np.flatnonzero(~test_mask)
+
+    result = []
+    for array in arrays:
+        indexable = np.asarray(array) if not hasattr(array, "iloc") else array
+        result.append(_take(indexable, train_indices))
+        result.append(_take(indexable, test_indices))
+    return result
+
+
+def _take(array, indices):
+    if isinstance(array, np.ndarray):
+        return array[indices]
+    return [array[i] for i in indices]
+
+
+class KFold:
+    """K-fold cross-validation splitter."""
+
+    def __init__(self, n_splits=5, shuffle=True, random_state=None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None):
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n_samples = len(X)
+        if n_samples < self.n_splits:
+            raise ValueError(
+                "Cannot have n_splits={} with only {} samples".format(self.n_splits, n_samples)
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            check_random_state(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        current = 0
+        for fold_size in fold_sizes:
+            test_indices = indices[current:current + fold_size]
+            train_indices = np.concatenate([indices[:current], indices[current + fold_size:]])
+            yield np.sort(train_indices), np.sort(test_indices)
+            current += fold_size
+
+
+class StratifiedKFold:
+    """K-fold splitter preserving class proportions in each fold."""
+
+    def __init__(self, n_splits=5, shuffle=True, random_state=None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y):
+        y = np.asarray(y)
+        n_samples = len(y)
+        rng = check_random_state(self.random_state)
+        folds = [[] for _ in range(self.n_splits)]
+        for label in np.unique(y):
+            label_indices = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(label_indices)
+            for i, index in enumerate(label_indices):
+                folds[i % self.n_splits].append(index)
+        for i in range(self.n_splits):
+            test_indices = np.sort(np.asarray(folds[i], dtype=int))
+            train_indices = np.sort(
+                np.asarray([idx for j, fold in enumerate(folds) if j != i for idx in fold], dtype=int)
+            )
+            if len(test_indices) == 0 or len(train_indices) == 0:
+                raise ValueError(
+                    "StratifiedKFold produced an empty fold; reduce n_splits "
+                    "(n_samples={}, n_splits={})".format(n_samples, self.n_splits)
+                )
+            yield train_indices, test_indices
+
+
+def cross_val_score(estimator, X, y, scoring, cv=3, random_state=None, stratified=False):
+    """Cross-validated scores of an estimator.
+
+    Parameters
+    ----------
+    estimator:
+        Object exposing ``fit(X, y)`` and ``predict(X)`` plus the
+        ``get_params`` cloning contract.
+    scoring:
+        Callable ``scoring(y_true, y_pred) -> float``.
+    cv:
+        Number of folds.
+    stratified:
+        Use :class:`StratifiedKFold` instead of :class:`KFold`.
+    """
+    from repro.learners.base import clone
+
+    X = np.asarray(X)
+    y = np.asarray(y)
+    splitter_cls = StratifiedKFold if stratified else KFold
+    splitter = splitter_cls(n_splits=cv, shuffle=True, random_state=random_state)
+    scores = []
+    for train_indices, test_indices in splitter.split(X, y):
+        model = clone(estimator)
+        model.fit(X[train_indices], y[train_indices])
+        predictions = model.predict(X[test_indices])
+        scores.append(scoring(y[test_indices], predictions))
+    return np.asarray(scores, dtype=float)

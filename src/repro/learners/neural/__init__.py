@@ -1,0 +1,17 @@
+"""Neural network models: multilayer perceptrons and sequence models.
+
+These are the stand-ins for the Keras primitives in the original catalog
+(``LSTMTimeSeriesRegressor``, ``LSTMTextClassifier`` and friends).  They
+are implemented with plain numpy backpropagation, which keeps the same
+fit/produce surface while running quickly on a laptop.
+"""
+
+from repro.learners.neural.mlp import MLPClassifier, MLPRegressor
+from repro.learners.neural.sequence import LSTMTextClassifier, LSTMTimeSeriesRegressor
+
+__all__ = [
+    "MLPClassifier",
+    "MLPRegressor",
+    "LSTMTimeSeriesRegressor",
+    "LSTMTextClassifier",
+]

@@ -1,0 +1,170 @@
+"""Multilayer perceptrons trained with mini-batch Adam."""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_random_state
+from repro.learners.validation import check_X_y, check_array
+
+
+def _relu(values):
+    return np.maximum(values, 0.0)
+
+
+def _relu_grad(values):
+    return (values > 0.0).astype(float)
+
+
+def _softmax(logits):
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+class _AdamState:
+    """Adam optimizer state for a list of parameter arrays."""
+
+    def __init__(self, parameters, learning_rate, beta1=0.9, beta2=0.999, eps=1e-8):
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.step = 0
+        self.m = [np.zeros_like(p) for p in parameters]
+        self.v = [np.zeros_like(p) for p in parameters]
+
+    def update(self, parameters, gradients):
+        self.step += 1
+        for i, (parameter, gradient) in enumerate(zip(parameters, gradients)):
+            self.m[i] = self.beta1 * self.m[i] + (1 - self.beta1) * gradient
+            self.v[i] = self.beta2 * self.v[i] + (1 - self.beta2) * gradient ** 2
+            m_hat = self.m[i] / (1 - self.beta1 ** self.step)
+            v_hat = self.v[i] / (1 - self.beta2 ** self.step)
+            parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class _BaseMLP(BaseEstimator):
+    """Shared forward/backward machinery for MLP models."""
+
+    def __init__(self, hidden_units=(32,), learning_rate=0.01, epochs=50, batch_size=32,
+                 alpha=1e-4, random_state=None):
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.random_state = random_state
+
+    def _initialize(self, n_inputs, n_outputs, rng):
+        sizes = [n_inputs] + list(self.hidden_units) + [n_outputs]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights_.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, X):
+        activations = [X]
+        pre_activations = []
+        hidden = X
+        for i, (weights, bias) in enumerate(zip(self.weights_, self.biases_)):
+            linear = hidden @ weights + bias
+            pre_activations.append(linear)
+            if i < len(self.weights_) - 1:
+                hidden = _relu(linear)
+            else:
+                hidden = linear
+            activations.append(hidden)
+        return activations, pre_activations
+
+    def _backward(self, activations, pre_activations, output_gradient):
+        weight_gradients = [None] * len(self.weights_)
+        bias_gradients = [None] * len(self.biases_)
+        delta = output_gradient
+        for i in reversed(range(len(self.weights_))):
+            weight_gradients[i] = activations[i].T @ delta + self.alpha * self.weights_[i]
+            bias_gradients[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights_[i].T) * _relu_grad(pre_activations[i - 1])
+        return weight_gradients, bias_gradients
+
+    def _train(self, X, targets, output_gradient_fn):
+        if self.epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        rng = check_random_state(self.random_state)
+        self._initialize(X.shape[1], targets.shape[1], rng)
+        optimizer = _AdamState(self.weights_ + self.biases_, self.learning_rate)
+        n_samples = X.shape[0]
+        self.loss_curve_ = []
+        for _ in range(self.epochs):
+            permutation = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            for start in range(0, n_samples, self.batch_size):
+                batch = permutation[start:start + self.batch_size]
+                activations, pre_activations = self._forward(X[batch])
+                gradient, loss = output_gradient_fn(activations[-1], targets[batch])
+                epoch_loss += loss * len(batch)
+                weight_gradients, bias_gradients = self._backward(
+                    activations, pre_activations, gradient
+                )
+                optimizer.update(
+                    self.weights_ + self.biases_, weight_gradients + bias_gradients
+                )
+            self.loss_curve_.append(epoch_loss / n_samples)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+
+class MLPRegressor(_BaseMLP, RegressorMixin):
+    """Feed-forward network for regression with squared-error loss."""
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y, y_numeric=True)
+        targets = y.reshape(-1, 1)
+        self._y_mean = float(targets.mean())
+        self._y_scale = float(targets.std()) or 1.0
+        normalized = (targets - self._y_mean) / self._y_scale
+
+        def gradient_fn(outputs, batch_targets):
+            diff = outputs - batch_targets
+            loss = float(np.mean(diff ** 2))
+            return diff / len(batch_targets), loss
+
+        return self._train(X, normalized, gradient_fn)
+
+    def predict(self, X):
+        self._check_fitted("weights_")
+        X = check_array(X)
+        outputs, _ = self._forward(X)
+        return outputs[-1][:, 0] * self._y_scale + self._y_mean
+
+
+class MLPClassifier(_BaseMLP, ClassifierMixin):
+    """Feed-forward network for classification with softmax cross-entropy loss."""
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        index = {label: i for i, label in enumerate(self.classes_)}
+        onehot = np.zeros((len(y), len(self.classes_)))
+        for row, label in enumerate(y):
+            onehot[row, index[label]] = 1.0
+
+        def gradient_fn(outputs, batch_targets):
+            probabilities = _softmax(outputs)
+            loss = float(-np.mean(np.sum(batch_targets * np.log(probabilities + 1e-12), axis=1)))
+            return (probabilities - batch_targets) / len(batch_targets), loss
+
+        return self._train(X, onehot, gradient_fn)
+
+    def predict_proba(self, X):
+        self._check_fitted("weights_")
+        X = check_array(X)
+        outputs, _ = self._forward(X)
+        return _softmax(outputs[-1])
+
+    def predict(self, X):
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

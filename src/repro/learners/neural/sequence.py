@@ -1,0 +1,139 @@
+"""Sequence models standing in for the Keras LSTM primitives.
+
+``LSTMTimeSeriesRegressor`` consumes rolling-window sequences (as produced
+by :func:`repro.learners.timeseries.rolling_window_sequences`) and predicts
+the next value of the series; ``LSTMTextClassifier`` consumes padded token
+sequences (as produced by the tokenizer primitives) and predicts a class.
+
+Both models keep the exact input/output contracts of the Keras primitives
+from the ORION and text-classification pipelines (paper Figure 3) but are
+implemented as windowed/embedding MLPs in numpy, which preserves the
+pipeline and AutoML behaviour while staying laptop-fast.
+"""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, RegressorMixin, ClassifierMixin, check_random_state
+from repro.learners.neural.mlp import MLPClassifier, MLPRegressor
+
+
+class LSTMTimeSeriesRegressor(BaseEstimator, RegressorMixin):
+    """Predict the next value of a time series from a fixed-length window.
+
+    Parameters
+    ----------
+    hidden_units:
+        Sizes of the hidden layers of the underlying network.
+    epochs, learning_rate, batch_size:
+        Training hyperparameters passed to the underlying network.
+    """
+
+    def __init__(self, hidden_units=(64, 32), epochs=35, learning_rate=0.01,
+                 batch_size=64, random_state=None):
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        X = _flatten_sequences(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        self._network = MLPRegressor(
+            hidden_units=self.hidden_units,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            random_state=self.random_state,
+        )
+        self._network.fit(X, y)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X):
+        self._check_fitted("_network")
+        X = _flatten_sequences(np.asarray(X, dtype=float))
+        return self._network.predict(X)
+
+
+class LSTMTextClassifier(BaseEstimator, ClassifierMixin):
+    """Classify padded token sequences.
+
+    Token indices are embedded with a fixed random embedding table (a
+    cheap, deterministic substitute for a learned embedding), pooled over
+    the sequence, and classified with an MLP head.
+
+    Parameters
+    ----------
+    vocabulary_size:
+        Number of distinct tokens; inferred from the data when ``None``.
+    embedding_dim:
+        Dimensionality of the token embeddings.
+    """
+
+    def __init__(self, vocabulary_size=None, embedding_dim=32, hidden_units=(64,),
+                 epochs=30, learning_rate=0.01, batch_size=32, random_state=None):
+        self.vocabulary_size = vocabulary_size
+        self.embedding_dim = embedding_dim
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.random_state = random_state
+
+    def _embed(self, X):
+        X = np.asarray(X, dtype=int)
+        if X.ndim != 2:
+            raise ValueError("Expected padded token sequences of shape (n_samples, maxlen)")
+        clipped = np.clip(X, 0, self._vocabulary_size - 1)
+        embedded = self._embeddings[clipped]        # (n, maxlen, dim)
+        mask = (X > 0).astype(float)[:, :, None]    # 0 is the padding index
+        lengths = np.maximum(mask.sum(axis=1), 1.0)
+        mean_pooled = (embedded * mask).sum(axis=1) / lengths
+        max_pooled = (embedded * mask).max(axis=1)
+        return np.hstack([mean_pooled, max_pooled])
+
+    def fit(self, X, y, vocabulary_size=None, classes=None):
+        """Fit on padded sequences.
+
+        ``classes`` (the number of target classes) is accepted for
+        interface compatibility with the Keras primitive it replaces, where
+        it sizes the output layer; here the output size is inferred from
+        ``y`` directly.
+        """
+        X = np.asarray(X, dtype=int)
+        y = np.asarray(y)
+        size = vocabulary_size or self.vocabulary_size
+        if size is None:
+            size = int(X.max()) + 1 if X.size else 1
+        self._vocabulary_size = max(int(size), int(X.max()) + 1 if X.size else 1)
+        rng = check_random_state(self.random_state)
+        self._embeddings = rng.normal(0.0, 1.0, size=(self._vocabulary_size, self.embedding_dim))
+        self._embeddings[0] = 0.0  # padding token embeds to zero
+        features = self._embed(X)
+        self._network = MLPClassifier(
+            hidden_units=self.hidden_units,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            random_state=self.random_state,
+        )
+        self._network.fit(features, y)
+        self.classes_ = self._network.classes_
+        return self
+
+    def predict_proba(self, X):
+        self._check_fitted("_network")
+        return self._network.predict_proba(self._embed(X))
+
+    def predict(self, X):
+        self._check_fitted("_network")
+        return self._network.predict(self._embed(X))
+
+
+def _flatten_sequences(X):
+    if X.ndim == 3:
+        return X.reshape(X.shape[0], -1)
+    if X.ndim == 2:
+        return X
+    raise ValueError("Expected 2D or 3D sequence input, got shape {}".format(X.shape))

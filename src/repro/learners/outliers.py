@@ -1,0 +1,146 @@
+"""Tabular anomaly / outlier detectors.
+
+Paper Figure 2 lists ``AnomalyDetector`` and ``BoundaryDetector``
+postprocessors among the catalog primitives; these are their stand-ins.
+``IsolationTreeDetector`` is a compact isolation-forest-style detector and
+``ZScoreBoundaryDetector`` flags points outside a robust z-score boundary.
+"""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, check_random_state
+from repro.learners.validation import check_array
+
+
+class ZScoreBoundaryDetector(BaseEstimator):
+    """Flag samples whose robust z-score exceeds a threshold in any feature.
+
+    The robust z-score uses the median and the median absolute deviation,
+    so a handful of extreme outliers does not mask the boundary.
+    """
+
+    def __init__(self, threshold=3.5):
+        self.threshold = threshold
+
+    def fit(self, X, y=None):
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        X = check_array(X)
+        self.median_ = np.median(X, axis=0)
+        mad = np.median(np.abs(X - self.median_), axis=0)
+        mad[mad == 0.0] = 1e-9
+        self.mad_ = mad
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def score_samples(self, X):
+        """Maximum absolute robust z-score per sample (higher = more anomalous)."""
+        self._check_fitted("median_")
+        X = check_array(X)
+        z_scores = 0.6745 * np.abs(X - self.median_) / self.mad_
+        return z_scores.max(axis=1)
+
+    def predict(self, X):
+        """Return 1 for outliers and 0 for inliers."""
+        return (self.score_samples(X) > self.threshold).astype(int)
+
+
+class _IsolationTree:
+    """A single isolation tree with random axis-aligned splits."""
+
+    def __init__(self, max_depth, rng):
+        self.max_depth = max_depth
+        self.rng = rng
+
+    def fit(self, X):
+        self.root_ = self._build(X, depth=0)
+        return self
+
+    def _build(self, X, depth):
+        n_samples, n_features = X.shape
+        if depth >= self.max_depth or n_samples <= 1:
+            return {"size": n_samples}
+        feature = int(self.rng.randint(n_features))
+        low, high = X[:, feature].min(), X[:, feature].max()
+        if low == high:
+            return {"size": n_samples}
+        threshold = float(self.rng.uniform(low, high))
+        mask = X[:, feature] < threshold
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "left": self._build(X[mask], depth + 1),
+            "right": self._build(X[~mask], depth + 1),
+        }
+
+    def path_length(self, x):
+        node = self.root_
+        depth = 0
+        while "feature" in node:
+            node = node["left"] if x[node["feature"]] < node["threshold"] else node["right"]
+            depth += 1
+        return depth + _average_path_length(node["size"])
+
+
+def _average_path_length(n):
+    if n <= 1:
+        return 0.0
+    harmonic = np.log(n - 1) + 0.5772156649
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+class IsolationTreeDetector(BaseEstimator):
+    """Isolation-forest-style anomaly detector.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of isolation trees.
+    contamination:
+        Expected fraction of outliers; sets the decision threshold.
+    max_samples:
+        Sub-sample size used to build each tree.
+    """
+
+    def __init__(self, n_estimators=30, contamination=0.1, max_samples=64, random_state=None):
+        self.n_estimators = n_estimators
+        self.contamination = contamination
+        self.max_samples = max_samples
+        self.random_state = random_state
+
+    def fit(self, X, y=None):
+        if not 0.0 < self.contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5)")
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        X = check_array(X)
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        sample_size = min(self.max_samples, n_samples)
+        max_depth = int(np.ceil(np.log2(max(sample_size, 2))))
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            indices = rng.choice(n_samples, size=sample_size, replace=False)
+            tree = _IsolationTree(max_depth, rng)
+            tree.fit(X[indices])
+            self.trees_.append(tree)
+        self._normalizer = _average_path_length(sample_size) or 1.0
+        scores = self.score_samples(X)
+        self.threshold_ = float(np.quantile(scores, 1.0 - self.contamination))
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def score_samples(self, X):
+        """Anomaly score in (0, 1); higher means more anomalous."""
+        self._check_fitted("trees_")
+        X = check_array(X)
+        depths = np.asarray([
+            [tree.path_length(x) for tree in self.trees_] for x in X
+        ])
+        mean_depth = depths.mean(axis=1)
+        return 2.0 ** (-mean_depth / self._normalizer)
+
+    def predict(self, X):
+        """Return 1 for outliers and 0 for inliers."""
+        self._check_fitted("trees_")
+        return (self.score_samples(X) > self.threshold_).astype(int)

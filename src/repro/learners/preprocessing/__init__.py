@@ -1,0 +1,44 @@
+"""Preprocessing transformers: imputation, scaling, encoding, decomposition."""
+
+from repro.learners.preprocessing.imputation import SimpleImputer
+from repro.learners.preprocessing.scalers import MinMaxScaler, RobustScaler, StandardScaler
+from repro.learners.preprocessing.encoders import (
+    CategoricalEncoder,
+    ClassDecoder,
+    ClassEncoder,
+    LabelEncoder,
+    OneHotEncoder,
+    OrdinalEncoder,
+)
+from repro.learners.preprocessing.decomposition import PCA, TruncatedSVD
+from repro.learners.preprocessing.datetime_features import DatetimeFeaturizer
+from repro.learners.preprocessing.feature_engineering import (
+    Binarizer,
+    KBinsDiscretizer,
+    Normalizer,
+    PolynomialFeatures,
+    SelectKBest,
+    VarianceThreshold,
+)
+
+__all__ = [
+    "SimpleImputer",
+    "StandardScaler",
+    "MinMaxScaler",
+    "RobustScaler",
+    "LabelEncoder",
+    "ClassEncoder",
+    "ClassDecoder",
+    "OneHotEncoder",
+    "OrdinalEncoder",
+    "CategoricalEncoder",
+    "PCA",
+    "TruncatedSVD",
+    "Normalizer",
+    "Binarizer",
+    "PolynomialFeatures",
+    "KBinsDiscretizer",
+    "VarianceThreshold",
+    "SelectKBest",
+    "DatetimeFeaturizer",
+]

@@ -1,0 +1,104 @@
+"""Datetime featurization (the ``DatetimeFeaturizer`` primitive of paper Figure 2).
+
+Timestamps — unix seconds or ISO-8601 strings — are expanded into numeric
+calendar features (year, month, day, weekday, hour, minute) so that
+downstream estimators can use them.  This also provides the catalog's
+"pandas" source bucket: the original catalog wraps two small pandas
+helpers for exactly this kind of column manipulation.
+"""
+
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+
+#: Calendar components extracted for every timestamp.
+DATETIME_COMPONENTS = ("year", "month", "day", "weekday", "hour", "minute")
+
+
+def _to_datetime(value):
+    """Convert a unix timestamp, ISO string or datetime into a datetime object."""
+    if isinstance(value, datetime):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return datetime.fromtimestamp(float(value), tz=timezone.utc)
+    text = str(value).strip()
+    for fmt in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%dT%H:%M:%S", "%Y-%m-%d", "%Y/%m/%d"):
+        try:
+            return datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+    raise ValueError("Cannot interpret {!r} as a datetime".format(value))
+
+
+def datetime_components(value):
+    """Return the calendar components of one timestamp as a float vector."""
+    moment = _to_datetime(value)
+    return np.asarray([
+        float(moment.year),
+        float(moment.month),
+        float(moment.day),
+        float(moment.weekday()),
+        float(moment.hour),
+        float(moment.minute),
+    ])
+
+
+class DatetimeFeaturizer(BaseEstimator, TransformerMixin):
+    """Expand one or more timestamp columns into calendar features.
+
+    Parameters
+    ----------
+    columns:
+        Indices of the timestamp columns.  ``None`` treats every column as
+        a timestamp (the common case of a single-column datetime array).
+    keep_original:
+        If True, the remaining (non-timestamp) columns are passed through
+        unchanged and the calendar features are appended.
+    """
+
+    def __init__(self, columns=None, keep_original=True):
+        self.columns = columns
+        self.keep_original = keep_original
+
+    def fit(self, X, y=None):
+        X = _as_2d(X)
+        self.columns_ = list(self.columns) if self.columns is not None else list(range(X.shape[1]))
+        for column in self.columns_:
+            if column >= X.shape[1]:
+                raise ValueError("Column index {} out of range".format(column))
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("columns_")
+        X = _as_2d(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("Inconsistent number of columns")
+        blocks = []
+        if self.keep_original:
+            passthrough = [i for i in range(X.shape[1]) if i not in self.columns_]
+            if passthrough:
+                blocks.append(np.asarray(X[:, passthrough], dtype=float))
+        for column in self.columns_:
+            expanded = np.stack([datetime_components(value) for value in X[:, column]])
+            blocks.append(expanded)
+        return np.hstack(blocks)
+
+    def feature_names(self):
+        """Names of the generated calendar features, per timestamp column."""
+        self._check_fitted("columns_")
+        names = []
+        for column in self.columns_:
+            names.extend("col{}_{}".format(column, part) for part in DATETIME_COMPONENTS)
+        return names
+
+
+def _as_2d(X):
+    X = np.asarray(X, dtype=object)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError("Expected a 1D or 2D array of timestamps")
+    return X

@@ -1,0 +1,86 @@
+"""Dimensionality reduction: PCA and truncated SVD."""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+from repro.learners.validation import check_array
+
+
+class PCA(BaseEstimator, TransformerMixin):
+    """Principal component analysis via singular value decomposition.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep.  ``None`` keeps
+        ``min(n_samples, n_features)`` components.
+    whiten:
+        If True, components are scaled to unit variance.
+    """
+
+    def __init__(self, n_components=None, whiten=False):
+        self.n_components = n_components
+        self.whiten = whiten
+
+    def fit(self, X, y=None):
+        if self.n_components is not None and self.n_components < 1:
+            raise ValueError("n_components must be at least 1")
+        X = check_array(X)
+        n_samples, n_features = X.shape
+        n_components = self.n_components or min(n_samples, n_features)
+        n_components = min(n_components, n_samples, n_features)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[:n_components]
+        explained_variance = (singular_values ** 2) / max(n_samples - 1, 1)
+        total_variance = explained_variance.sum()
+        self.explained_variance_ = explained_variance[:n_components]
+        if total_variance > 0:
+            self.explained_variance_ratio_ = self.explained_variance_ / total_variance
+        else:
+            self.explained_variance_ratio_ = np.zeros(n_components)
+        self.n_components_ = n_components
+        self.n_features_in_ = n_features
+        return self
+
+    def transform(self, X):
+        self._check_fitted("components_")
+        X = check_array(X)
+        transformed = (X - self.mean_) @ self.components_.T
+        if self.whiten:
+            scale = np.sqrt(self.explained_variance_)
+            scale[scale == 0.0] = 1.0
+            transformed = transformed / scale
+        return transformed
+
+    def inverse_transform(self, X):
+        self._check_fitted("components_")
+        X = check_array(X)
+        if self.whiten:
+            X = X * np.sqrt(self.explained_variance_)
+        return X @ self.components_ + self.mean_
+
+
+class TruncatedSVD(BaseEstimator, TransformerMixin):
+    """Dimensionality reduction without centering (suitable for sparse-like data)."""
+
+    def __init__(self, n_components=2):
+        self.n_components = n_components
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        n_components = min(self.n_components, X.shape[0], X.shape[1])
+        if n_components < 1:
+            raise ValueError("n_components must be at least 1")
+        _, singular_values, vt = np.linalg.svd(X, full_matrices=False)
+        self.components_ = vt[:n_components]
+        self.singular_values_ = singular_values[:n_components]
+        self.n_components_ = n_components
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("components_")
+        X = check_array(X)
+        return X @ self.components_.T

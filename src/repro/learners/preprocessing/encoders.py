@@ -1,0 +1,179 @@
+"""Categorical and label encoders.
+
+``ClassEncoder`` / ``ClassDecoder`` reproduce the target encoding
+primitives that appear in most of the default templates of paper
+Table II, and ``CategoricalEncoder`` is the feature-side one-hot encoder
+used in the graph and tabular templates.
+"""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+from repro.learners.validation import column_or_1d
+
+
+class LabelEncoder(BaseEstimator, TransformerMixin):
+    """Encode target labels as integers ``0..n_classes-1``."""
+
+    def fit(self, y, _unused=None):
+        y = column_or_1d(y)
+        self.classes_ = np.unique(y)
+        return self
+
+    def transform(self, y):
+        self._check_fitted("classes_")
+        y = column_or_1d(y)
+        index = {label: i for i, label in enumerate(self.classes_)}
+        try:
+            return np.asarray([index[value] for value in y], dtype=int)
+        except KeyError as error:
+            raise ValueError("y contains previously unseen label: {!r}".format(error.args[0]))
+
+    def inverse_transform(self, y):
+        self._check_fitted("classes_")
+        y = np.asarray(y, dtype=int)
+        if y.size and (y.min() < 0 or y.max() >= len(self.classes_)):
+            raise ValueError("y contains out-of-range encoded labels")
+        return self.classes_[y]
+
+
+class ClassEncoder(LabelEncoder):
+    """Primitive-style alias of :class:`LabelEncoder`.
+
+    ``produce`` returns both the encoded target and the array of classes so
+    downstream primitives (for example :class:`ClassDecoder`) can decode
+    predictions, mirroring the ``classes`` ML data type in the paper.
+    """
+
+    def produce(self, y):
+        encoded = self.fit(y).transform(y)
+        return encoded, self.classes_
+
+
+class ClassDecoder(BaseEstimator):
+    """Decode integer predictions back into the original class labels."""
+
+    def fit(self, classes=None, _unused=None):
+        self.classes_ = None if classes is None else np.asarray(classes)
+        return self
+
+    def produce(self, y, classes=None):
+        if classes is not None:
+            self.classes_ = np.asarray(classes)
+        if self.classes_ is None:
+            raise ValueError("ClassDecoder requires the 'classes' array before decoding")
+        y = np.asarray(np.round(np.asarray(y, dtype=float)), dtype=int)
+        y = np.clip(y, 0, len(self.classes_) - 1)
+        return self.classes_[y]
+
+
+class OrdinalEncoder(BaseEstimator, TransformerMixin):
+    """Encode categorical feature columns as integer codes."""
+
+    def __init__(self, unknown_value=-1):
+        self.unknown_value = unknown_value
+
+    def fit(self, X, y=None):
+        X = _as_object_2d(X)
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("categories_")
+        X = _as_object_2d(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("Inconsistent number of columns")
+        encoded = np.empty(X.shape, dtype=float)
+        for j, categories in enumerate(self.categories_):
+            index = {category: i for i, category in enumerate(categories)}
+            encoded[:, j] = [index.get(value, self.unknown_value) for value in X[:, j]]
+        return encoded
+
+
+class OneHotEncoder(BaseEstimator, TransformerMixin):
+    """One-hot encode categorical feature columns.
+
+    Unknown categories at transform time map to an all-zeros block rather
+    than raising, because AutoML search routinely hits unseen categories
+    in cross-validation folds.
+    """
+
+    def fit(self, X, y=None):
+        X = _as_object_2d(X)
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("categories_")
+        X = _as_object_2d(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("Inconsistent number of columns")
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            index = {category: i for i, category in enumerate(categories)}
+            block = np.zeros((X.shape[0], len(categories)))
+            for row, value in enumerate(X[:, j]):
+                position = index.get(value)
+                if position is not None:
+                    block[row, position] = 1.0
+            blocks.append(block)
+        return np.hstack(blocks)
+
+
+class CategoricalEncoder(BaseEstimator, TransformerMixin):
+    """One-hot encode only the non-numeric columns of a mixed feature matrix.
+
+    Numeric columns pass through unchanged (cast to float); categorical
+    columns are replaced by their one-hot expansion.  This mirrors the
+    ``CategoricalEncoder`` primitive from MLPrimitives used in graph and
+    tabular templates.
+    """
+
+    def __init__(self, max_unique_ratio=1.0):
+        self.max_unique_ratio = max_unique_ratio
+
+    def fit(self, X, y=None):
+        X = _as_object_2d(X)
+        self.categorical_columns_ = []
+        self.numeric_columns_ = []
+        for j in range(X.shape[1]):
+            if _is_numeric_column(X[:, j]):
+                self.numeric_columns_.append(j)
+            else:
+                self.categorical_columns_.append(j)
+        if self.categorical_columns_:
+            self._onehot = OneHotEncoder()
+            self._onehot.fit(X[:, self.categorical_columns_])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("n_features_in_")
+        X = _as_object_2d(X)
+        parts = []
+        if self.numeric_columns_:
+            parts.append(X[:, self.numeric_columns_].astype(float))
+        if self.categorical_columns_:
+            parts.append(self._onehot.transform(X[:, self.categorical_columns_]))
+        if not parts:
+            return np.zeros((X.shape[0], 0))
+        return np.hstack(parts)
+
+
+def _as_object_2d(X):
+    X = np.asarray(X, dtype=object)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError("Expected a 1D or 2D array, got shape {}".format(X.shape))
+    return X
+
+
+def _is_numeric_column(column):
+    try:
+        np.asarray(column, dtype=float)
+        return True
+    except (TypeError, ValueError):
+        return False

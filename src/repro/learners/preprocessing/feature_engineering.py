@@ -1,0 +1,195 @@
+"""Additional stateless-ish feature engineering transformers.
+
+These round out the preprocessing part of the catalog: normalization,
+binarization, polynomial expansion, discretization and simple univariate
+feature selection — all of which exist as primitives in the original
+MLPrimitives catalog via their scikit-learn counterparts.
+"""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+from repro.learners.validation import check_array, check_X_y
+
+
+class Normalizer(BaseEstimator, TransformerMixin):
+    """Scale individual samples to unit norm (L1 or L2)."""
+
+    def __init__(self, norm="l2"):
+        self.norm = norm
+
+    def fit(self, X, y=None):
+        if self.norm not in ("l1", "l2", "max"):
+            raise ValueError("norm must be 'l1', 'l2' or 'max'")
+        self.n_features_in_ = check_array(X).shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("n_features_in_")
+        X = check_array(X)
+        if self.norm == "l1":
+            norms = np.abs(X).sum(axis=1)
+        elif self.norm == "l2":
+            norms = np.sqrt((X ** 2).sum(axis=1))
+        else:
+            norms = np.abs(X).max(axis=1)
+        norms[norms == 0.0] = 1.0
+        return X / norms[:, None]
+
+
+class Binarizer(BaseEstimator, TransformerMixin):
+    """Threshold features to 0/1."""
+
+    def __init__(self, threshold=0.0):
+        self.threshold = threshold
+
+    def fit(self, X, y=None):
+        self.n_features_in_ = check_array(X).shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("n_features_in_")
+        X = check_array(X)
+        return (X > self.threshold).astype(float)
+
+
+class PolynomialFeatures(BaseEstimator, TransformerMixin):
+    """Degree-2 polynomial feature expansion (optionally interactions only)."""
+
+    def __init__(self, interaction_only=False, include_bias=False):
+        self.interaction_only = interaction_only
+        self.include_bias = include_bias
+
+    def fit(self, X, y=None):
+        self.n_features_in_ = check_array(X).shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("n_features_in_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("Inconsistent number of features")
+        columns = []
+        if self.include_bias:
+            columns.append(np.ones((X.shape[0], 1)))
+        columns.append(X)
+        n_features = X.shape[1]
+        for i in range(n_features):
+            start = i + 1 if self.interaction_only else i
+            for j in range(start, n_features):
+                columns.append((X[:, i] * X[:, j]).reshape(-1, 1))
+        return np.hstack(columns)
+
+
+class KBinsDiscretizer(BaseEstimator, TransformerMixin):
+    """Discretize features into equal-frequency ordinal bins."""
+
+    def __init__(self, n_bins=5):
+        self.n_bins = n_bins
+
+    def fit(self, X, y=None):
+        if self.n_bins < 2:
+            raise ValueError("n_bins must be at least 2")
+        X = check_array(X)
+        quantiles = np.linspace(0, 100, self.n_bins + 1)[1:-1]
+        self.bin_edges_ = [np.unique(np.percentile(X[:, j], quantiles)) for j in range(X.shape[1])]
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("bin_edges_")
+        X = check_array(X)
+        binned = np.empty_like(X)
+        for j, edges in enumerate(self.bin_edges_):
+            binned[:, j] = np.searchsorted(edges, X[:, j])
+        return binned
+
+
+class VarianceThreshold(BaseEstimator, TransformerMixin):
+    """Remove features whose variance is below a threshold."""
+
+    def __init__(self, threshold=0.0):
+        self.threshold = threshold
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        variances = X.var(axis=0)
+        self.support_ = variances > self.threshold
+        if not self.support_.any():
+            self.support_[np.argmax(variances)] = True
+        self.variances_ = variances
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("support_")
+        X = check_array(X)
+        return X[:, self.support_]
+
+
+def f_score_classification(X, y):
+    """One-way ANOVA F-score of each feature against a categorical target."""
+    X, y = check_X_y(X, y)
+    classes = np.unique(y)
+    overall_mean = X.mean(axis=0)
+    between = np.zeros(X.shape[1])
+    within = np.zeros(X.shape[1])
+    for label in classes:
+        members = X[y == label]
+        between += len(members) * (members.mean(axis=0) - overall_mean) ** 2
+        within += ((members - members.mean(axis=0)) ** 2).sum(axis=0)
+    df_between = max(len(classes) - 1, 1)
+    df_within = max(X.shape[0] - len(classes), 1)
+    within[within == 0.0] = 1e-12
+    return (between / df_between) / (within / df_within)
+
+
+def correlation_score_regression(X, y):
+    """Absolute Pearson correlation of each feature with a numeric target."""
+    X, y = check_X_y(X, y, y_numeric=True)
+    X_centered = X - X.mean(axis=0)
+    y_centered = y - y.mean()
+    numerator = np.abs(X_centered.T @ y_centered)
+    denominator = np.sqrt((X_centered ** 2).sum(axis=0) * (y_centered ** 2).sum())
+    denominator[denominator == 0.0] = 1e-12
+    return numerator / denominator
+
+
+class SelectKBest(BaseEstimator, TransformerMixin):
+    """Keep the K features with the highest univariate score.
+
+    Parameters
+    ----------
+    k:
+        Number of features to keep.
+    problem_type:
+        ``"classification"`` (ANOVA F-score) or ``"regression"``
+        (absolute correlation).
+    """
+
+    def __init__(self, k=10, problem_type="classification"):
+        self.k = k
+        self.problem_type = problem_type
+
+    def fit(self, X, y):
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.problem_type == "classification":
+            scores = f_score_classification(X, y)
+        elif self.problem_type == "regression":
+            scores = correlation_score_regression(X, y)
+        else:
+            raise ValueError("Unknown problem_type: {!r}".format(self.problem_type))
+        self.scores_ = scores
+        k = min(self.k, len(scores))
+        self.support_ = np.zeros(len(scores), dtype=bool)
+        self.support_[np.argsort(scores)[::-1][:k]] = True
+        self.n_features_in_ = len(scores)
+        return self
+
+    def transform(self, X):
+        self._check_fitted("support_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("Inconsistent number of features")
+        return X[:, self.support_]

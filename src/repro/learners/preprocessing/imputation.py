@@ -1,0 +1,61 @@
+"""Missing value imputation (stand-in for ``sklearn.impute.SimpleImputer``)."""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+from repro.learners.validation import check_array
+
+
+class SimpleImputer(BaseEstimator, TransformerMixin):
+    """Impute missing values column-by-column with a simple statistic.
+
+    Parameters
+    ----------
+    strategy:
+        One of ``"mean"``, ``"median"``, ``"most_frequent"`` or
+        ``"constant"``.
+    fill_value:
+        Value used when ``strategy="constant"``.
+    """
+
+    def __init__(self, strategy="mean", fill_value=0.0):
+        self.strategy = strategy
+        self.fill_value = fill_value
+
+    def fit(self, X, y=None):
+        X = check_array(X, allow_nan=True)
+        if self.strategy not in ("mean", "median", "most_frequent", "constant"):
+            raise ValueError("Unknown imputation strategy: {!r}".format(self.strategy))
+        statistics = np.empty(X.shape[1], dtype=float)
+        for column in range(X.shape[1]):
+            values = X[:, column]
+            observed = values[~np.isnan(values)]
+            if self.strategy == "constant":
+                statistics[column] = self.fill_value
+            elif observed.size == 0:
+                statistics[column] = self.fill_value
+            elif self.strategy == "mean":
+                statistics[column] = observed.mean()
+            elif self.strategy == "median":
+                statistics[column] = np.median(observed)
+            else:  # most_frequent
+                uniques, counts = np.unique(observed, return_counts=True)
+                statistics[column] = uniques[np.argmax(counts)]
+        self.statistics_ = statistics
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("statistics_")
+        X = check_array(X, allow_nan=True)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                "X has {} features but SimpleImputer was fitted with {}".format(
+                    X.shape[1], self.n_features_in_
+                )
+            )
+        X = X.copy()
+        for column in range(X.shape[1]):
+            mask = np.isnan(X[:, column])
+            X[mask, column] = self.statistics_[column]
+        return X

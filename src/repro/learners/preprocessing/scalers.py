@@ -1,0 +1,94 @@
+"""Feature scaling transformers (StandardScaler, MinMaxScaler, RobustScaler)."""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+from repro.learners.validation import check_array
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardize features by removing the mean and scaling to unit variance."""
+
+    def __init__(self, with_mean=True, with_std=True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("mean_")
+        X = check_array(X)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X):
+        self._check_fitted("mean_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Scale features to a given range (default ``[0, 1]``)."""
+
+    def __init__(self, feature_range=(0.0, 1.0)):
+        self.feature_range = feature_range
+
+    def fit(self, X, y=None):
+        low, high = self.feature_range
+        if low >= high:
+            raise ValueError("feature_range minimum must be smaller than maximum")
+        X = check_array(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        data_range = self.data_max_ - self.data_min_
+        data_range[data_range == 0.0] = 1.0
+        self.data_range_ = data_range
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("data_min_")
+        X = check_array(X)
+        low, high = self.feature_range
+        scaled = (X - self.data_min_) / self.data_range_
+        return scaled * (high - low) + low
+
+    def inverse_transform(self, X):
+        self._check_fitted("data_min_")
+        X = check_array(X)
+        low, high = self.feature_range
+        unscaled = (X - low) / (high - low)
+        return unscaled * self.data_range_ + self.data_min_
+
+
+class RobustScaler(BaseEstimator, TransformerMixin):
+    """Scale features using the median and interquartile range."""
+
+    def __init__(self, quantile_range=(25.0, 75.0)):
+        self.quantile_range = quantile_range
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        low, high = self.quantile_range
+        if not 0 <= low < high <= 100:
+            raise ValueError("Invalid quantile_range: {!r}".format(self.quantile_range))
+        self.center_ = np.median(X, axis=0)
+        iqr = np.percentile(X, high, axis=0) - np.percentile(X, low, axis=0)
+        iqr[iqr == 0.0] = 1.0
+        self.scale_ = iqr
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X):
+        self._check_fitted("center_")
+        X = check_array(X)
+        return (X - self.center_) / self.scale_

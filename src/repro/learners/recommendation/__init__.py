@@ -1,0 +1,5 @@
+"""Collaborative filtering (LightFM stand-in)."""
+
+from repro.learners.recommendation.matrix_factorization import MatrixFactorization
+
+__all__ = ["MatrixFactorization"]

@@ -1,0 +1,11 @@
+"""Relational data handling: entity sets and deep feature synthesis.
+
+Stand-in for the ``featuretools.dfs`` primitive that dominates the
+default templates of paper Table II for multi-table, single-table and
+time series tasks.
+"""
+
+from repro.learners.relational.entityset import EntitySet, Relationship
+from repro.learners.relational.dfs import DeepFeatureSynthesis, dfs
+
+__all__ = ["EntitySet", "Relationship", "DeepFeatureSynthesis", "dfs"]

@@ -1,0 +1,96 @@
+"""A minimal EntitySet abstraction over dict-of-column tables.
+
+Tables are plain ``{column_name: numpy array}`` mappings (pandas is not
+available in this environment), with one table designated per entity and
+parent/child relationships declared by key columns, mirroring the
+Featuretools EntitySet model that the paper's ``dfs`` primitive consumes.
+"""
+
+import numpy as np
+
+
+class Relationship:
+    """A one-to-many relationship between a parent and a child entity."""
+
+    def __init__(self, parent_entity, parent_key, child_entity, child_key):
+        self.parent_entity = parent_entity
+        self.parent_key = parent_key
+        self.child_entity = child_entity
+        self.child_key = child_key
+
+    def __repr__(self):
+        return "Relationship({}.{} -> {}.{})".format(
+            self.parent_entity, self.parent_key, self.child_entity, self.child_key
+        )
+
+
+class EntitySet:
+    """A collection of named tables and the relationships between them."""
+
+    def __init__(self, name="entityset"):
+        self.name = name
+        self.entities = {}
+        self.indexes = {}
+        self.relationships = []
+
+    def add_entity(self, name, table, index):
+        """Register a table as an entity.
+
+        Parameters
+        ----------
+        name:
+            Entity name.
+        table:
+            Mapping from column name to a 1-D array; all columns must have
+            the same length.
+        index:
+            Name of the column holding the unique entity identifier.
+        """
+        if name in self.entities:
+            raise ValueError("Entity {!r} already exists".format(name))
+        if index not in table:
+            raise ValueError("Index column {!r} not found in table {!r}".format(index, name))
+        lengths = {column: len(np.asarray(values)) for column, values in table.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError("All columns of entity {!r} must have equal length".format(name))
+        self.entities[name] = {column: np.asarray(values) for column, values in table.items()}
+        self.indexes[name] = index
+        return self
+
+    def add_relationship(self, parent_entity, parent_key, child_entity, child_key):
+        """Declare that ``child_entity.child_key`` references ``parent_entity.parent_key``."""
+        for entity in (parent_entity, child_entity):
+            if entity not in self.entities:
+                raise ValueError("Unknown entity {!r}".format(entity))
+        if parent_key not in self.entities[parent_entity]:
+            raise ValueError("Unknown column {!r} in {!r}".format(parent_key, parent_entity))
+        if child_key not in self.entities[child_entity]:
+            raise ValueError("Unknown column {!r} in {!r}".format(child_key, child_entity))
+        relationship = Relationship(parent_entity, parent_key, child_entity, child_key)
+        self.relationships.append(relationship)
+        return relationship
+
+    def children_of(self, entity):
+        """Return the relationships in which ``entity`` is the parent."""
+        return [r for r in self.relationships if r.parent_entity == entity]
+
+    def numeric_columns(self, entity):
+        """Names of the numeric, non-key columns of an entity."""
+        key_columns = {self.indexes[entity]}
+        for relationship in self.relationships:
+            if relationship.child_entity == entity:
+                key_columns.add(relationship.child_key)
+            if relationship.parent_entity == entity:
+                key_columns.add(relationship.parent_key)
+        numeric = []
+        for column, values in self.entities[entity].items():
+            if column in key_columns:
+                continue
+            if np.issubdtype(np.asarray(values).dtype, np.number):
+                numeric.append(column)
+        return numeric
+
+    def __repr__(self):
+        return "EntitySet({!r}, entities={}, relationships={})".format(
+            self.name, sorted(self.entities), len(self.relationships)
+        )

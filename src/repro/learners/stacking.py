@@ -1,0 +1,211 @@
+"""Model combination: voting and stacking ensembles.
+
+These combine heterogeneous base estimators — the "many compatible
+alternatives to achieve a single goal" that the bazaar metaphor is about —
+into a single estimator, and are exposed as catalog primitives so
+templates can use them like any other estimator.
+"""
+
+import numpy as np
+
+from repro.learners.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_random_state,
+    clone,
+)
+from repro.learners.validation import check_X_y, check_array
+from repro.learners.linear import LogisticRegression, Ridge
+from repro.learners.naive_bayes import GaussianNB
+from repro.learners.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+
+
+def _default_classifiers(random_state):
+    return [
+        RandomForestClassifier(n_estimators=10, random_state=random_state),
+        GradientBoostingClassifier(n_estimators=15, random_state=random_state),
+        GaussianNB(),
+    ]
+
+
+def _default_regressors(random_state):
+    return [
+        RandomForestRegressor(n_estimators=10, random_state=random_state),
+        GradientBoostingRegressor(n_estimators=15, random_state=random_state),
+        Ridge(alpha=1.0),
+    ]
+
+
+class VotingClassifier(BaseEstimator, ClassifierMixin):
+    """Majority (or probability-averaged) vote over heterogeneous classifiers.
+
+    Parameters
+    ----------
+    estimators:
+        List of unfitted classifiers; a diverse default trio is used when
+        omitted.
+    voting:
+        ``"hard"`` (majority of predicted labels) or ``"soft"`` (average of
+        predicted probabilities, for members that expose ``predict_proba``).
+    """
+
+    def __init__(self, estimators=None, voting="hard", random_state=None):
+        self.estimators = estimators
+        self.voting = voting
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        if self.voting not in ("hard", "soft"):
+            raise ValueError("voting must be 'hard' or 'soft'")
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        members = self.estimators or _default_classifiers(self.random_state)
+        self.estimators_ = []
+        for member in members:
+            fitted = clone(member)
+            fitted.fit(X, y)
+            self.estimators_.append(fitted)
+        return self
+
+    def predict_proba(self, X):
+        self._check_fitted("estimators_")
+        X = check_array(X)
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        probabilities = np.zeros((X.shape[0], len(self.classes_)))
+        for member in self.estimators_:
+            if self.voting == "soft" and hasattr(member, "predict_proba"):
+                member_proba = member.predict_proba(X)
+                for j, label in enumerate(member.classes_):
+                    probabilities[:, class_index[label]] += member_proba[:, j]
+            else:
+                for row, label in enumerate(member.predict(X)):
+                    probabilities[row, class_index[label]] += 1.0
+        totals = probabilities.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return probabilities / totals
+
+    def predict(self, X):
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+
+class StackingClassifier(BaseEstimator, ClassifierMixin):
+    """Two-level stacking: out-of-fold base predictions feed a logistic meta-model."""
+
+    def __init__(self, estimators=None, n_splits=3, random_state=None):
+        self.estimators = estimators
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        members = self.estimators or _default_classifiers(self.random_state)
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        indices = rng.permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+
+        meta_features = np.zeros((n_samples, len(members) * len(self.classes_)))
+        for fold in folds:
+            train_mask = np.ones(n_samples, dtype=bool)
+            train_mask[fold] = False
+            if train_mask.sum() < 2 or len(np.unique(y[train_mask])) < 2:
+                continue
+            for member_index, member in enumerate(members):
+                model = clone(member)
+                model.fit(X[train_mask], y[train_mask])
+                block = slice(member_index * len(self.classes_),
+                              (member_index + 1) * len(self.classes_))
+                if hasattr(model, "predict_proba"):
+                    proba = model.predict_proba(X[fold])
+                    for j, label in enumerate(model.classes_):
+                        meta_features[fold, member_index * len(self.classes_)
+                                      + class_index[label]] = proba[:, j]
+                else:
+                    for row, label in zip(fold, model.predict(X[fold])):
+                        meta_features[row, member_index * len(self.classes_)
+                                      + class_index[label]] = 1.0
+                del block
+
+        self.estimators_ = []
+        for member in members:
+            fitted = clone(member)
+            fitted.fit(X, y)
+            self.estimators_.append(fitted)
+        self.meta_model_ = LogisticRegression(max_iter=200)
+        self.meta_model_.fit(meta_features, y)
+        return self
+
+    def _meta_features(self, X):
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        features = np.zeros((X.shape[0], len(self.estimators_) * len(self.classes_)))
+        for member_index, member in enumerate(self.estimators_):
+            if hasattr(member, "predict_proba"):
+                proba = member.predict_proba(X)
+                for j, label in enumerate(member.classes_):
+                    features[:, member_index * len(self.classes_) + class_index[label]] = proba[:, j]
+            else:
+                for row, label in enumerate(member.predict(X)):
+                    features[row, member_index * len(self.classes_) + class_index[label]] = 1.0
+        return features
+
+    def predict(self, X):
+        self._check_fitted("meta_model_")
+        X = check_array(X)
+        return self.meta_model_.predict(self._meta_features(X))
+
+
+class StackingRegressor(BaseEstimator, RegressorMixin):
+    """Two-level stacking for regression with a ridge meta-model."""
+
+    def __init__(self, estimators=None, n_splits=3, random_state=None):
+        self.estimators = estimators
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        X, y = check_X_y(X, y, y_numeric=True)
+        members = self.estimators or _default_regressors(self.random_state)
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        indices = rng.permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+
+        meta_features = np.zeros((n_samples, len(members)))
+        for fold in folds:
+            train_mask = np.ones(n_samples, dtype=bool)
+            train_mask[fold] = False
+            if train_mask.sum() < 2:
+                continue
+            for member_index, member in enumerate(members):
+                model = clone(member)
+                model.fit(X[train_mask], y[train_mask])
+                meta_features[fold, member_index] = model.predict(X[fold])
+
+        self.estimators_ = []
+        for member in members:
+            fitted = clone(member)
+            fitted.fit(X, y)
+            self.estimators_.append(fitted)
+        self.meta_model_ = Ridge(alpha=1.0)
+        self.meta_model_.fit(meta_features, y)
+        return self
+
+    def predict(self, X):
+        self._check_fitted("meta_model_")
+        X = check_array(X)
+        meta_features = np.column_stack([member.predict(X) for member in self.estimators_])
+        return self.meta_model_.predict(meta_features)

@@ -1,0 +1,101 @@
+"""Linear support vector machines trained with subgradient descent.
+
+``LinearSVC`` minimizes the L2-regularized hinge loss; ``LinearSVR``
+minimizes the epsilon-insensitive loss.  Multiclass classification uses a
+one-vs-rest scheme.
+"""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_random_state
+from repro.learners.validation import check_X_y, check_array
+
+
+class LinearSVC(BaseEstimator, ClassifierMixin):
+    """Linear support vector classifier (one-vs-rest for multiclass)."""
+
+    def __init__(self, C=1.0, max_iter=200, learning_rate=0.05, random_state=None):
+        self.C = C
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        if self.C <= 0:
+            raise ValueError("C must be positive")
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("LinearSVC requires at least 2 classes")
+        rng = check_random_state(self.random_state)
+        n_samples, n_features = X.shape
+        self.coef_ = np.zeros((len(self.classes_), n_features))
+        self.intercept_ = np.zeros(len(self.classes_))
+        reg = 1.0 / (self.C * n_samples)
+        for class_index, label in enumerate(self.classes_):
+            targets = np.where(y == label, 1.0, -1.0)
+            weights = np.zeros(n_features)
+            bias = 0.0
+            for iteration in range(self.max_iter):
+                margins = targets * (X @ weights + bias)
+                violating = margins < 1.0
+                step = self.learning_rate / (1.0 + 0.01 * iteration)
+                gradient_w = reg * weights - (targets[violating, None] * X[violating]).sum(axis=0) / n_samples
+                gradient_b = -targets[violating].sum() / n_samples
+                weights -= step * gradient_w
+                bias -= step * gradient_b
+            self.coef_[class_index] = weights
+            self.intercept_[class_index] = bias
+        del rng
+        return self
+
+    def decision_function(self, X):
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return X @ self.coef_.T + self.intercept_
+
+    def predict(self, X):
+        scores = self.decision_function(X)
+        if len(self.classes_) == 2:
+            # one-vs-rest over two classes: pick the larger margin
+            return self.classes_[np.argmax(scores, axis=1)]
+        return self.classes_[np.argmax(scores, axis=1)]
+
+
+class LinearSVR(BaseEstimator, RegressorMixin):
+    """Linear support vector regression with epsilon-insensitive loss."""
+
+    def __init__(self, C=1.0, epsilon=0.1, max_iter=200, learning_rate=0.05):
+        self.C = C
+        self.epsilon = epsilon
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+
+    def fit(self, X, y):
+        if self.C <= 0:
+            raise ValueError("C must be positive")
+        X, y = check_X_y(X, y, y_numeric=True)
+        n_samples, n_features = X.shape
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        targets = (y - self._y_mean) / self._y_scale
+        weights = np.zeros(n_features)
+        bias = 0.0
+        reg = 1.0 / (self.C * n_samples)
+        for iteration in range(self.max_iter):
+            residuals = X @ weights + bias - targets
+            outside = np.abs(residuals) > self.epsilon
+            signs = np.sign(residuals)
+            step = self.learning_rate / (1.0 + 0.01 * iteration)
+            gradient_w = reg * weights + (signs[outside, None] * X[outside]).sum(axis=0) / n_samples
+            gradient_b = signs[outside].sum() / n_samples
+            weights -= step * gradient_w
+            bias -= step * gradient_b
+        self.coef_ = weights
+        self.intercept_ = bias
+        return self
+
+    def predict(self, X):
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return (X @ self.coef_ + self.intercept_) * self._y_scale + self._y_mean

@@ -1,0 +1,19 @@
+"""Text processing primitives: cleaning, tokenization and vectorization."""
+
+from repro.learners.text.cleaning import TextCleaner, UniqueCounter, VocabularyCounter
+from repro.learners.text.tokenization import SequencePadder, Tokenizer, pad_sequences
+from repro.learners.text.vectorizers import CountVectorizer, StringVectorizer, TfidfVectorizer
+from repro.learners.text.embeddings import WordEmbeddingVectorizer
+
+__all__ = [
+    "TextCleaner",
+    "UniqueCounter",
+    "VocabularyCounter",
+    "Tokenizer",
+    "SequencePadder",
+    "pad_sequences",
+    "CountVectorizer",
+    "TfidfVectorizer",
+    "StringVectorizer",
+    "WordEmbeddingVectorizer",
+]

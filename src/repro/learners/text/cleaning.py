@@ -1,0 +1,73 @@
+"""Text cleaning primitives used by the text-classification template.
+
+These reproduce the ``UniqueCounter``, ``TextCleaner`` and
+``VocabularyCounter`` custom primitives from MLPrimitives that appear in
+the text classification pipeline of paper Figure 3.
+"""
+
+import re
+import string
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator
+
+
+_PUNCTUATION_TABLE = str.maketrans({char: " " for char in string.punctuation})
+_WHITESPACE = re.compile(r"\s+")
+
+
+class TextCleaner(BaseEstimator):
+    """Normalize raw text: lowercase, strip punctuation, collapse whitespace."""
+
+    def __init__(self, lowercase=True, strip_punctuation=True):
+        self.lowercase = lowercase
+        self.strip_punctuation = strip_punctuation
+
+    def produce(self, X):
+        """Return cleaned copies of the input documents."""
+        cleaned = []
+        for document in _as_documents(X):
+            text = document
+            if self.lowercase:
+                text = text.lower()
+            if self.strip_punctuation:
+                text = text.translate(_PUNCTUATION_TABLE)
+            text = _WHITESPACE.sub(" ", text).strip()
+            cleaned.append(text)
+        return np.asarray(cleaned, dtype=object)
+
+
+class UniqueCounter(BaseEstimator):
+    """Count the number of unique values in the target vector.
+
+    In the text classification template this produces the number of
+    classes, which is later consumed by the classifier head.
+    """
+
+    def produce(self, y):
+        y = np.asarray(y)
+        return int(len(np.unique(y)))
+
+
+class VocabularyCounter(BaseEstimator):
+    """Count the number of distinct tokens across a text corpus.
+
+    The resulting vocabulary size is consumed by the downstream text
+    classifier (as the input dimension of its embedding).
+    """
+
+    def __init__(self, add=1):
+        self.add = add
+
+    def produce(self, X):
+        vocabulary = set()
+        for document in _as_documents(X):
+            vocabulary.update(document.split())
+        return int(len(vocabulary)) + self.add
+
+
+def _as_documents(X):
+    if isinstance(X, str):
+        raise ValueError("Expected an iterable of documents, got a single string")
+    return [str(document) for document in X]

@@ -1,0 +1,92 @@
+"""Co-occurrence based word embeddings and document embedding features.
+
+A lightweight stand-in for pretrained embedding primitives: token vectors
+are obtained from a truncated SVD of the word co-occurrence matrix (in the
+spirit of GloVe/LSA) and documents are embedded as the average of their
+token vectors.  This provides a second text featurization path next to
+TF-IDF and the tokenizer/padding route.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+
+
+class WordEmbeddingVectorizer(BaseEstimator, TransformerMixin):
+    """Embed documents as the mean of SVD-factorized co-occurrence word vectors.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Dimensionality of the word (and document) vectors.
+    window:
+        Co-occurrence window size in tokens.
+    max_vocabulary:
+        Keep only the most frequent tokens.
+    lowercase:
+        Lowercase documents before tokenizing.
+    """
+
+    def __init__(self, embedding_dim=32, window=3, max_vocabulary=2000, lowercase=True):
+        self.embedding_dim = embedding_dim
+        self.window = window
+        self.max_vocabulary = max_vocabulary
+        self.lowercase = lowercase
+
+    def _split(self, document):
+        text = str(document)
+        if self.lowercase:
+            text = text.lower()
+        return text.split()
+
+    def fit(self, X, y=None):
+        if self.embedding_dim < 1:
+            raise ValueError("embedding_dim must be at least 1")
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        counts = Counter()
+        tokenized = []
+        for document in X:
+            tokens = self._split(document)
+            tokenized.append(tokens)
+            counts.update(tokens)
+        vocabulary = [token for token, _ in counts.most_common(self.max_vocabulary)]
+        self.vocabulary_ = {token: index for index, token in enumerate(sorted(vocabulary))}
+        size = len(self.vocabulary_)
+        if size == 0:
+            raise ValueError("The corpus contains no tokens")
+
+        cooccurrence = np.zeros((size, size))
+        for tokens in tokenized:
+            indices = [self.vocabulary_.get(token) for token in tokens]
+            for position, center in enumerate(indices):
+                if center is None:
+                    continue
+                low = max(0, position - self.window)
+                high = min(len(indices), position + self.window + 1)
+                for neighbor in indices[low:high]:
+                    if neighbor is not None and neighbor != center:
+                        cooccurrence[center, neighbor] += 1.0
+
+        # positive log co-occurrence, factorized with a truncated SVD
+        log_cooccurrence = np.log1p(cooccurrence)
+        dim = min(self.embedding_dim, size)
+        u, singular_values, _ = np.linalg.svd(log_cooccurrence, full_matrices=False)
+        self.word_vectors_ = u[:, :dim] * np.sqrt(singular_values[:dim])
+        self.embedding_dim_ = dim
+        return self
+
+    def transform(self, X):
+        self._check_fitted("word_vectors_")
+        embeddings = np.zeros((len(X), self.embedding_dim_))
+        for row, document in enumerate(X):
+            indices = [
+                self.vocabulary_[token]
+                for token in self._split(document)
+                if token in self.vocabulary_
+            ]
+            if indices:
+                embeddings[row] = self.word_vectors_[indices].mean(axis=0)
+        return embeddings

@@ -1,0 +1,109 @@
+"""Tokenization utilities (Keras-style ``Tokenizer`` and ``pad_sequences``)."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator
+
+
+class Tokenizer(BaseEstimator):
+    """Map documents to sequences of integer token indices.
+
+    Index 0 is reserved for padding and index 1 for out-of-vocabulary
+    tokens, mirroring the Keras tokenizer conventions relied on by the
+    text classification template.
+    """
+
+    OOV_INDEX = 1
+
+    def __init__(self, num_words=None, lower=True):
+        self.num_words = num_words
+        self.lower = lower
+
+    def fit(self, X, y=None):
+        counts = Counter()
+        for document in X:
+            counts.update(self._split(document))
+        most_common = counts.most_common(self.num_words)
+        self.word_index_ = {
+            word: index for index, (word, _) in enumerate(most_common, start=self.OOV_INDEX + 1)
+        }
+        self.vocabulary_size_ = len(self.word_index_) + 2  # padding + OOV
+        return self
+
+    def transform(self, X):
+        self._check_fitted("word_index_")
+        sequences = []
+        for document in X:
+            sequence = [
+                self.word_index_.get(token, self.OOV_INDEX) for token in self._split(document)
+            ]
+            sequences.append(sequence)
+        return sequences
+
+    def fit_transform(self, X, y=None):
+        return self.fit(X).transform(X)
+
+    def _split(self, document):
+        text = str(document)
+        if self.lower:
+            text = text.lower()
+        return text.split()
+
+
+def pad_sequences(sequences, maxlen=None, padding="pre", truncating="pre", value=0):
+    """Pad variable-length integer sequences into a dense 2-D array.
+
+    Parameters
+    ----------
+    sequences:
+        Iterable of lists of integers.
+    maxlen:
+        Target length; defaults to the longest sequence.
+    padding, truncating:
+        ``"pre"`` or ``"post"``, matching the Keras semantics.
+    value:
+        Padding value (0 by convention).
+    """
+    sequences = [list(sequence) for sequence in sequences]
+    if not sequences:
+        raise ValueError("pad_sequences requires at least one sequence")
+    if padding not in ("pre", "post") or truncating not in ("pre", "post"):
+        raise ValueError("padding and truncating must be 'pre' or 'post'")
+    if maxlen is None:
+        maxlen = max((len(sequence) for sequence in sequences), default=0)
+    maxlen = max(int(maxlen), 1)
+    padded = np.full((len(sequences), maxlen), value, dtype=int)
+    for row, sequence in enumerate(sequences):
+        if not sequence:
+            continue
+        if len(sequence) > maxlen:
+            if truncating == "pre":
+                sequence = sequence[-maxlen:]
+            else:
+                sequence = sequence[:maxlen]
+        if padding == "pre":
+            padded[row, -len(sequence):] = sequence
+        else:
+            padded[row, :len(sequence)] = sequence
+    return padded
+
+
+class SequencePadder(BaseEstimator):
+    """Primitive-style wrapper around :func:`pad_sequences`."""
+
+    def __init__(self, maxlen=None, padding="pre", truncating="pre", value=0):
+        self.maxlen = maxlen
+        self.padding = padding
+        self.truncating = truncating
+        self.value = value
+
+    def produce(self, X):
+        return pad_sequences(
+            X,
+            maxlen=self.maxlen,
+            padding=self.padding,
+            truncating=self.truncating,
+            value=self.value,
+        )

@@ -1,0 +1,72 @@
+"""Bag-of-words and TF-IDF vectorizers (``StringVectorizer`` primitive)."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, TransformerMixin
+
+
+class CountVectorizer(BaseEstimator, TransformerMixin):
+    """Convert documents to a matrix of token counts."""
+
+    def __init__(self, max_features=None, lowercase=True, min_df=1):
+        self.max_features = max_features
+        self.lowercase = lowercase
+        self.min_df = min_df
+
+    def fit(self, X, y=None):
+        document_frequency = Counter()
+        total_frequency = Counter()
+        for document in X:
+            tokens = self._split(document)
+            total_frequency.update(tokens)
+            document_frequency.update(set(tokens))
+        terms = [
+            term for term, count in document_frequency.items() if count >= self.min_df
+        ]
+        terms.sort(key=lambda term: (-total_frequency[term], term))
+        if self.max_features is not None:
+            terms = terms[: self.max_features]
+        self.vocabulary_ = {term: index for index, term in enumerate(sorted(terms))}
+        return self
+
+    def transform(self, X):
+        self._check_fitted("vocabulary_")
+        matrix = np.zeros((len(X), len(self.vocabulary_)))
+        for row, document in enumerate(X):
+            for token in self._split(document):
+                column = self.vocabulary_.get(token)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        return matrix
+
+    def _split(self, document):
+        text = str(document)
+        if self.lowercase:
+            text = text.lower()
+        return text.split()
+
+
+class TfidfVectorizer(CountVectorizer):
+    """TF-IDF weighted bag-of-words features."""
+
+    def fit(self, X, y=None):
+        super().fit(X)
+        counts = super().transform(X)
+        document_frequency = (counts > 0).sum(axis=0)
+        n_documents = len(X)
+        self.idf_ = np.log((1.0 + n_documents) / (1.0 + document_frequency)) + 1.0
+        return self
+
+    def transform(self, X):
+        self._check_fitted("idf_")
+        counts = super().transform(X)
+        tfidf = counts * self.idf_
+        norms = np.linalg.norm(tfidf, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return tfidf / norms
+
+
+class StringVectorizer(TfidfVectorizer):
+    """Alias matching the MLPrimitives primitive name for text regression templates."""

@@ -1,0 +1,23 @@
+"""Time series preprocessing and anomaly detection primitives.
+
+These reproduce the custom MLPrimitives time series primitives that make
+up the ORION anomaly detection pipeline (paper Listing 1 / Figure 3):
+``time_segments_average``, ``rolling_window_sequences``,
+``regression_errors`` and ``find_anomalies``.
+"""
+
+from repro.learners.timeseries.preprocessing import (
+    rolling_window_sequences,
+    time_segments_average,
+)
+from repro.learners.timeseries.anomalies import find_anomalies, regression_errors
+from repro.learners.timeseries.forecasters import ARRegressor, ExponentialSmoothingRegressor
+
+__all__ = [
+    "time_segments_average",
+    "rolling_window_sequences",
+    "regression_errors",
+    "find_anomalies",
+    "ARRegressor",
+    "ExponentialSmoothingRegressor",
+]

@@ -1,0 +1,110 @@
+"""Anomaly detection postprocessing primitives (ORION pipeline).
+
+``regression_errors`` and ``find_anomalies`` reproduce the nonparametric
+dynamic thresholding method of Hundman et al. (2018) referenced in paper
+Section V-A: smoothed forecast errors are thresholded at a multiple of
+their standard deviation within sliding windows, and contiguous runs of
+high-error points become anomaly intervals.
+"""
+
+import numpy as np
+
+
+def regression_errors(y_true, y_pred, smoothing_window=0.01, smooth=True):
+    """Absolute forecast errors, optionally smoothed with a moving average.
+
+    Parameters
+    ----------
+    y_true, y_pred:
+        True and predicted values, aligned.
+    smoothing_window:
+        Window size as a fraction of the series length (when < 1) or an
+        absolute number of points.
+    """
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must be aligned")
+    errors = np.abs(y_true - y_pred)
+    if not smooth or len(errors) < 3:
+        return errors
+    if smoothing_window < 1:
+        window = max(2, int(len(errors) * smoothing_window))
+    else:
+        window = max(2, int(smoothing_window))
+    window = min(window, len(errors))
+    kernel = np.ones(window) / window
+    padded = np.concatenate([np.full(window - 1, errors[0]), errors])
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def find_anomalies(errors, index=None, window_size=200, window_step=100, z_threshold=3.0,
+                   min_percent=0.05, anomaly_padding=2):
+    """Locate anomalous intervals in a sequence of forecast errors.
+
+    Within each sliding window, points whose error exceeds
+    ``mean + z_threshold * std`` are flagged; contiguous flagged points
+    (padded by ``anomaly_padding``) are merged into ``(start, end, severity)``
+    intervals expressed in terms of ``index``.
+
+    Returns
+    -------
+    list of (start, end, severity) tuples sorted by start.
+    """
+    errors = np.asarray(errors, dtype=float).ravel()
+    if index is None:
+        index = np.arange(len(errors))
+    index = np.asarray(index)
+    if len(index) != len(errors):
+        raise ValueError("index and errors must be aligned")
+    if len(errors) == 0:
+        return []
+    if z_threshold <= 0:
+        raise ValueError("z_threshold must be positive")
+
+    flagged = np.zeros(len(errors), dtype=bool)
+    window_size = max(10, min(window_size, len(errors)))
+    window_step = max(1, window_step)
+    for start in range(0, len(errors), window_step):
+        window = errors[start:start + window_size]
+        if len(window) < 3:
+            continue
+        mean = window.mean()
+        std = window.std()
+        if std == 0.0:
+            continue
+        threshold = mean + z_threshold * std
+        # require the threshold to be meaningfully above the window mean
+        minimum = mean * (1.0 + min_percent)
+        threshold = max(threshold, minimum)
+        local_flags = window > threshold
+        flagged[start:start + window_size] |= local_flags
+        if start + window_size >= len(errors):
+            break
+
+    if not flagged.any():
+        return []
+
+    # pad flagged points and merge into contiguous intervals
+    padded = np.zeros_like(flagged)
+    for position in np.flatnonzero(flagged):
+        low = max(0, position - anomaly_padding)
+        high = min(len(flagged), position + anomaly_padding + 1)
+        padded[low:high] = True
+
+    anomalies = []
+    start = None
+    for position, is_anomalous in enumerate(padded):
+        if is_anomalous and start is None:
+            start = position
+        elif not is_anomalous and start is not None:
+            anomalies.append((start, position - 1))
+            start = None
+    if start is not None:
+        anomalies.append((start, len(padded) - 1))
+
+    results = []
+    for interval_start, interval_end in anomalies:
+        severity = float(errors[interval_start:interval_end + 1].max())
+        results.append((float(index[interval_start]), float(index[interval_end]), severity))
+    return sorted(results, key=lambda item: item[0])

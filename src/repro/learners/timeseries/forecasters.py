@@ -1,0 +1,89 @@
+"""Classical time series forecasters: autoregression and exponential smoothing.
+
+These give the forecasting task type alternatives to the gradient-boosting
+default of Table II, and give the ORION-style pipelines a cheaper
+forecaster to swap in ("substituting different time series forecasting
+primitives and comparing the results", paper Section V-A).
+"""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, RegressorMixin
+from repro.learners.validation import check_array, check_X_y
+
+
+class ARRegressor(BaseEstimator, RegressorMixin):
+    """Autoregressive forecaster fitted by ridge-regularized least squares.
+
+    The model consumes fixed-length windows (as produced by
+    ``rolling_window_sequences`` or lag-feature matrices) and predicts the
+    next value as a linear combination of the window.
+    """
+
+    def __init__(self, alpha=1.0):
+        self.alpha = alpha
+
+    def fit(self, X, y):
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        X = _flatten_windows(np.asarray(X, dtype=float))
+        X, y = check_X_y(X, y, y_numeric=True)
+        n_features = X.shape[1]
+        design = np.hstack([np.ones((X.shape[0], 1)), X])
+        gram = design.T @ design + self.alpha * np.eye(n_features + 1)
+        coefficients = np.linalg.solve(gram, design.T @ y)
+        self.intercept_ = float(coefficients[0])
+        self.coef_ = coefficients[1:]
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X):
+        self._check_fitted("coef_")
+        X = _flatten_windows(np.asarray(X, dtype=float))
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class ExponentialSmoothingRegressor(BaseEstimator, RegressorMixin):
+    """Forecast the next value as an exponentially weighted mean of the window.
+
+    Parameters
+    ----------
+    smoothing:
+        Weight decay factor in (0, 1]; larger values weight recent
+        observations more heavily.
+    trend:
+        If True, a simple linear trend over the window is added (a cheap
+        Holt-style correction).
+    """
+
+    def __init__(self, smoothing=0.5, trend=True):
+        self.smoothing = smoothing
+        self.trend = trend
+
+    def fit(self, X, y=None):
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        X = _flatten_windows(np.asarray(X, dtype=float))
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X):
+        self._check_fitted("n_features_in_")
+        X = _flatten_windows(np.asarray(X, dtype=float))
+        window = X.shape[1]
+        weights = self.smoothing * (1.0 - self.smoothing) ** np.arange(window)[::-1]
+        weights = weights / weights.sum()
+        level = X @ weights
+        if self.trend and window >= 2:
+            slope = (X[:, -1] - X[:, 0]) / max(window - 1, 1)
+            return level + slope
+        return level
+
+
+def _flatten_windows(X):
+    if X.ndim == 3:
+        return X.reshape(X.shape[0], -1)
+    if X.ndim == 1:
+        return X.reshape(-1, 1)
+    return X

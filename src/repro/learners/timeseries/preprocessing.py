@@ -1,0 +1,96 @@
+"""Time series preprocessing primitives from the ORION pipeline."""
+
+import numpy as np
+
+
+def time_segments_average(X, interval=1, time_column=0, value_column=1):
+    """Aggregate an irregular time series into equal-width time segments.
+
+    Parameters
+    ----------
+    X:
+        2-D array whose columns include a timestamp column and a value
+        column, or a 1-D array of values (in which case an integer index
+        is used as the timestamp).
+    interval:
+        Width of each segment in timestamp units.
+    time_column, value_column:
+        Column positions of the timestamp and value.
+
+    Returns
+    -------
+    values, index:
+        The per-segment averages and the segment start timestamps.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        timestamps = np.arange(len(X), dtype=float)
+        values = X
+    else:
+        timestamps = X[:, time_column]
+        values = X[:, value_column]
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if len(values) == 0:
+        raise ValueError("Cannot aggregate an empty time series")
+
+    start = timestamps.min()
+    end = timestamps.max()
+    edges = np.arange(start, end + 1e-9, interval)
+    averaged = []
+    index = []
+    for left in edges:
+        right = left + interval
+        mask = (timestamps >= left) & (timestamps < right)
+        if mask.any():
+            averaged.append(values[mask].mean())
+        else:
+            averaged.append(np.nan)
+        index.append(left)
+    averaged = np.asarray(averaged, dtype=float)
+    index = np.asarray(index, dtype=float)
+    # forward-fill empty segments so downstream imputation is trivial
+    for i in range(1, len(averaged)):
+        if np.isnan(averaged[i]):
+            averaged[i] = averaged[i - 1]
+    if np.isnan(averaged[0]):
+        averaged[0] = np.nanmean(averaged)
+    return averaged.reshape(-1, 1), index
+
+
+def rolling_window_sequences(X, index=None, window_size=50, target_size=1, step_size=1,
+                             target_column=0):
+    """Create rolling window input/target pairs from a time series.
+
+    Returns ``(X_windows, y_targets, X_index, y_index)`` following the
+    MLPrimitives contract: each window of ``window_size`` observations is
+    paired with the following ``target_size`` values of the target column.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if index is None:
+        index = np.arange(len(X), dtype=float)
+    index = np.asarray(index, dtype=float)
+    if window_size < 1 or target_size < 1 or step_size < 1:
+        raise ValueError("window_size, target_size and step_size must be positive")
+    if len(X) <= window_size + target_size:
+        raise ValueError(
+            "Time series of length {} is too short for window_size={} and target_size={}".format(
+                len(X), window_size, target_size
+            )
+        )
+
+    windows, targets, window_index, target_index = [], [], [], []
+    target_values = X[:, target_column]
+    for start in range(0, len(X) - window_size - target_size + 1, step_size):
+        end = start + window_size
+        windows.append(X[start:end])
+        targets.append(target_values[end:end + target_size])
+        window_index.append(index[start])
+        target_index.append(index[end])
+    X_windows = np.asarray(windows)
+    y_targets = np.asarray(targets)
+    if target_size == 1:
+        y_targets = y_targets.ravel()
+    return X_windows, y_targets, np.asarray(window_index), np.asarray(target_index)

@@ -1,0 +1,25 @@
+"""Tree-based models: CART trees, random forests, extra trees and gradient boosting."""
+
+from repro.learners.tree.decision_tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.learners.tree.random_forest import RandomForestClassifier, RandomForestRegressor
+from repro.learners.tree.extra_trees import (
+    ExtraTreesClassifier,
+    ExtraTreesRegressor,
+    ExtraTreesFeatureSelector,
+)
+from repro.learners.tree.gradient_boosting import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "ExtraTreesClassifier",
+    "ExtraTreesRegressor",
+    "ExtraTreesFeatureSelector",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+]

@@ -1,0 +1,261 @@
+"""CART decision trees for classification and regression.
+
+Split search is vectorized: per node and per feature, candidate thresholds
+are evaluated from cumulative sufficient statistics of the sorted samples,
+so growing a tree costs O(n_features * n log n) per node.  Subclasses
+define the sufficient statistics and the impurity/leaf-value functions,
+which lets the same machinery drive Gini trees, variance trees and the
+Newton trees used by gradient boosting.
+"""
+
+import numpy as np
+
+from repro.learners.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_random_state
+from repro.learners.validation import check_X_y, check_array
+
+
+class _Node:
+    """A single node of a binary decision tree."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "n_samples", "impurity")
+
+    def __init__(self, value, n_samples, impurity):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+        self.n_samples = n_samples
+        self.impurity = impurity
+
+    @property
+    def is_leaf(self):
+        return self.feature is None
+
+
+class _BaseDecisionTree(BaseEstimator):
+    """Shared CART machinery, parameterized by sufficient statistics.
+
+    Subclasses implement:
+
+    * ``_sample_stats(y)`` — per-sample statistic matrix of shape (n, d);
+    * ``_impurity_from_stats(sums, counts)`` — vectorized impurity for
+      aggregated statistics (one row per candidate split side);
+    * ``_leaf_value_from_stats(sums, count)`` — the prediction stored at a
+      leaf.
+    """
+
+    def __init__(self, max_depth=None, min_samples_split=2, min_samples_leaf=1,
+                 max_features=None, max_thresholds=32, random_state=None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_thresholds = max_thresholds
+        self.random_state = random_state
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def _sample_stats(self, y):
+        raise NotImplementedError
+
+    def _impurity_from_stats(self, sums, counts):
+        raise NotImplementedError
+
+    def _leaf_value_from_stats(self, sums, count):
+        raise NotImplementedError
+
+    # -- fitting ------------------------------------------------------------
+
+    def _fit_tree(self, X, stats):
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self._rng = check_random_state(self.random_state)
+        self.n_features_in_ = X.shape[1]
+        self.tree_ = self._build(X, stats, depth=0)
+        self.n_nodes_ = self._count_nodes(self.tree_)
+        del self._rng
+        return self
+
+    def _resolve_max_features(self, n_features):
+        max_features = self.max_features
+        if max_features is None:
+            return n_features
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features)) or 1)
+        if isinstance(max_features, float):
+            return max(1, int(max_features * n_features))
+        return max(1, min(int(max_features), n_features))
+
+    def _node_summary(self, stats):
+        sums = stats.sum(axis=0, keepdims=True)
+        count = np.asarray([len(stats)], dtype=float)
+        impurity = float(self._impurity_from_stats(sums, count)[0])
+        value = self._leaf_value_from_stats(sums[0], float(len(stats)))
+        return value, impurity
+
+    def _build(self, X, stats, depth):
+        value, impurity = self._node_summary(stats)
+        node = _Node(value, len(stats), impurity)
+        if (
+            len(stats) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+
+        best = self._best_split(X, stats)
+        if best is None:
+            return node
+
+        feature, threshold = best
+        left_mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[left_mask], stats[left_mask], depth + 1)
+        node.right = self._build(X[~left_mask], stats[~left_mask], depth + 1)
+        return node
+
+    def _select_positions(self, distinct_positions, sorted_values):
+        """Choose which candidate split positions to evaluate for one feature."""
+        if self.max_thresholds and len(distinct_positions) > self.max_thresholds:
+            picks = np.linspace(0, len(distinct_positions) - 1, self.max_thresholds).astype(int)
+            return distinct_positions[np.unique(picks)]
+        return distinct_positions
+
+    def _best_split(self, X, stats):
+        n_samples, n_features = X.shape
+        totals = stats.sum(axis=0, keepdims=True)
+        parent_impurity = float(self._impurity_from_stats(totals, np.asarray([float(n_samples)]))[0])
+
+        n_candidates = self._resolve_max_features(n_features)
+        if n_candidates < n_features:
+            features = self._rng.choice(n_features, size=n_candidates, replace=False)
+        else:
+            features = np.arange(n_features)
+
+        best_gain = 1e-12
+        best = None
+        for feature in features:
+            values = X[:, feature]
+            order = np.argsort(values, kind="mergesort")
+            sorted_values = values[order]
+            if sorted_values[0] == sorted_values[-1]:
+                continue
+            cumulative = np.cumsum(stats[order], axis=0)
+            # split after position i puts samples [0..i] on the left
+            distinct = np.flatnonzero(sorted_values[:-1] < sorted_values[1:])
+            positions = self._select_positions(distinct, sorted_values)
+            if len(positions) == 0:
+                continue
+            n_left = (positions + 1).astype(float)
+            n_right = n_samples - n_left
+            valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            left_sums = cumulative[positions]
+            right_sums = totals - left_sums
+            impurity_left = self._impurity_from_stats(left_sums, n_left)
+            impurity_right = self._impurity_from_stats(right_sums, n_right)
+            child_impurity = (n_left * impurity_left + n_right * impurity_right) / n_samples
+            gains = np.where(valid, parent_impurity - child_impurity, -np.inf)
+            index = int(np.argmax(gains))
+            if gains[index] > best_gain:
+                best_gain = float(gains[index])
+                position = positions[index]
+                threshold = 0.5 * (sorted_values[position] + sorted_values[position + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+    def _count_nodes(self, node):
+        if node is None:
+            return 0
+        if node.is_leaf:
+            return 1
+        return 1 + self._count_nodes(node.left) + self._count_nodes(node.right)
+
+    # -- prediction ---------------------------------------------------------
+
+    def _predict_value(self, x):
+        node = self.tree_
+        while not node.is_leaf:
+            if x[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.value
+
+    def _predict_values(self, X):
+        return [self._predict_value(x) for x in X]
+
+    def get_depth(self):
+        """Return the depth of the fitted tree."""
+        self._check_fitted("tree_")
+
+        def depth(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self.tree_)
+
+
+class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
+    """CART regressor minimizing within-node variance."""
+
+    def _sample_stats(self, y):
+        return np.column_stack([y, y ** 2])
+
+    def _impurity_from_stats(self, sums, counts):
+        counts = np.asarray(counts, dtype=float)
+        mean = sums[:, 0] / counts
+        return np.maximum(sums[:, 1] / counts - mean ** 2, 0.0)
+
+    def _leaf_value_from_stats(self, sums, count):
+        return float(sums[0] / count)
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y, y_numeric=True)
+        return self._fit_tree(X, self._sample_stats(y))
+
+    def predict(self, X):
+        self._check_fitted("tree_")
+        X = check_array(X)
+        return np.asarray(self._predict_values(X))
+
+
+class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
+    """CART classifier minimizing Gini impurity."""
+
+    def _sample_stats(self, y):
+        onehot = np.zeros((len(y), self._n_classes))
+        onehot[np.arange(len(y)), y] = 1.0
+        return onehot
+
+    def _impurity_from_stats(self, sums, counts):
+        counts = np.asarray(counts, dtype=float)
+        proportions = sums / counts[:, None]
+        return 1.0 - np.sum(proportions ** 2, axis=1)
+
+    def _leaf_value_from_stats(self, sums, count):
+        return sums / count
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self._n_classes = len(self.classes_)
+        index = {label: i for i, label in enumerate(self.classes_)}
+        encoded = np.asarray([index[label] for label in y], dtype=int)
+        return self._fit_tree(X, self._sample_stats(encoded))
+
+    def predict_proba(self, X):
+        self._check_fitted("tree_")
+        X = check_array(X)
+        return np.asarray(self._predict_values(X))
+
+    def predict(self, X):
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

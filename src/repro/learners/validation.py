@@ -1,0 +1,52 @@
+"""Input validation helpers used across the learner substrate."""
+
+import numpy as np
+
+
+def check_array(X, ensure_2d=True, dtype=float, allow_nan=False):
+    """Validate ``X`` and return it as a numpy array.
+
+    Parameters
+    ----------
+    X:
+        Array-like input.
+    ensure_2d:
+        If True, a 1-D input is rejected.
+    dtype:
+        Target dtype, or ``None`` to keep the input dtype.
+    allow_nan:
+        Whether NaN values are accepted.
+    """
+    X = np.asarray(X, dtype=dtype)
+    if ensure_2d and X.ndim != 2:
+        raise ValueError("Expected a 2D array, got array with shape {}".format(X.shape))
+    if X.size == 0:
+        raise ValueError("Found an empty array; at least one sample is required")
+    if not allow_nan and np.issubdtype(X.dtype, np.floating) and np.isnan(X).any():
+        raise ValueError("Input contains NaN values")
+    return X
+
+
+def check_X_y(X, y, allow_nan=False, y_numeric=False):
+    """Validate a feature matrix and target vector of matching length."""
+    X = check_array(X, allow_nan=allow_nan)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            "X and y have inconsistent lengths: {} != {}".format(X.shape[0], y.shape[0])
+        )
+    if y_numeric:
+        y = y.astype(float)
+    return X, y
+
+
+def column_or_1d(y):
+    """Ravel ``y`` to a 1-D array, rejecting genuinely 2-D targets."""
+    y = np.asarray(y)
+    if y.ndim == 1:
+        return y
+    if y.ndim == 2 and y.shape[1] == 1:
+        return y.ravel()
+    raise ValueError("Expected a 1D array, got shape {}".format(y.shape))

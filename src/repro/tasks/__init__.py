@@ -1,0 +1,32 @@
+"""The ML task suite (paper Section III-C).
+
+A *task* bundles a raw dataset, its task-type annotation (data modality +
+problem type) and the evaluation metric.  The original suite contains 456
+externally hosted datasets; this package generates synthetic tasks with
+the same 15 task types and the same modality/problem-type composition
+(paper Table II), scaled to run on a laptop.
+"""
+
+from repro.tasks.types import DATA_MODALITIES, PROBLEM_TYPES, TASK_TYPES, TaskType
+from repro.tasks.task import MLTask, split_task, task_cv_splits
+from repro.tasks.suite import TABLE_II_COUNTS, TaskSuite, build_task_suite
+from repro.tasks.io import load_suite, load_task, save_suite, save_task
+from repro.tasks import synth
+
+__all__ = [
+    "TaskType",
+    "TASK_TYPES",
+    "DATA_MODALITIES",
+    "PROBLEM_TYPES",
+    "MLTask",
+    "split_task",
+    "task_cv_splits",
+    "TaskSuite",
+    "build_task_suite",
+    "TABLE_II_COUNTS",
+    "save_task",
+    "load_task",
+    "save_suite",
+    "load_suite",
+    "synth",
+]

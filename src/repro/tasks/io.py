@@ -1,0 +1,151 @@
+"""Task serialization: save and load tasks as dataset folders.
+
+The original task suite is distributed as a folder per task holding the
+raw data plus an annotated task description; AutoBazaar then loads tasks
+from disk ("loaders and configuration for ML tasks", paper Section IV-C).
+This module reproduces that layout:
+
+``<task_dir>/task.json``
+    Task metadata: name, data modality, problem type, metric, ordering,
+    static keys and free-form metadata.
+``<task_dir>/data.npz``
+    Every array-valued context entry.
+``<task_dir>/graph.json``
+    Node-link JSON of the graph, for graph tasks.
+``<task_dir>/entityset.json``
+    Tables, indexes and relationships, for relational tasks.
+"""
+
+import json
+import os
+
+import numpy as np
+import networkx as nx
+
+from repro.learners.relational import EntitySet
+from repro.tasks.task import MLTask
+
+
+def save_task(task, directory):
+    """Write a task to ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    arrays = {}
+    graph = None
+    entityset = None
+    array_keys = []
+    for key, value in task.context.items():
+        if isinstance(value, nx.Graph):
+            graph = value
+        elif isinstance(value, EntitySet):
+            entityset = value
+        else:
+            arrays[key] = np.asarray(value)
+            array_keys.append(key)
+
+    description = {
+        "name": task.name,
+        "data_modality": task.data_modality,
+        "problem_type": task.problem_type,
+        "metric": task.metric,
+        "ordered": task.ordered,
+        "static_keys": sorted(task.static_keys),
+        "array_keys": sorted(array_keys),
+        "has_graph": graph is not None,
+        "has_entityset": entityset is not None,
+        "metadata": task.metadata,
+    }
+    with open(os.path.join(directory, "task.json"), "w") as stream:
+        json.dump(description, stream, indent=2, default=str)
+
+    np.savez(os.path.join(directory, "data.npz"),
+             **{key: value for key, value in arrays.items()})
+
+    if graph is not None:
+        payload = nx.node_link_data(graph)
+        with open(os.path.join(directory, "graph.json"), "w") as stream:
+            json.dump(payload, stream, default=str)
+
+    if entityset is not None:
+        payload = {
+            "name": entityset.name,
+            "entities": {
+                name: {column: values.tolist() for column, values in table.items()}
+                for name, table in entityset.entities.items()
+            },
+            "indexes": entityset.indexes,
+            "relationships": [
+                [r.parent_entity, r.parent_key, r.child_entity, r.child_key]
+                for r in entityset.relationships
+            ],
+        }
+        with open(os.path.join(directory, "entityset.json"), "w") as stream:
+            json.dump(payload, stream, default=str)
+    return directory
+
+
+def load_task(directory):
+    """Load a task previously written by :func:`save_task`."""
+    with open(os.path.join(directory, "task.json")) as stream:
+        description = json.load(stream)
+
+    context = {}
+    data_path = os.path.join(directory, "data.npz")
+    with np.load(data_path, allow_pickle=True) as data:
+        for key in description["array_keys"]:
+            context[key] = data[key]
+
+    if description.get("has_graph"):
+        with open(os.path.join(directory, "graph.json")) as stream:
+            payload = json.load(stream)
+        graph = nx.node_link_graph(payload)
+        # node-link JSON stringifies integer node labels in some versions;
+        # restore integers where possible so node ids match the saved arrays
+        if all(isinstance(node, str) and node.lstrip("-").isdigit() for node in graph.nodes):
+            graph = nx.relabel_nodes(graph, {node: int(node) for node in graph.nodes})
+        context["graph"] = graph
+
+    if description.get("has_entityset"):
+        with open(os.path.join(directory, "entityset.json")) as stream:
+            payload = json.load(stream)
+        entityset = EntitySet(payload.get("name", "entityset"))
+        for name, table in payload["entities"].items():
+            columns = {column: np.asarray(values) for column, values in table.items()}
+            entityset.add_entity(name, columns, index=payload["indexes"][name])
+        for parent_entity, parent_key, child_entity, child_key in payload["relationships"]:
+            entityset.add_relationship(parent_entity, parent_key, child_entity, child_key)
+        context["entityset"] = entityset
+
+    return MLTask(
+        name=description["name"],
+        data_modality=description["data_modality"],
+        problem_type=description["problem_type"],
+        context=context,
+        static_keys=set(description.get("static_keys", [])),
+        metric=description.get("metric"),
+        ordered=description.get("ordered", False),
+        metadata=description.get("metadata"),
+    )
+
+
+def save_suite(suite, directory):
+    """Save every task of a suite into one folder per task; returns the index file path."""
+    os.makedirs(directory, exist_ok=True)
+    index = []
+    for position, task in enumerate(suite):
+        task_dir = os.path.join(directory, "task_{:03d}".format(position))
+        save_task(task, task_dir)
+        index.append({"directory": os.path.basename(task_dir), "name": task.name})
+    index_path = os.path.join(directory, "index.json")
+    with open(index_path, "w") as stream:
+        json.dump(index, stream, indent=2)
+    return index_path
+
+
+def load_suite(directory):
+    """Load a suite previously written by :func:`save_suite`."""
+    from repro.tasks.suite import TaskSuite
+
+    with open(os.path.join(directory, "index.json")) as stream:
+        index = json.load(stream)
+    tasks = [load_task(os.path.join(directory, entry["directory"])) for entry in index]
+    return TaskSuite(tasks)

@@ -1,0 +1,148 @@
+"""The ML Bazaar Task Suite builder (paper Table II).
+
+``TABLE_II_COUNTS`` records the exact task counts reported in the paper;
+:func:`build_task_suite` generates a synthetic suite whose composition
+mirrors those proportions at a laptop-friendly scale.
+"""
+
+import numpy as np
+
+from repro.learners.base import check_random_state
+from repro.tasks import synth
+from repro.tasks.types import TaskType
+
+#: Task counts per task type as reported in paper Table II (total = 456).
+TABLE_II_COUNTS = {
+    TaskType("graph", "community_detection"): 2,
+    TaskType("graph", "graph_matching"): 9,
+    TaskType("graph", "link_prediction"): 1,
+    TaskType("graph", "vertex_nomination"): 1,
+    TaskType("image", "classification"): 5,
+    TaskType("image", "regression"): 1,
+    TaskType("multi_table", "classification"): 6,
+    TaskType("multi_table", "regression"): 7,
+    TaskType("single_table", "classification"): 234,
+    TaskType("single_table", "collaborative_filtering"): 4,
+    TaskType("single_table", "regression"): 87,
+    TaskType("single_table", "timeseries_forecasting"): 35,
+    TaskType("text", "classification"): 18,
+    TaskType("text", "regression"): 9,
+    TaskType("timeseries", "classification"): 37,
+}
+
+#: Generator used for each task type.
+_GENERATORS = {
+    TaskType("graph", "community_detection"): synth.make_community_detection,
+    TaskType("graph", "graph_matching"): synth.make_graph_matching,
+    TaskType("graph", "link_prediction"): synth.make_link_prediction,
+    TaskType("graph", "vertex_nomination"): synth.make_vertex_nomination,
+    TaskType("image", "classification"): synth.make_image_classification,
+    TaskType("image", "regression"): synth.make_image_regression,
+    TaskType("multi_table", "classification"): synth.make_multi_table_classification,
+    TaskType("multi_table", "regression"): synth.make_multi_table_regression,
+    TaskType("single_table", "classification"): synth.make_single_table_classification,
+    TaskType("single_table", "collaborative_filtering"): synth.make_collaborative_filtering,
+    TaskType("single_table", "regression"): synth.make_single_table_regression,
+    TaskType("single_table", "timeseries_forecasting"): synth.make_timeseries_forecasting,
+    TaskType("text", "classification"): synth.make_text_classification,
+    TaskType("text", "regression"): synth.make_text_regression,
+    TaskType("timeseries", "classification"): synth.make_timeseries_classification,
+}
+
+
+class TaskSuite:
+    """An ordered collection of :class:`~repro.tasks.task.MLTask` objects."""
+
+    def __init__(self, tasks):
+        self.tasks = list(tasks)
+        names = [task.name for task in self.tasks]
+        if len(names) != len(set(names)):
+            raise ValueError("Task names within a suite must be unique")
+
+    def __len__(self):
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __getitem__(self, index):
+        return self.tasks[index]
+
+    def get(self, name):
+        """Return the task with the given name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError("No task named {!r} in the suite".format(name))
+
+    def by_task_type(self):
+        """Group tasks by ``(data_modality, problem_type)``."""
+        grouped = {}
+        for task in self.tasks:
+            grouped.setdefault(task.task_type, []).append(task)
+        return grouped
+
+    def counts_by_task_type(self):
+        """Number of tasks per task type (the Table II breakdown of this suite)."""
+        return {task_type: len(tasks) for task_type, tasks in self.by_task_type().items()}
+
+    def filter(self, data_modality=None, problem_type=None):
+        """A new suite restricted to a modality and/or problem type."""
+        selected = [
+            task for task in self.tasks
+            if (data_modality is None or task.data_modality == data_modality)
+            and (problem_type is None or task.problem_type == problem_type)
+        ]
+        return TaskSuite(selected)
+
+    def __repr__(self):
+        return "TaskSuite(n_tasks={}, n_task_types={})".format(
+            len(self.tasks), len(self.by_task_type())
+        )
+
+
+def scaled_counts(total_tasks):
+    """Scale the Table II composition down to approximately ``total_tasks`` tasks.
+
+    Every task type keeps at least one task so the suite still covers all
+    15 task types.
+    """
+    if total_tasks < len(TABLE_II_COUNTS):
+        raise ValueError(
+            "total_tasks must be at least {} to cover every task type".format(len(TABLE_II_COUNTS))
+        )
+    table_total = sum(TABLE_II_COUNTS.values())
+    counts = {}
+    for task_type, count in TABLE_II_COUNTS.items():
+        counts[task_type] = max(1, int(round(count / table_total * total_tasks)))
+    return counts
+
+
+def build_task_suite(total_tasks=30, counts=None, random_state=0):
+    """Build a synthetic task suite mirroring the Table II composition.
+
+    Parameters
+    ----------
+    total_tasks:
+        Approximate number of tasks in the suite (ignored when ``counts``
+        is given).
+    counts:
+        Explicit ``{TaskType: n_tasks}`` mapping.
+    random_state:
+        Base seed; each task gets a distinct derived seed so suites are
+        reproducible.
+    """
+    rng = check_random_state(random_state)
+    counts = counts or scaled_counts(total_tasks)
+    counts = {TaskType(*task_type): count for task_type, count in counts.items()}
+    unknown = set(counts) - set(_GENERATORS)
+    if unknown:
+        raise ValueError("No generator available for task types: {}".format(sorted(unknown)))
+    tasks = []
+    for task_type in sorted(counts, key=lambda tt: (tt.data_modality, tt.problem_type)):
+        generator = _GENERATORS[task_type]
+        for index in range(counts[task_type]):
+            seed = int(rng.randint(0, 2 ** 31 - 1))
+            name = "{}/{}_{:03d}".format(task_type.data_modality, task_type.problem_type, index)
+            tasks.append(generator(name=name, random_state=seed))
+    return TaskSuite(tasks)

@@ -1,0 +1,453 @@
+"""Synthetic task generators for every task type in the suite.
+
+The original ML Bazaar Task Suite is built from 456 externally hosted
+datasets (Kaggle, OpenML, MIT Lincoln Laboratory, ...), none of which are
+available offline.  Each generator below produces a small synthetic task
+with a controllable amount of learnable signal so that relative comparisons
+(template A vs template B, tuner A vs tuner B) behave like they do on real
+data, which is what the paper's experiments measure.
+"""
+
+import numpy as np
+import networkx as nx
+
+from repro.learners.base import check_random_state
+from repro.learners.relational import EntitySet
+from repro.tasks.task import MLTask
+
+
+# ---------------------------------------------------------------------------
+# single table
+# ---------------------------------------------------------------------------
+
+def make_single_table_classification(name="single_table_classification", n_samples=150,
+                                     n_features=8, n_informative=4, n_classes=2,
+                                     class_sep=1.5, noise=1.0, random_state=None):
+    """Gaussian-cluster classification with informative and noise features."""
+    rng = check_random_state(random_state)
+    n_informative = min(n_informative, n_features)
+    centers = rng.normal(0.0, class_sep, size=(n_classes, n_informative))
+    y = rng.randint(0, n_classes, size=n_samples)
+    X = rng.normal(0.0, noise, size=(n_samples, n_features))
+    X[:, :n_informative] += centers[y]
+    return MLTask(
+        name=name,
+        data_modality="single_table",
+        problem_type="classification",
+        context={"X": X, "y": y},
+        metadata={"n_classes": n_classes, "class_sep": class_sep},
+    )
+
+
+def make_single_table_regression(name="single_table_regression", n_samples=150, n_features=8,
+                                 n_informative=4, noise=0.5, random_state=None):
+    """Regression with a linear + interaction signal and additive noise."""
+    rng = check_random_state(random_state)
+    n_informative = min(n_informative, n_features)
+    X = rng.normal(size=(n_samples, n_features))
+    coefficients = rng.uniform(0.5, 2.0, size=n_informative)
+    y = X[:, :n_informative] @ coefficients
+    if n_informative >= 2:
+        y = y + 0.5 * X[:, 0] * X[:, 1]
+    y = y + noise * rng.normal(size=n_samples)
+    return MLTask(
+        name=name,
+        data_modality="single_table",
+        problem_type="regression",
+        context={"X": X, "y": y},
+        metadata={"noise": noise},
+    )
+
+
+def make_collaborative_filtering(name="collaborative_filtering", n_users=30, n_items=20,
+                                 n_interactions=300, n_factors=3, noise=0.3, random_state=None):
+    """Ratings generated from a latent factor model."""
+    rng = check_random_state(random_state)
+    user_factors = rng.normal(size=(n_users, n_factors))
+    item_factors = rng.normal(size=(n_items, n_factors))
+    users = rng.randint(0, n_users, size=n_interactions)
+    items = rng.randint(0, n_items, size=n_interactions)
+    ratings = np.sum(user_factors[users] * item_factors[items], axis=1)
+    ratings = ratings + noise * rng.normal(size=n_interactions)
+    X = np.column_stack([users, items]).astype(float)
+    return MLTask(
+        name=name,
+        data_modality="single_table",
+        problem_type="collaborative_filtering",
+        context={"X": X, "y": ratings},
+        metadata={"n_users": n_users, "n_items": n_items},
+    )
+
+
+def make_timeseries_forecasting(name="timeseries_forecasting", n_samples=200, n_lags=6,
+                                noise=0.2, random_state=None):
+    """One-step-ahead forecasting with lag features of a seasonal AR series."""
+    rng = check_random_state(random_state)
+    length = n_samples + n_lags + 1
+    t = np.arange(length, dtype=float)
+    series = np.sin(t / 8.0) + 0.3 * np.sin(t / 3.0) + 0.05 * t / length
+    series = series + noise * rng.normal(size=length)
+    X = np.column_stack([series[i:i + n_samples] for i in range(n_lags)])
+    y = series[n_lags:n_lags + n_samples]
+    return MLTask(
+        name=name,
+        data_modality="single_table",
+        problem_type="timeseries_forecasting",
+        context={"X": X, "y": y},
+        ordered=True,
+        metadata={"n_lags": n_lags},
+    )
+
+
+# ---------------------------------------------------------------------------
+# multi table (relational)
+# ---------------------------------------------------------------------------
+
+def _make_entityset(n_customers, n_transactions, rng):
+    customer_ids = np.arange(n_customers)
+    ages = rng.uniform(18, 80, size=n_customers)
+    incomes = rng.uniform(20, 150, size=n_customers)
+
+    transaction_customer = rng.randint(0, n_customers, size=n_transactions)
+    amounts = rng.exponential(scale=50.0, size=n_transactions)
+    # make spending behaviour depend on income so the target is learnable
+    amounts = amounts * (1.0 + incomes[transaction_customer] / 150.0)
+
+    entityset = EntitySet(name="retail")
+    entityset.add_entity("customers", {
+        "customer_id": customer_ids,
+        "age": ages,
+        "income": incomes,
+    }, index="customer_id")
+    entityset.add_entity("transactions", {
+        "transaction_id": np.arange(n_transactions),
+        "customer_id": transaction_customer,
+        "amount": amounts,
+    }, index="transaction_id")
+    entityset.add_relationship("customers", "customer_id", "transactions", "customer_id")
+
+    total_spend = np.zeros(n_customers)
+    np.add.at(total_spend, transaction_customer, amounts)
+    return entityset, customer_ids, ages, incomes, total_spend
+
+
+def make_multi_table_classification(name="multi_table_classification", n_customers=100,
+                                    n_transactions=400, random_state=None):
+    """Predict high-spending customers from a two-table retail entity set."""
+    rng = check_random_state(random_state)
+    entityset, customer_ids, _, incomes, total_spend = _make_entityset(
+        n_customers, n_transactions, rng
+    )
+    score = total_spend + 2.0 * incomes + rng.normal(0, 20.0, size=n_customers)
+    y = (score > np.median(score)).astype(int)
+    return MLTask(
+        name=name,
+        data_modality="multi_table",
+        problem_type="classification",
+        context={"X": customer_ids.astype(float).reshape(-1, 1), "y": y, "entityset": entityset},
+        static_keys={"entityset"},
+        metadata={"n_customers": n_customers},
+    )
+
+
+def make_multi_table_regression(name="multi_table_regression", n_customers=100,
+                                n_transactions=400, random_state=None):
+    """Predict total customer spend from a two-table retail entity set."""
+    rng = check_random_state(random_state)
+    entityset, customer_ids, ages, _, total_spend = _make_entityset(
+        n_customers, n_transactions, rng
+    )
+    y = total_spend + 0.5 * ages + rng.normal(0, 10.0, size=n_customers)
+    return MLTask(
+        name=name,
+        data_modality="multi_table",
+        problem_type="regression",
+        context={"X": customer_ids.astype(float).reshape(-1, 1), "y": y, "entityset": entityset},
+        static_keys={"entityset"},
+        metadata={"n_customers": n_customers},
+    )
+
+
+# ---------------------------------------------------------------------------
+# time series classification
+# ---------------------------------------------------------------------------
+
+def make_timeseries_classification(name="timeseries_classification", n_samples=120,
+                                   series_length=30, n_classes=2, noise=0.4,
+                                   random_state=None):
+    """Classify fixed-length series generated from class-specific frequencies."""
+    rng = check_random_state(random_state)
+    t = np.arange(series_length, dtype=float)
+    frequencies = np.linspace(4.0, 10.0, n_classes)
+    y = rng.randint(0, n_classes, size=n_samples)
+    phases = rng.uniform(0, 2 * np.pi, size=n_samples)
+    X = np.stack([
+        np.sin(t / frequencies[label] + phase) + noise * rng.normal(size=series_length)
+        for label, phase in zip(y, phases)
+    ])
+    return MLTask(
+        name=name,
+        data_modality="timeseries",
+        problem_type="classification",
+        context={"X": X, "y": y},
+        metadata={"series_length": series_length, "n_classes": n_classes},
+    )
+
+
+# ---------------------------------------------------------------------------
+# text
+# ---------------------------------------------------------------------------
+
+_TOPIC_WORDS = {
+    0: ["engine", "wheel", "road", "driver", "fuel", "speed", "car", "track"],
+    1: ["galaxy", "orbit", "star", "telescope", "planet", "rocket", "cosmos", "lunar"],
+    2: ["recipe", "flavor", "oven", "butter", "spice", "kitchen", "dough", "salt"],
+}
+_FILLER_WORDS = ["the", "a", "and", "with", "of", "for", "very", "quite", "some", "many",
+                 "is", "was", "on", "at", "it", "this", "that"]
+_POSITIVE_WORDS = ["excellent", "great", "wonderful", "amazing", "superb", "good"]
+_NEGATIVE_WORDS = ["terrible", "awful", "poor", "bad", "horrible", "boring"]
+
+
+def _sample_document(words, rng, length):
+    tokens = []
+    for _ in range(length):
+        if rng.uniform() < 0.55:
+            tokens.append(words[rng.randint(0, len(words))])
+        else:
+            tokens.append(_FILLER_WORDS[rng.randint(0, len(_FILLER_WORDS))])
+    return " ".join(tokens)
+
+
+def make_text_classification(name="text_classification", n_samples=120, n_classes=2,
+                             document_length=20, random_state=None):
+    """Topic classification over synthetic documents with class-specific vocabularies."""
+    rng = check_random_state(random_state)
+    n_classes = min(n_classes, len(_TOPIC_WORDS))
+    y = rng.randint(0, n_classes, size=n_samples)
+    documents = [
+        _sample_document(_TOPIC_WORDS[label], rng, document_length) for label in y
+    ]
+    return MLTask(
+        name=name,
+        data_modality="text",
+        problem_type="classification",
+        context={"X": np.asarray(documents, dtype=object), "y": y},
+        metadata={"n_classes": n_classes},
+    )
+
+
+def make_text_regression(name="text_regression", n_samples=120, document_length=20,
+                         noise=0.3, random_state=None):
+    """Sentiment-score regression over synthetic reviews."""
+    rng = check_random_state(random_state)
+    documents = []
+    targets = []
+    for _ in range(n_samples):
+        positivity = rng.uniform()
+        tokens = []
+        for _ in range(document_length):
+            draw = rng.uniform()
+            if draw < positivity * 0.5:
+                tokens.append(_POSITIVE_WORDS[rng.randint(0, len(_POSITIVE_WORDS))])
+            elif draw > 1.0 - (1.0 - positivity) * 0.5:
+                tokens.append(_NEGATIVE_WORDS[rng.randint(0, len(_NEGATIVE_WORDS))])
+            else:
+                tokens.append(_FILLER_WORDS[rng.randint(0, len(_FILLER_WORDS))])
+        documents.append(" ".join(tokens))
+        targets.append(positivity * 10.0 + noise * rng.normal())
+    return MLTask(
+        name=name,
+        data_modality="text",
+        problem_type="regression",
+        context={"X": np.asarray(documents, dtype=object), "y": np.asarray(targets)},
+        metadata={"noise": noise},
+    )
+
+
+# ---------------------------------------------------------------------------
+# image
+# ---------------------------------------------------------------------------
+
+def _striped_image(size, orientation, rng, noise):
+    image = np.zeros((size, size))
+    period = max(2, size // 4)
+    if orientation == 0:
+        image[::2, :] = 1.0
+        image[:, :] += np.sin(np.arange(size) / period)[None, :] * 0.2
+    else:
+        image[:, ::2] = 1.0
+        image[:, :] += np.sin(np.arange(size) / period)[:, None] * 0.2
+    return image + noise * rng.normal(size=(size, size))
+
+
+def make_image_classification(name="image_classification", n_samples=80, image_size=16,
+                              noise=0.3, random_state=None):
+    """Classify horizontally vs vertically striped synthetic images."""
+    rng = check_random_state(random_state)
+    y = rng.randint(0, 2, size=n_samples)
+    X = np.stack([_striped_image(image_size, label, rng, noise) for label in y])
+    return MLTask(
+        name=name,
+        data_modality="image",
+        problem_type="classification",
+        context={"X": X, "y": y},
+        metadata={"image_size": image_size},
+    )
+
+
+def make_image_regression(name="image_regression", n_samples=80, image_size=16, noise=0.05,
+                          random_state=None):
+    """Predict the mean brightness of synthetic blob images."""
+    rng = check_random_state(random_state)
+    brightness = rng.uniform(0.2, 1.0, size=n_samples)
+    X = np.stack([
+        level * np.ones((image_size, image_size)) + 0.1 * rng.normal(size=(image_size, image_size))
+        for level in brightness
+    ])
+    y = brightness + noise * rng.normal(size=n_samples)
+    return MLTask(
+        name=name,
+        data_modality="image",
+        problem_type="regression",
+        context={"X": X, "y": y},
+        metadata={"image_size": image_size},
+    )
+
+
+# ---------------------------------------------------------------------------
+# graph
+# ---------------------------------------------------------------------------
+
+def _stochastic_block_model(n_nodes, n_blocks, p_in, p_out, rng):
+    sizes = [n_nodes // n_blocks] * n_blocks
+    sizes[0] += n_nodes - sum(sizes)
+    probabilities = np.full((n_blocks, n_blocks), p_out)
+    np.fill_diagonal(probabilities, p_in)
+    graph = nx.stochastic_block_model(sizes, probabilities, seed=int(rng.randint(0, 2 ** 31 - 1)))
+    blocks = np.concatenate([[block] * size for block, size in enumerate(sizes)])
+    return nx.Graph(graph), blocks
+
+
+def make_community_detection(name="community_detection", n_nodes=60, n_blocks=3, p_in=0.35,
+                             p_out=0.02, random_state=None):
+    """Recover planted communities of a stochastic block model."""
+    rng = check_random_state(random_state)
+    graph, blocks = _stochastic_block_model(n_nodes, n_blocks, p_in, p_out, rng)
+    nodes = np.arange(n_nodes)
+    return MLTask(
+        name=name,
+        data_modality="graph",
+        problem_type="community_detection",
+        context={"X": nodes, "y": blocks, "graph": graph},
+        static_keys={"graph"},
+        metadata={"n_blocks": n_blocks},
+    )
+
+
+def make_vertex_nomination(name="vertex_nomination", n_nodes=80, n_blocks=2, p_in=0.25,
+                           p_out=0.03, random_state=None):
+    """Classify nodes into their planted block using structural features."""
+    rng = check_random_state(random_state)
+    graph, blocks = _stochastic_block_model(n_nodes, n_blocks, p_in, p_out, rng)
+    # attach block-dependent degree signal by adding extra edges inside block 0
+    block0 = [node for node, block in enumerate(blocks) if block == 0]
+    for _ in range(len(block0)):
+        u, v = rng.choice(block0, size=2, replace=False)
+        graph.add_edge(int(u), int(v))
+    nodes = np.arange(n_nodes)
+    return MLTask(
+        name=name,
+        data_modality="graph",
+        problem_type="vertex_nomination",
+        context={"X": nodes, "y": blocks, "graph": graph},
+        static_keys={"graph"},
+        metadata={"n_blocks": n_blocks},
+    )
+
+
+def make_link_prediction(name="link_prediction", n_nodes=60, k=6, p_rewire=0.1,
+                         n_pairs=160, random_state=None):
+    """Predict held-out edges of a small-world graph from topological features."""
+    rng = check_random_state(random_state)
+    graph = nx.watts_strogatz_graph(n_nodes, k, p_rewire, seed=int(rng.randint(0, 2 ** 31 - 1)))
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    n_positive = min(n_pairs // 2, len(edges) // 3)
+    positives = edges[:n_positive]
+    observed = nx.Graph(graph)
+    observed.remove_edges_from(positives)
+
+    negatives = []
+    nodes = list(graph.nodes())
+    existing = set(map(frozenset, graph.edges()))
+    while len(negatives) < n_positive:
+        u, v = rng.choice(nodes, size=2, replace=False)
+        if frozenset((u, v)) not in existing:
+            negatives.append((int(u), int(v)))
+    pairs = np.asarray([list(p) for p in positives] + [list(p) for p in negatives], dtype=float)
+    y = np.asarray([1] * len(positives) + [0] * len(negatives))
+    order = rng.permutation(len(y))
+    return MLTask(
+        name=name,
+        data_modality="graph",
+        problem_type="link_prediction",
+        context={"X": pairs[order], "y": y[order], "graph": observed},
+        static_keys={"graph"},
+        metadata={"n_nodes": n_nodes},
+    )
+
+
+def make_graph_matching(name="graph_matching", n_nodes=60, n_blocks=3, p_in=0.3, p_out=0.03,
+                        n_pairs=160, random_state=None):
+    """Decide whether two nodes belong to the same planted community.
+
+    This stands in for the D3M graph matching task type: pairs of entities
+    must be matched based on graph structure.
+    """
+    rng = check_random_state(random_state)
+    graph, blocks = _stochastic_block_model(n_nodes, n_blocks, p_in, p_out, rng)
+    pairs = []
+    labels = []
+    nodes = np.arange(n_nodes)
+    for _ in range(n_pairs):
+        u, v = rng.choice(nodes, size=2, replace=False)
+        pairs.append([float(u), float(v)])
+        labels.append(int(blocks[u] == blocks[v]))
+    return MLTask(
+        name=name,
+        data_modality="graph",
+        problem_type="graph_matching",
+        context={"X": np.asarray(pairs), "y": np.asarray(labels), "graph": graph},
+        static_keys={"graph"},
+        metadata={"n_blocks": n_blocks},
+    )
+
+
+# ---------------------------------------------------------------------------
+# anomaly detection (ORION use case; not part of the Table II suite)
+# ---------------------------------------------------------------------------
+
+def make_anomaly_signal(name="satellite_telemetry", length=600, n_anomalies=2,
+                        anomaly_magnitude=3.0, noise=0.05, random_state=None):
+    """A telemetry-like signal with injected anomalies and their true intervals.
+
+    Returns
+    -------
+    (signal, anomalies):
+        ``signal`` is a 2-column array of (timestamp, value) rows suitable
+        for the ORION pipeline; ``anomalies`` is the list of true
+        ``(start, end)`` intervals in timestamp units.
+    """
+    rng = check_random_state(random_state)
+    t = np.arange(length, dtype=float)
+    values = np.sin(t / 20.0) + 0.4 * np.sin(t / 55.0) + noise * rng.normal(size=length)
+    anomalies = []
+    for i in range(n_anomalies):
+        start = int(rng.randint(length // 4, length - 40))
+        width = int(rng.randint(5, 20))
+        direction = 1.0 if rng.uniform() < 0.5 else -1.0
+        values[start:start + width] += direction * anomaly_magnitude
+        anomalies.append((float(start), float(start + width - 1)))
+    signal = np.column_stack([t, values])
+    return signal, sorted(anomalies)

@@ -1,0 +1,56 @@
+"""ML task types: combinations of data modality and problem type (paper Table II)."""
+
+from collections import namedtuple
+
+#: A task type is a (data modality, problem type) pair.
+TaskType = namedtuple("TaskType", ["data_modality", "problem_type"])
+
+#: The 15 task types covered by the ML Bazaar Task Suite (paper Table II).
+TASK_TYPES = (
+    TaskType("graph", "community_detection"),
+    TaskType("graph", "graph_matching"),
+    TaskType("graph", "link_prediction"),
+    TaskType("graph", "vertex_nomination"),
+    TaskType("image", "classification"),
+    TaskType("image", "regression"),
+    TaskType("multi_table", "classification"),
+    TaskType("multi_table", "regression"),
+    TaskType("single_table", "classification"),
+    TaskType("single_table", "collaborative_filtering"),
+    TaskType("single_table", "regression"),
+    TaskType("single_table", "timeseries_forecasting"),
+    TaskType("text", "classification"),
+    TaskType("text", "regression"),
+    TaskType("timeseries", "classification"),
+)
+
+#: Data modalities appearing in the suite.
+DATA_MODALITIES = tuple(sorted({task_type.data_modality for task_type in TASK_TYPES}))
+
+#: Problem types appearing in the suite.
+PROBLEM_TYPES = tuple(sorted({task_type.problem_type for task_type in TASK_TYPES}))
+
+#: Default evaluation metric per problem type (all oriented so that the
+#: AutoBazaar search can maximize a normalized score).
+DEFAULT_METRICS = {
+    "classification": "f1_macro",
+    "regression": "r2",
+    "timeseries_forecasting": "r2",
+    "collaborative_filtering": "r2",
+    "community_detection": "adjusted_rand",
+    "graph_matching": "f1_macro",
+    "link_prediction": "f1_macro",
+    "vertex_nomination": "f1_macro",
+}
+
+
+def default_metric(problem_type):
+    """The default evaluation metric name for a problem type."""
+    try:
+        return DEFAULT_METRICS[problem_type]
+    except KeyError:
+        raise ValueError(
+            "Unknown problem type {!r}; expected one of {}".format(
+                problem_type, sorted(DEFAULT_METRICS)
+            )
+        ) from None

@@ -1,0 +1,59 @@
+"""AutoML primitives: tuners and selectors (the BTB library of the paper).
+
+Tuners expose a ``record``/``propose`` interface over a hyperparameter
+space (paper Section IV-B1); selectors expose a
+``compute_rewards``/``select`` interface over candidate templates (paper
+Section IV-B2).  Both are assembled from smaller AutoML primitives:
+meta-models (Gaussian processes with different kernels, Gaussian copula
+processes) and acquisition functions (expected improvement, UCB, PI).
+"""
+
+from repro.tuning.hyperparams import (
+    BooleanHyperparam,
+    CategoricalHyperparam,
+    FloatHyperparam,
+    IntHyperparam,
+    Tunable,
+)
+from repro.tuning.gp import GaussianCopulaProcessRegressor, GaussianProcessRegressor
+from repro.tuning.acquisition import expected_improvement, probability_of_improvement, upper_confidence_bound
+from repro.tuning.tuners import (
+    BaseTuner,
+    GCPEiTuner,
+    GPEiTuner,
+    GPMatern52EiTuner,
+    GPTuner,
+    UniformTuner,
+)
+from repro.tuning.selectors import (
+    BaseSelector,
+    BestKRewardSelector,
+    UCB1Selector,
+    UniformSelector,
+)
+from repro.tuning.meta import WarmStartGPTuner, harvest_history
+
+__all__ = [
+    "IntHyperparam",
+    "FloatHyperparam",
+    "CategoricalHyperparam",
+    "BooleanHyperparam",
+    "Tunable",
+    "GaussianProcessRegressor",
+    "GaussianCopulaProcessRegressor",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "probability_of_improvement",
+    "BaseTuner",
+    "UniformTuner",
+    "GPTuner",
+    "GPEiTuner",
+    "GPMatern52EiTuner",
+    "GCPEiTuner",
+    "BaseSelector",
+    "UniformSelector",
+    "UCB1Selector",
+    "BestKRewardSelector",
+    "WarmStartGPTuner",
+    "harvest_history",
+]

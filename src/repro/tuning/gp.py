@@ -1,0 +1,168 @@
+"""Gaussian process meta-models for Bayesian optimization.
+
+Two kernels are provided because the paper's second case study
+(Section VI-C) compares tuners built from the squared exponential kernel
+against the Matérn 5/2 kernel proposed by Snoek et al. (2012).  A Gaussian
+Copula Process variant (the meta-model behind the paper's GCP-EI tuner) is
+also included.
+"""
+
+import numpy as np
+from scipy import linalg, stats
+
+from repro.learners.base import BaseEstimator
+
+
+def squared_exponential_kernel(X1, X2, length_scale=0.3, signal_variance=1.0):
+    """Squared exponential (RBF) kernel matrix."""
+    sq_dists = _pairwise_sq_dists(X1, X2, length_scale)
+    return signal_variance * np.exp(-0.5 * sq_dists)
+
+
+def matern52_kernel(X1, X2, length_scale=0.3, signal_variance=1.0):
+    """Matérn 5/2 kernel matrix (paper Section VI-C, Snoek et al. 2012).
+
+    K(x, x') = theta0 (1 + sqrt(5 r^2) + 5/3 r^2) exp(-sqrt(5 r^2)),
+    where r^2 is the length-scale-normalized squared distance.
+    """
+    sq_dists = _pairwise_sq_dists(X1, X2, length_scale)
+    root5_r = np.sqrt(5.0 * sq_dists)
+    return signal_variance * (1.0 + root5_r + 5.0 * sq_dists / 3.0) * np.exp(-root5_r)
+
+
+def _pairwise_sq_dists(X1, X2, length_scale):
+    X1 = np.atleast_2d(np.asarray(X1, dtype=float))
+    X2 = np.atleast_2d(np.asarray(X2, dtype=float))
+    diff = X1[:, None, :] - X2[None, :, :]
+    return np.sum((diff / length_scale) ** 2, axis=-1)
+
+
+KERNELS = {
+    "se": squared_exponential_kernel,
+    "matern52": matern52_kernel,
+}
+
+
+class GaussianProcessRegressor(BaseEstimator):
+    """Gaussian process regression with a fixed kernel family.
+
+    The kernel length scale is chosen by maximizing the log marginal
+    likelihood over a small grid, which mirrors the paper's note that "the
+    kernel hyperparameters are set by optimizing the marginal likelihood".
+
+    Parameters
+    ----------
+    kernel:
+        ``"se"`` or ``"matern52"``.
+    noise:
+        Observation noise variance added to the kernel diagonal.
+    normalize_y:
+        Standardize the targets before fitting.
+    """
+
+    def __init__(self, kernel="se", noise=1e-6, normalize_y=True, length_scales=(0.1, 0.3, 1.0)):
+        self.kernel = kernel
+        self.noise = noise
+        self.normalize_y = normalize_y
+        self.length_scales = length_scales
+
+    def _kernel_fn(self):
+        try:
+            return KERNELS[self.kernel]
+        except KeyError:
+            raise ValueError(
+                "Unknown kernel {!r}; available kernels: {}".format(self.kernel, sorted(KERNELS))
+            ) from None
+
+    def fit(self, X, y):
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std()) or 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        targets = (y - self._y_mean) / self._y_std
+
+        kernel_fn = self._kernel_fn()
+        best = None
+        for length_scale in self.length_scales:
+            gram = kernel_fn(X, X, length_scale=length_scale)
+            gram[np.diag_indices_from(gram)] += max(self.noise, 1e-10)
+            try:
+                cho = linalg.cho_factor(gram, lower=True)
+            except linalg.LinAlgError:
+                continue
+            alpha = linalg.cho_solve(cho, targets)
+            log_likelihood = (
+                -0.5 * targets @ alpha
+                - np.sum(np.log(np.diag(cho[0])))
+                - 0.5 * len(targets) * np.log(2.0 * np.pi)
+            )
+            if best is None or log_likelihood > best[0]:
+                best = (log_likelihood, length_scale, cho, alpha)
+        if best is None:
+            raise RuntimeError("Gaussian process fit failed for every candidate length scale")
+        self.log_marginal_likelihood_, self.length_scale_, self._cho, self._alpha = best
+        self._X_train = X
+        return self
+
+    def predict(self, X, return_std=True):
+        """Posterior mean (and standard deviation) at the query points."""
+        self._check_fitted("_alpha")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        kernel_fn = self._kernel_fn()
+        cross = kernel_fn(X, self._X_train, length_scale=self.length_scale_)
+        mean = cross @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        solved = linalg.cho_solve(self._cho, cross.T)
+        prior = kernel_fn(X, X, length_scale=self.length_scale_)
+        variance = np.clip(np.diag(prior) - np.sum(cross * solved.T, axis=1), 1e-12, None)
+        std = np.sqrt(variance) * self._y_std
+        return mean, std
+
+
+class GaussianCopulaProcessRegressor(BaseEstimator):
+    """Gaussian copula process: GP regression on normal-scores of the targets.
+
+    The observed scores are mapped through their empirical CDF onto
+    standard normal quantiles before fitting the GP; predictions are mapped
+    back through the empirical quantile function.  This is the meta-model
+    primitive behind the GCP-EI tuner named in the paper (Section IV-B1).
+    """
+
+    def __init__(self, kernel="se", noise=1e-6):
+        self.kernel = kernel
+        self.noise = noise
+
+    def fit(self, X, y):
+        y = np.asarray(y, dtype=float).ravel()
+        self._sorted_y = np.sort(y)
+        ranks = stats.rankdata(y, method="average")
+        uniform = ranks / (len(y) + 1.0)
+        normal_scores = stats.norm.ppf(uniform)
+        self._gp = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise,
+                                            normalize_y=False)
+        self._gp.fit(X, normal_scores)
+        return self
+
+    def predict(self, X, return_std=True):
+        """Posterior in the latent normal-score space, mean mapped back to score space."""
+        self._check_fitted("_gp")
+        mean, std = self._gp.predict(X, return_std=True)
+        # map the latent mean back through the empirical quantile function
+        uniform = stats.norm.cdf(mean)
+        positions = uniform * (len(self._sorted_y) - 1)
+        mapped_mean = np.interp(positions, np.arange(len(self._sorted_y)), self._sorted_y)
+        if not return_std:
+            return mapped_mean
+        return mapped_mean, std
+
+    def predict_latent(self, X):
+        """Posterior mean and std in the latent (normal-score) space."""
+        self._check_fitted("_gp")
+        return self._gp.predict(X, return_std=True)

@@ -1,0 +1,188 @@
+"""Selectors: AutoML primitives with a ``compute_rewards``/``select`` interface.
+
+A selector solves the selection problem (paper Equation 2): which template
+should be tuned next, balancing exploration and exploitation.  Selection is
+treated as a multi-armed bandit over the history of scores per template.
+"""
+
+import numpy as np
+
+from repro.learners.base import check_random_state
+
+
+class BaseSelector:
+    """Shared machinery for template selectors.
+
+    Parameters
+    ----------
+    candidates:
+        The identifiers of the selectable templates.
+    random_state:
+        Seed used for tie-breaking and random exploration.
+    """
+
+    def __init__(self, candidates, random_state=None):
+        candidates = list(candidates)
+        if not candidates:
+            raise ValueError("A selector requires at least one candidate")
+        self.candidates = candidates
+        self._rng = check_random_state(random_state)
+
+    def compute_rewards(self, scores):
+        """Convert a list of raw scores into rewards (default: identity)."""
+        return list(scores)
+
+    def select(self, candidate_scores):
+        """Select the next candidate given ``{candidate: [scores, ...]}``."""
+        raise NotImplementedError
+
+    def _unseen(self, candidate_scores):
+        return [c for c in self.candidates if not candidate_scores.get(c)]
+
+    def __repr__(self):
+        return "{}(n_candidates={})".format(type(self).__name__, len(self.candidates))
+
+
+class UniformSelector(BaseSelector):
+    """Select candidates uniformly at random (round-robin-free baseline)."""
+
+    def select(self, candidate_scores):
+        unseen = self._unseen(candidate_scores)
+        if unseen:
+            return unseen[0]
+        return self.candidates[int(self._rng.randint(0, len(self.candidates)))]
+
+
+class UCB1Selector(BaseSelector):
+    """Upper confidence bound selection (paper Equations 3 and 4).
+
+    The reward of a template is the mean of its scores, and the selected
+    template maximizes ``z_j + sqrt(2 ln n / n_j)``.
+    """
+
+    def compute_rewards(self, scores):
+        if not scores:
+            return []
+        return [float(np.mean(scores))] * len(scores)
+
+    def select(self, candidate_scores):
+        unseen = self._unseen(candidate_scores)
+        if unseen:
+            return unseen[0]
+        total = sum(len(scores) for scores in candidate_scores.values())
+        best_candidate = None
+        best_bound = -np.inf
+        for candidate in self.candidates:
+            scores = candidate_scores.get(candidate, [])
+            mean_reward = float(np.mean(self.compute_rewards(scores)))
+            bound = mean_reward + np.sqrt(2.0 * np.log(total) / len(scores))
+            if bound > best_bound:
+                best_bound = bound
+                best_candidate = candidate
+        return best_candidate
+
+
+class BestKRewardSelector(BaseSelector):
+    """UCB over the mean of each template's best K scores.
+
+    Focusing on the top-K scores rewards templates whose *tuned* performance
+    is promising even if their default configurations score poorly.
+    """
+
+    def __init__(self, candidates, k=3, random_state=None):
+        super().__init__(candidates, random_state=random_state)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+
+    def compute_rewards(self, scores):
+        if not scores:
+            return []
+        top = sorted(scores, reverse=True)[: self.k]
+        return [float(np.mean(top))] * len(scores)
+
+    def select(self, candidate_scores):
+        unseen = self._unseen(candidate_scores)
+        if unseen:
+            return unseen[0]
+        total = sum(len(scores) for scores in candidate_scores.values())
+        best_candidate = None
+        best_bound = -np.inf
+        for candidate in self.candidates:
+            scores = candidate_scores.get(candidate, [])
+            reward = self.compute_rewards(scores)[0]
+            bound = reward + np.sqrt(2.0 * np.log(total) / len(scores))
+            if bound > best_bound:
+                best_bound = bound
+                best_candidate = candidate
+        return best_candidate
+
+
+class BestKVelocitySelector(BestKRewardSelector):
+    """UCB over the *velocity* of each template's best-K scores.
+
+    The reward is the mean difference between consecutive top-K scores,
+    which favors templates whose tuned performance is still improving —
+    useful late in a search when flat-lined templates should be dropped.
+    """
+
+    def compute_rewards(self, scores):
+        if not scores:
+            return []
+        top = sorted(scores, reverse=True)[: self.k + 1]
+        if len(top) < 2:
+            return [float(top[0])] * len(scores)
+        velocity = float(np.mean(np.diff(top[::-1])))
+        return [velocity] * len(scores)
+
+
+class ThompsonSamplingSelector(BaseSelector):
+    """Gaussian Thompson sampling over the per-template score distributions.
+
+    Each template's scores are modeled as a normal distribution; one sample
+    is drawn per template and the largest sample wins.  Compared to UCB1
+    this randomizes exploration, which helps when many templates have
+    similar means.
+    """
+
+    def __init__(self, candidates, prior_std=1.0, random_state=None):
+        super().__init__(candidates, random_state=random_state)
+        if prior_std <= 0:
+            raise ValueError("prior_std must be positive")
+        self.prior_std = prior_std
+
+    def select(self, candidate_scores):
+        unseen = self._unseen(candidate_scores)
+        if unseen:
+            return unseen[0]
+        best_candidate = None
+        best_draw = -np.inf
+        for candidate in self.candidates:
+            scores = np.asarray(candidate_scores.get(candidate, []), dtype=float)
+            mean = float(scores.mean())
+            std = float(scores.std()) if len(scores) > 1 else self.prior_std
+            std = max(std, 1e-6) / np.sqrt(len(scores))
+            draw = float(self._rng.normal(mean, std))
+            if draw > best_draw:
+                best_draw = draw
+                best_candidate = candidate
+        return best_candidate
+
+
+SELECTORS = {
+    "uniform": UniformSelector,
+    "ucb1": UCB1Selector,
+    "best_k": BestKRewardSelector,
+    "best_k_velocity": BestKVelocitySelector,
+    "thompson": ThompsonSamplingSelector,
+}
+
+
+def get_selector(name):
+    """Look up a selector class by its short name."""
+    try:
+        return SELECTORS[name]
+    except KeyError:
+        raise ValueError(
+            "Unknown selector {!r}; available selectors: {}".format(name, sorted(SELECTORS))
+        ) from None

@@ -1,0 +1,185 @@
+"""Tuners: AutoML primitives with a ``record``/``propose`` interface.
+
+A tuner owns the hyperparameter configuration space of one template and
+solves the tuning problem (paper Equation 1): propose the configuration
+that maximizes the expected score given everything recorded so far.
+"""
+
+import numpy as np
+
+from repro.learners.base import check_random_state
+from repro.tuning.acquisition import ACQUISITIONS
+from repro.tuning.gp import GaussianCopulaProcessRegressor, GaussianProcessRegressor
+from repro.tuning.hyperparams import Tunable
+
+
+class BaseTuner:
+    """Shared record/propose machinery.
+
+    Parameters
+    ----------
+    tunable:
+        A :class:`~repro.tuning.hyperparams.Tunable` describing the space,
+        or a ``{key: HyperparamSpec}`` dict (as produced by
+        ``Template.get_tunable_hyperparameters``).
+    random_state:
+        Seed for reproducible proposals.
+    """
+
+    def __init__(self, tunable, random_state=None):
+        if not isinstance(tunable, Tunable):
+            tunable = Tunable.from_specs(tunable)
+        self.tunable = tunable
+        self._rng = check_random_state(random_state)
+        self.trials = []
+        self.scores = []
+
+    def record(self, params, score):
+        """Record the observed score of a configuration."""
+        score = float(score)
+        if not np.isfinite(score):
+            raise ValueError("Cannot record a non-finite score")
+        self.trials.append(dict(params))
+        self.scores.append(score)
+
+    @property
+    def best_score(self):
+        """Best score recorded so far, or ``None`` if nothing was recorded."""
+        return max(self.scores) if self.scores else None
+
+    @property
+    def best_params(self):
+        """Configuration achieving the best recorded score."""
+        if not self.scores:
+            return None
+        return dict(self.trials[int(np.argmax(self.scores))])
+
+    def propose(self):
+        """Propose the next configuration to evaluate."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "{}(n_trials={})".format(type(self).__name__, len(self.trials))
+
+
+class UniformTuner(BaseTuner):
+    """Propose uniformly random configurations (random-search baseline)."""
+
+    def propose(self):
+        return self.tunable.sample(self._rng)
+
+
+class GPTuner(BaseTuner):
+    """Bayesian optimization tuner: GP meta-model + acquisition function.
+
+    Parameters
+    ----------
+    kernel:
+        ``"se"`` or ``"matern52"`` (paper Section VI-C compares the two).
+    acquisition:
+        ``"ei"``, ``"ucb"`` or ``"pi"``.
+    n_candidates:
+        Number of random candidates scored by the acquisition function per
+        proposal.
+    min_trials:
+        Number of purely random proposals before the meta-model is used.
+    """
+
+    meta_model_class = GaussianProcessRegressor
+
+    def __init__(self, tunable, kernel="se", acquisition="ei", n_candidates=100,
+                 min_trials=3, random_state=None):
+        super().__init__(tunable, random_state=random_state)
+        if acquisition not in ACQUISITIONS:
+            raise ValueError(
+                "Unknown acquisition {!r}; expected one of {}".format(
+                    acquisition, sorted(ACQUISITIONS)
+                )
+            )
+        self.kernel = kernel
+        self.acquisition = acquisition
+        self.n_candidates = n_candidates
+        self.min_trials = min_trials
+
+    def _fit_meta_model(self):
+        X = np.vstack([self.tunable.to_vector(trial) for trial in self.trials])
+        y = np.asarray(self.scores, dtype=float)
+        model = self.meta_model_class(kernel=self.kernel)
+        model.fit(X, y)
+        return model
+
+    def _score_candidates(self, model, candidates):
+        vectors = np.vstack([self.tunable.to_vector(candidate) for candidate in candidates])
+        mean, std = model.predict(vectors, return_std=True)
+        acquisition_fn = ACQUISITIONS[self.acquisition]
+        if self.acquisition == "ucb":
+            return acquisition_fn(mean, std)
+        return acquisition_fn(mean, std, best=max(self.scores))
+
+    def propose(self):
+        if len(self.trials) < self.min_trials:
+            return self.tunable.sample(self._rng)
+        try:
+            model = self._fit_meta_model()
+        except (RuntimeError, np.linalg.LinAlgError):
+            return self.tunable.sample(self._rng)
+        candidates = self.tunable.sample_many(self.n_candidates, self._rng)
+        acquisition_values = self._score_candidates(model, candidates)
+        return candidates[int(np.argmax(acquisition_values))]
+
+
+class GPEiTuner(GPTuner):
+    """GP meta-model with squared exponential kernel + expected improvement (GP-SE-EI)."""
+
+    def __init__(self, tunable, n_candidates=100, min_trials=3, random_state=None):
+        super().__init__(tunable, kernel="se", acquisition="ei", n_candidates=n_candidates,
+                         min_trials=min_trials, random_state=random_state)
+
+
+class GPMatern52EiTuner(GPTuner):
+    """GP meta-model with Matérn 5/2 kernel + expected improvement (GP-Matern52-EI)."""
+
+    def __init__(self, tunable, n_candidates=100, min_trials=3, random_state=None):
+        super().__init__(tunable, kernel="matern52", acquisition="ei",
+                         n_candidates=n_candidates, min_trials=min_trials,
+                         random_state=random_state)
+
+
+class GCPEiTuner(GPTuner):
+    """Gaussian Copula Process meta-model + expected improvement (GCP-EI)."""
+
+    meta_model_class = GaussianCopulaProcessRegressor
+
+    def __init__(self, tunable, kernel="se", n_candidates=100, min_trials=3, random_state=None):
+        super().__init__(tunable, kernel=kernel, acquisition="ei", n_candidates=n_candidates,
+                         min_trials=min_trials, random_state=random_state)
+
+    def _score_candidates(self, model, candidates):
+        vectors = np.vstack([self.tunable.to_vector(candidate) for candidate in candidates])
+        mean, std = model.predict_latent(vectors)
+        # expected improvement computed in the latent normal-score space, where
+        # the best observed score maps to its own normal score
+        from scipy import stats
+
+        ranks = stats.rankdata(self.scores, method="average")
+        best_latent = stats.norm.ppf(ranks.max() / (len(self.scores) + 1.0))
+        acquisition_fn = ACQUISITIONS["ei"]
+        return acquisition_fn(mean, std, best=best_latent)
+
+
+TUNERS = {
+    "uniform": UniformTuner,
+    "gp_ei": GPEiTuner,
+    "gp_matern52_ei": GPMatern52EiTuner,
+    "gcp_ei": GCPEiTuner,
+}
+
+
+def get_tuner(name):
+    """Look up a tuner class by its short name."""
+    try:
+        return TUNERS[name]
+    except KeyError:
+        raise ValueError(
+            "Unknown tuner {!r}; available tuners: {}".format(name, sorted(TUNERS))
+        ) from None

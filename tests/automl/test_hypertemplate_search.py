@@ -1,0 +1,56 @@
+"""Tests for searching over hypertemplate-derived templates (paper Figure 4)."""
+
+import pytest
+
+from repro.automl import AutoBazaarSearch
+from repro.automl.catalog import classification_hypertemplate
+from repro.tasks import synth
+
+
+@pytest.fixture(scope="module")
+def task():
+    return synth.make_single_table_classification(n_samples=100, random_state=13)
+
+
+class TestClassificationHypertemplate:
+    def test_derives_four_templates(self):
+        hypertemplate = classification_hypertemplate()
+        assert hypertemplate.n_templates() == 4
+        templates = hypertemplate.derive_templates()
+        assert len({t.name for t in templates}) == 4
+
+    def test_conditional_subspaces_depend_on_depth(self):
+        templates = classification_hypertemplate().derive_templates()
+        for template in templates:
+            depth = template.init_params["xgboost.XGBClassifier#0"]["max_depth"]
+            spec = dict(template.get_tunable_hyperparameters())[
+                ("xgboost.XGBClassifier#0", "n_estimators")
+            ]
+            if depth == 2:
+                assert spec.range == (20, 80)
+            else:
+                assert spec.range == (10, 40)
+
+
+class TestSearchOverHypertemplate:
+    def test_search_expands_hypertemplate_into_arms(self, task):
+        hypertemplate = classification_hypertemplate()
+        searcher = AutoBazaarSearch(templates=[hypertemplate], n_splits=2, random_state=0)
+        result = searcher.search(task, budget=5)
+        # the first four evaluations are the four derived templates' defaults
+        defaults = [r.template_name for r in result.records if r.is_default]
+        assert len(defaults) == 4
+        assert len(set(defaults)) == 4
+        assert result.best_template in set(r.template_name for r in result.records)
+
+    def test_mixed_templates_and_hypertemplates(self, task):
+        from repro.automl import get_templates
+
+        hypertemplate = classification_hypertemplate()
+        plain = get_templates("single_table", "classification", variant="rf")
+        searcher = AutoBazaarSearch(templates=plain + [hypertemplate],
+                                    n_splits=2, random_state=0)
+        result = searcher.search(task, budget=6)
+        assert result.best_score is not None
+        evaluated = {r.template_name for r in result.records}
+        assert any(name.startswith("tabular_classification_hyper") for name in evaluated)

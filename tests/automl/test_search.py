@@ -1,0 +1,144 @@
+"""Tests for the AutoBazaar search engine (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoBazaarSearch, evaluate_pipeline, get_templates
+from repro.automl.search import RandomSearch, cross_validate_template
+from repro.explorer import PipelineStore
+from repro.tasks import synth
+from repro.tasks.task import split_task
+from repro.tuning.selectors import UniformSelector
+from repro.tuning.tuners import UniformTuner
+
+
+@pytest.fixture(scope="module")
+def tabular_task():
+    return synth.make_single_table_classification(n_samples=120, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def search_result(tabular_task):
+    searcher = AutoBazaarSearch(n_splits=2, random_state=0)
+    return searcher.search(tabular_task, budget=6)
+
+
+class TestEvaluateAndCrossValidate:
+    def test_evaluate_pipeline_returns_scores_and_pipeline(self, tabular_task):
+        train, test = split_task(tabular_task, test_size=0.3, random_state=0)
+        template = get_templates("single_table", "classification")[0]
+        normalized, raw, pipeline = evaluate_pipeline(
+            template, template.default_hyperparameters(), train, test
+        )
+        assert 0.0 <= raw <= 1.0
+        assert normalized == raw  # f1 is higher-is-better
+        assert pipeline.fitted
+
+    def test_cross_validate_template_mean_score(self, tabular_task):
+        template = get_templates("single_table", "classification")[0]
+        score, raw = cross_validate_template(
+            template, template.default_hyperparameters(), tabular_task,
+            n_splits=2, random_state=0,
+        )
+        assert 0.0 <= raw <= 1.0
+
+
+class TestAutoBazaarSearch:
+    def test_budget_respected(self, search_result):
+        assert search_result.n_evaluated == 6
+
+    def test_defaults_evaluated_first(self, search_result):
+        n_templates = len(get_templates("single_table", "classification"))
+        defaults = [r for r in search_result.records if r.is_default]
+        assert len(defaults) == n_templates
+        assert all(r.iteration < n_templates for r in defaults)
+
+    def test_best_score_is_max_of_records(self, search_result):
+        scores = [r.score for r in search_result.records if not r.failed]
+        assert search_result.best_score == pytest.approx(max(scores))
+
+    def test_best_pipeline_fitted_and_scored_on_test(self, search_result):
+        assert search_result.best_pipeline is not None
+        assert search_result.best_pipeline.fitted
+        assert 0.0 <= search_result.test_score <= 1.0
+
+    def test_result_statistics(self, search_result):
+        assert search_result.n_failed == 0
+        assert search_result.pipelines_per_second > 0
+        assert isinstance(search_result.improvement_sigmas(), float)
+        assert search_result.default_score is not None
+
+    def test_store_receives_every_record(self, tabular_task):
+        store = PipelineStore()
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0, store=store)
+        result = searcher.search(tabular_task, budget=5)
+        assert len(store) == result.n_evaluated
+
+    def test_explicit_templates_override_catalog(self, tabular_task):
+        templates = get_templates("single_table", "classification", variant="rf")
+        searcher = AutoBazaarSearch(templates=templates, n_splits=2, random_state=0)
+        result = searcher.search(tabular_task, budget=4)
+        assert set(r.template_name for r in result.records) <= {t.name for t in templates}
+
+    def test_alternative_selector_and_tuner(self, tabular_task):
+        searcher = AutoBazaarSearch(
+            tuner_class=UniformTuner, selector_class=UniformSelector,
+            n_splits=2, random_state=0,
+        )
+        result = searcher.search(tabular_task, budget=5)
+        assert result.best_score is not None
+
+    def test_random_search_subclass(self, tabular_task):
+        result = RandomSearch(n_splits=2, random_state=0).search(tabular_task, budget=4)
+        assert result.best_score is not None
+
+    def test_explicit_test_task(self, tabular_task):
+        train, test = split_task(tabular_task, test_size=0.3, random_state=1)
+        result = AutoBazaarSearch(n_splits=2, random_state=0).search(
+            train, budget=4, test_task=test
+        )
+        assert result.test_score is not None
+
+    def test_failed_pipelines_recorded_not_fatal(self, tabular_task):
+        from repro.core.template import Template
+
+        # PCA with an out-of-range fixed component count fails on every fold
+        broken = Template(
+            "broken",
+            ["sklearn.decomposition.PCA", "xgboost.XGBClassifier"],
+            init_params={"sklearn.decomposition.PCA": {"n_components": 0}},
+        )
+        working = get_templates("single_table", "classification", variant="rf")
+        searcher = AutoBazaarSearch(templates=[broken] + working, n_splits=2, random_state=0)
+        result = searcher.search(tabular_task, budget=4)
+        assert result.n_failed >= 1
+        assert result.best_score is not None
+        failed = [r for r in result.records if r.failed]
+        assert all(r.error for r in failed)
+
+    def test_no_templates_raises(self, tabular_task):
+        searcher = AutoBazaarSearch(templates=[], n_splits=2)
+        with pytest.raises(ValueError):
+            searcher.search(tabular_task, budget=2)
+
+
+class TestSearchAcrossTaskTypes:
+    @pytest.mark.parametrize("generator", [
+        synth.make_single_table_regression,
+        synth.make_text_classification,
+        synth.make_link_prediction,
+        synth.make_community_detection,
+    ])
+    def test_search_completes_for_other_modalities(self, generator):
+        task = generator(random_state=1)
+        result = AutoBazaarSearch(n_splits=2, random_state=0).search(task, budget=3)
+        assert result.n_evaluated == 3
+        assert result.best_score is not None
+
+
+class TestEvaluationRecord:
+    def test_to_dict_fields(self, search_result):
+        document = search_result.records[0].to_dict()
+        for field in ("task_name", "template_name", "score", "iteration", "elapsed",
+                      "hyperparameters", "is_default", "error"):
+            assert field in document

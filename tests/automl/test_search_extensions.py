@@ -1,0 +1,62 @@
+"""Tests for search extensions: wall-clock budgets, checkpoints and warm-starting."""
+
+import numpy as np
+import pytest
+
+from repro.automl import AutoBazaarSearch
+from repro.explorer import PipelineStore
+from repro.tasks import synth
+
+
+@pytest.fixture(scope="module")
+def task():
+    return synth.make_single_table_classification(n_samples=100, random_state=5)
+
+
+class TestWallClockBudget:
+    def test_zero_second_budget_stops_immediately(self, task):
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0)
+        result = searcher.search(task, budget=50, max_seconds=0.0)
+        assert result.n_evaluated == 0
+        assert result.best_score is None
+
+    def test_generous_time_budget_does_not_interfere(self, task):
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0)
+        result = searcher.search(task, budget=3, max_seconds=600)
+        assert result.n_evaluated == 3
+
+
+class TestCheckpoints:
+    def test_checkpoint_scores_monotone(self, task):
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0)
+        result = searcher.search(task, budget=6)
+        checkpoints = result.best_score_at_checkpoints()
+        assert len(checkpoints) == 4
+        values = [c for c in checkpoints if c is not None]
+        assert values == sorted(values)
+
+    def test_custom_fractions(self, task):
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0)
+        result = searcher.search(task, budget=4)
+        checkpoints = result.best_score_at_checkpoints(fractions=(0.5, 1.0))
+        assert len(checkpoints) == 2
+
+
+class TestWarmStart:
+    def test_warm_started_search_runs_and_uses_history(self, task):
+        # first: run a search on a *different* task to populate the store
+        prior_task = synth.make_single_table_classification(n_samples=100, random_state=9)
+        store = PipelineStore()
+        AutoBazaarSearch(n_splits=2, random_state=0, store=store).search(prior_task, budget=5)
+        assert len(store) == 5
+
+        # then: warm-start the search on the new task from that history
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0, warm_start_store=store)
+        result = searcher.search(task, budget=5)
+        assert result.best_score is not None
+        assert result.n_evaluated == 5
+
+    def test_warm_start_with_empty_store_is_harmless(self, task):
+        searcher = AutoBazaarSearch(n_splits=2, random_state=0, warm_start_store=PipelineStore())
+        result = searcher.search(task, budget=3)
+        assert result.best_score is not None

@@ -1,0 +1,120 @@
+"""Tests for AutoBazaar sessions and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.automl import AutoBazaarSession, run_from_directory
+from repro.automl.__main__ import build_parser, main
+from repro.tasks import save_task, synth
+from repro.tuning.selectors import ThompsonSamplingSelector, UCB1Selector
+from repro.tuning.tuners import UniformTuner
+
+
+@pytest.fixture(scope="module")
+def task():
+    return synth.make_single_table_classification(n_samples=90, random_state=11)
+
+
+class TestAutoBazaarSession:
+    def test_solve_records_results_and_store(self, task):
+        session = AutoBazaarSession(budget=4, n_splits=2, random_state=0)
+        result = session.solve(task)
+        assert result.best_score is not None
+        assert len(session.results) == 1
+        assert len(session.store) == 4
+
+    def test_solve_suite_accumulates(self):
+        from repro.tasks import build_task_suite
+        from repro.tasks.types import TaskType
+
+        suite = build_task_suite(
+            counts={TaskType("single_table", "classification"): 2}, random_state=1
+        )
+        session = AutoBazaarSession(budget=3, n_splits=2, random_state=0)
+        results = session.solve_suite(suite)
+        assert len(results) == 2
+        assert len(session.store) == 6
+
+    def test_tuner_and_selector_resolved_by_name(self, task):
+        session = AutoBazaarSession(budget=3, tuner="uniform", selector="thompson",
+                                    n_splits=2, random_state=0)
+        assert session.tuner_class is UniformTuner
+        assert session.selector_class is ThompsonSamplingSelector
+        assert session.solve(task).best_score is not None
+
+    def test_unknown_tuner_name_rejected(self):
+        with pytest.raises(ValueError):
+            AutoBazaarSession(tuner="grid_search")
+
+    def test_summary_and_report(self, task):
+        session = AutoBazaarSession(budget=4, n_splits=2, random_state=0)
+        session.solve(task)
+        summary = session.summary()
+        assert summary["n_solved_tasks"] == 1
+        assert task.name in str(summary["best_templates"])
+        text = session.report(title="session X")
+        assert "session X" in text
+
+    def test_warm_start_session_reuses_history(self, task):
+        session = AutoBazaarSession(budget=4, n_splits=2, random_state=0, warm_start=True)
+        first = session.solve(synth.make_single_table_classification(n_samples=90, random_state=3))
+        second = session.solve(task)
+        assert first.best_score is not None
+        assert second.best_score is not None
+        assert len(session.store) == 8
+
+    def test_save_store(self, task, tmp_path):
+        session = AutoBazaarSession(budget=3, n_splits=2, random_state=0)
+        session.solve(task)
+        path = session.save_store(tmp_path / "store.json")
+        documents = json.loads((tmp_path / "store.json").read_text())
+        assert len(documents) == 3
+        assert str(path) == str(tmp_path / "store.json")
+
+    def test_default_selector_is_ucb1(self):
+        assert AutoBazaarSession().selector_class is UCB1Selector
+
+
+class TestRunFromDirectory:
+    def test_runs_saved_task(self, task, tmp_path):
+        save_task(task, tmp_path / "task")
+        session = run_from_directory(
+            str(tmp_path / "task"), budget=3, n_splits=2, random_state=0,
+            output=str(tmp_path / "out.json"),
+        )
+        assert len(session.results) == 1
+        assert (tmp_path / "out.json").exists()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_from_directory(str(tmp_path / "nope"))
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(["some/dir"])
+        assert arguments.budget == 20
+        assert arguments.tuner == "gp_ei"
+
+    def test_main_happy_path(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        exit_code = main([
+            str(tmp_path / "task"), "--budget", "3", "--splits", "2", "--seed", "0",
+            "--output", str(tmp_path / "store.json"),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "best template" in captured.out
+        assert (tmp_path / "store.json").exists()
+
+    def test_main_missing_directory(self, tmp_path, capsys):
+        exit_code = main([str(tmp_path / "does-not-exist")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
+
+    def test_main_rejects_unknown_tuner(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        exit_code = main([str(tmp_path / "task"), "--tuner", "banana"])
+        assert exit_code == 1

@@ -1,0 +1,87 @@
+"""Tests for the per-task-type template catalog (paper Table II defaults)."""
+
+import pytest
+
+from repro.automl.catalog import TemplateCatalog, default_template_catalog, get_templates
+from repro.core.template import Template
+from repro.tasks.types import TASK_TYPES
+
+
+class TestTemplateCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return TemplateCatalog()
+
+    def test_every_task_type_has_templates(self, catalog):
+        for task_type in TASK_TYPES:
+            templates = catalog.get(task_type.data_modality, task_type.problem_type)
+            assert templates, "no templates for {}".format(task_type)
+
+    def test_default_template_is_first(self, catalog):
+        default = catalog.default_template("single_table", "classification")
+        assert default.name == "single_table_classification_xgb"
+
+    def test_table_ii_default_uses_xgb_for_tabular(self, catalog):
+        for modality in ("single_table", "multi_table", "timeseries"):
+            default = catalog.default_template(modality, "classification")
+            assert "xgboost.XGBClassifier" in default.primitives
+
+    def test_text_default_is_lstm_template(self, catalog):
+        default = catalog.default_template("text", "classification")
+        assert "keras.Sequential.LSTMTextClassifier" in default.primitives
+
+    def test_collaborative_filtering_uses_lightfm(self, catalog):
+        default = catalog.default_template("single_table", "collaborative_filtering")
+        assert "lightfm.LightFM" in default.primitives
+
+    def test_community_detection_uses_louvain(self, catalog):
+        default = catalog.default_template("graph", "community_detection")
+        assert default.primitives == ["community.best_partition"]
+
+    def test_image_default_uses_pretrained_cnn(self, catalog):
+        default = catalog.default_template("image", "classification")
+        assert "keras.applications.mobilenet.MobileNet" in default.primitives
+
+    def test_unknown_task_type_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("audio", "transcription")
+
+    def test_variant_filter_returns_matching_estimator(self, catalog):
+        xgb_templates = catalog.get("single_table", "classification", variant="xgb")
+        assert all("xgb" in t.name for t in xgb_templates)
+        rf_templates = catalog.get("single_table", "classification", variant="rf")
+        assert all("rf" in t.name for t in rf_templates)
+
+    def test_variant_filter_fallback_when_no_match(self, catalog):
+        templates = catalog.get("graph", "community_detection", variant="rf")
+        assert templates  # falls back to the unfiltered list
+
+    def test_every_template_has_tunable_space_or_is_trivial(self, catalog):
+        for task_type in TASK_TYPES:
+            for template in catalog.get(task_type.data_modality, task_type.problem_type):
+                space = template.get_tunable_hyperparameters()
+                assert isinstance(space, dict)
+
+    def test_every_template_builds_a_pipeline(self, catalog):
+        for task_type in TASK_TYPES:
+            for template in catalog.get(task_type.data_modality, task_type.problem_type):
+                pipeline = template.build_pipeline()
+                assert pipeline.primitives == template.primitives
+
+    def test_add_custom_template(self):
+        catalog = TemplateCatalog()
+        custom = Template("custom_clf", ["sklearn.naive_bayes.GaussianNB"])
+        catalog.add("single_table", "classification", custom)
+        names = [t.name for t in catalog.get("single_table", "classification")]
+        assert "custom_clf" in names
+
+    def test_add_custom_template_as_default(self):
+        catalog = TemplateCatalog()
+        custom = Template("custom_clf", ["sklearn.naive_bayes.GaussianNB"])
+        catalog.add("single_table", "classification", custom, default=True)
+        assert catalog.default_template("single_table", "classification").name == "custom_clf"
+
+    def test_module_level_helpers(self):
+        assert default_template_catalog() is default_template_catalog()
+        templates = get_templates("single_table", "regression")
+        assert templates[0].name == "single_table_regression_xgb"

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.RandomState(0)
+
+
+@pytest.fixture
+def classification_data(rng):
+    """A small, clearly separable binary classification dataset."""
+    X = rng.normal(size=(120, 6))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture
+def multiclass_data(rng):
+    """A small three-class dataset with Gaussian clusters."""
+    centers = np.array([[0.0, 0.0], [3.0, 3.0], [-3.0, 3.0]])
+    y = rng.randint(0, 3, size=150)
+    X = centers[y] + rng.normal(scale=0.6, size=(150, 2))
+    X = np.hstack([X, rng.normal(size=(150, 3))])
+    return X, y
+
+
+@pytest.fixture
+def regression_data(rng):
+    """A small regression dataset with a linear signal."""
+    X = rng.normal(size=(120, 5))
+    y = 2.0 * X[:, 0] - X[:, 1] + 0.1 * rng.normal(size=120)
+    return X, y

@@ -1,0 +1,162 @@
+"""Tests for the primitive annotation format (MLPrimitives specification)."""
+
+import json
+
+import pytest
+
+from repro.core.annotations import (
+    AnnotationError,
+    HyperparamSpec,
+    PrimitiveAnnotation,
+)
+from repro.learners.preprocessing import StandardScaler
+from repro.learners.timeseries import regression_errors
+
+
+def _scaler_annotation(**overrides):
+    payload = dict(
+        name="test.StandardScaler",
+        primitive=StandardScaler,
+        category="preprocessor",
+        source="scikit-learn",
+        fit={"method": "fit", "args": [{"name": "X", "type": "X"}]},
+        produce={
+            "method": "transform",
+            "args": [{"name": "X", "type": "X"}],
+            "output": [{"name": "X", "type": "X"}],
+        },
+        hyperparameters={"tunable": [
+            HyperparamSpec("with_mean", "bool", True),
+        ]},
+    )
+    payload.update(overrides)
+    return PrimitiveAnnotation(**payload)
+
+
+class TestHyperparamSpec:
+    def test_int_spec_roundtrip(self):
+        spec = HyperparamSpec("n", "int", 5, range=(1, 10))
+        assert HyperparamSpec.from_dict(spec.to_dict()) == spec
+
+    def test_float_requires_range(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("alpha", "float", 0.5)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("n", "int", 5, range=(10, 1))
+
+    def test_default_outside_range_rejected(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("n", "int", 50, range=(1, 10))
+
+    def test_categorical_requires_values(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("kind", "categorical", "a")
+
+    def test_categorical_default_must_be_member(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("kind", "categorical", "z", values=["a", "b"])
+
+    def test_bool_default_must_be_boolean(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("flag", "bool", "yes")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("x", "complex", 1, range=(0, 2))
+
+    def test_tuple_categorical_values_allowed(self):
+        spec = HyperparamSpec("layers", "categorical", (32,), values=[(32,), (64, 32)])
+        assert spec.default == (32,)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AnnotationError):
+            HyperparamSpec("", "int", 1, range=(0, 2))
+
+
+class TestPrimitiveAnnotation:
+    def test_valid_annotation_builds(self):
+        annotation = _scaler_annotation()
+        assert annotation.name == "test.StandardScaler"
+        assert annotation.category == "preprocessor"
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(AnnotationError):
+            _scaler_annotation(category="wizard")
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(AnnotationError):
+            _scaler_annotation(source="")
+
+    def test_non_callable_primitive_rejected(self):
+        with pytest.raises(AnnotationError):
+            _scaler_annotation(primitive="not callable")
+
+    def test_produce_requires_output(self):
+        with pytest.raises(AnnotationError):
+            _scaler_annotation(produce={"method": "transform", "args": [], "output": []})
+
+    def test_malformed_args_rejected(self):
+        with pytest.raises(AnnotationError):
+            _scaler_annotation(produce={
+                "method": "transform",
+                "args": [{"name": "X"}],
+                "output": [{"name": "X", "type": "X"}],
+            })
+
+    def test_duplicate_tunable_names_rejected(self):
+        with pytest.raises(AnnotationError):
+            _scaler_annotation(hyperparameters={"tunable": [
+                HyperparamSpec("with_mean", "bool", True),
+                HyperparamSpec("with_mean", "bool", False),
+            ]})
+
+    def test_fixed_and_tunable_overlap_rejected(self):
+        with pytest.raises(AnnotationError):
+            _scaler_annotation(hyperparameters={
+                "fixed": {"with_mean": True},
+                "tunable": [HyperparamSpec("with_mean", "bool", True)],
+            })
+
+    def test_tunable_defaults(self):
+        annotation = _scaler_annotation()
+        assert annotation.tunable_defaults() == {"with_mean": True}
+
+    def test_accessors(self):
+        annotation = _scaler_annotation()
+        assert annotation.fit_args[0]["type"] == "X"
+        assert annotation.produce_args[0]["type"] == "X"
+        assert annotation.produce_output[0]["type"] == "X"
+
+    def test_function_primitive_without_fit(self):
+        annotation = PrimitiveAnnotation(
+            name="test.regression_errors",
+            primitive=regression_errors,
+            category="postprocessor",
+            source="MLPrimitives (custom)",
+            produce={
+                "method": None,
+                "args": [{"name": "y_true", "type": "y"}, {"name": "y_pred", "type": "y_hat"}],
+                "output": [{"name": "errors", "type": "errors"}],
+            },
+        )
+        assert annotation.fit is None
+        assert annotation.fit_args == []
+
+    def test_to_dict_is_json_serializable(self):
+        annotation = _scaler_annotation()
+        payload = json.loads(annotation.to_json())
+        assert payload["name"] == "test.StandardScaler"
+        assert payload["hyperparameters"]["tunable"][0]["name"] == "with_mean"
+
+    def test_from_dict_resolves_primitive_by_path(self):
+        annotation = _scaler_annotation()
+        rebuilt = PrimitiveAnnotation.from_dict(annotation.to_dict())
+        assert rebuilt.primitive is StandardScaler
+        assert rebuilt.name == annotation.name
+
+    def test_from_dict_with_explicit_primitive(self):
+        annotation = _scaler_annotation()
+        rebuilt = PrimitiveAnnotation.from_dict(annotation.to_dict(), primitive=StandardScaler)
+        assert rebuilt.primitive is StandardScaler

@@ -1,0 +1,135 @@
+"""Tests for computational-graph recovery (paper Algorithm 1, Figure 3)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.graph import SINK, SOURCE, InvalidPipelineError, edge_data_items, recover_graph, topological_order
+from repro.core.pipeline import MLPipeline
+from repro.core.registry import load_primitive
+from repro.core.step import PipelineStep
+
+
+def _steps(*names, **kwargs):
+    return [PipelineStep(load_primitive(name), name="{}#{}".format(name, i))
+            for i, name in enumerate(names)]
+
+
+class TestRecoverGraph:
+    def test_simple_chain(self):
+        steps = _steps(
+            "sklearn.impute.SimpleImputer",
+            "sklearn.preprocessing.StandardScaler",
+            "xgboost.XGBRegressor",
+        )
+        graph = recover_graph(steps, inputs=["X", "y"])
+        assert graph.number_of_nodes() == len(steps) + 2
+        # X flows imputer -> scaler -> estimator
+        data_items = edge_data_items(graph)
+        assert (steps[0].name, steps[1].name, "X") in data_items
+        assert (steps[1].name, steps[2].name, "X") in data_items
+
+    def test_source_provides_unclaimed_inputs(self):
+        steps = _steps("sklearn.impute.SimpleImputer", "xgboost.XGBRegressor")
+        graph = recover_graph(steps, inputs=["X", "y"])
+        assert (SOURCE, steps[1].name) in {(u, v) for u, v, _ in edge_data_items(graph)}
+
+    def test_sink_consumes_final_output(self):
+        steps = _steps("sklearn.preprocessing.StandardScaler")
+        graph = recover_graph(steps, inputs=["X"])
+        assert (steps[0].name, SINK, "X") in edge_data_items(graph)
+
+    def test_result_is_a_dag(self):
+        steps = _steps(
+            "mlprimitives.custom.preprocessing.ClassEncoder",
+            "sklearn.impute.SimpleImputer",
+            "xgboost.XGBClassifier",
+            "mlprimitives.custom.preprocessing.ClassDecoder",
+        )
+        graph = recover_graph(steps, inputs=["X", "y"])
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_topological_order_respects_pipeline_order(self):
+        steps = _steps(
+            "sklearn.impute.SimpleImputer",
+            "sklearn.preprocessing.StandardScaler",
+            "xgboost.XGBRegressor",
+        )
+        graph = recover_graph(steps, inputs=["X", "y"])
+        order = topological_order(graph)
+        assert order.index(steps[0].name) < order.index(steps[2].name)
+
+    def test_closest_producer_wins(self):
+        # both the imputer and the scaler produce X; the estimator must read
+        # it from the scaler (the nearest upstream producer)
+        steps = _steps(
+            "sklearn.impute.SimpleImputer",
+            "sklearn.preprocessing.StandardScaler",
+            "xgboost.XGBRegressor",
+        )
+        graph = recover_graph(steps, inputs=["X", "y"])
+        consumers_of_imputer = [v for u, v, _ in edge_data_items(graph) if u == steps[0].name]
+        assert steps[2].name not in consumers_of_imputer
+
+    def test_unsatisfied_input_raises(self):
+        steps = _steps("xgboost.XGBClassifier")
+        with pytest.raises(InvalidPipelineError, match="Unsatisfied"):
+            recover_graph(steps, inputs=["X"])  # y never provided
+
+    def test_isolated_step_raises(self):
+        # find_anomalies consumes errors, which nothing here produces, and the
+        # scaler's X output is never consumed downstream of it
+        steps = _steps(
+            "sklearn.preprocessing.StandardScaler",
+            "mlprimitives.custom.timeseries_anomalies.find_anomalies",
+        )
+        with pytest.raises(InvalidPipelineError):
+            recover_graph(steps, inputs=["X"], outputs=["anomalies"])
+
+    def test_empty_pipeline_raises(self):
+        with pytest.raises(InvalidPipelineError):
+            recover_graph([], inputs=["X"])
+
+    def test_optional_inputs_do_not_invalidate(self):
+        steps = _steps("featuretools.dfs", "sklearn.linear_model.Ridge")
+        graph = recover_graph(steps, inputs=["X", "y"])
+        assert graph.number_of_nodes() == 4
+
+
+class TestPaperFigure3Graphs:
+    """The two pipelines shown in paper Figure 3."""
+
+    def test_orion_graph_structure(self):
+        pipeline = MLPipeline([
+            "mlprimitives.custom.timeseries_preprocessing.time_segments_average",
+            "sklearn.impute.SimpleImputer",
+            "sklearn.preprocessing.MinMaxScaler",
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences",
+            "keras.Sequential.LSTMTimeSeriesRegressor",
+            "mlprimitives.custom.timeseries_anomalies.regression_errors",
+            "mlprimitives.custom.timeseries_anomalies.find_anomalies",
+        ])
+        graph = pipeline.graph(inputs=["X"])
+        edges = {(u.split(".")[-1].split("#")[0], v.split(".")[-1].split("#")[0], d)
+                 for u, v, d in edge_data_items(graph)}
+        # the key data-flow edges called out in the paper's figure
+        assert ("rolling_window_sequences", "LSTMTimeSeriesRegressor", "y") in edges
+        assert ("rolling_window_sequences", "regression_errors", "y") in edges
+        assert ("LSTMTimeSeriesRegressor", "regression_errors", "y_hat") in edges
+        assert ("regression_errors", "find_anomalies", "errors") in edges
+
+    def test_text_classification_graph_structure(self):
+        pipeline = MLPipeline([
+            "mlprimitives.custom.counters.UniqueCounter",
+            "mlprimitives.custom.text.TextCleaner",
+            "mlprimitives.custom.counters.VocabularyCounter",
+            "keras.preprocessing.text.Tokenizer",
+            "keras.preprocessing.sequence.pad_sequences",
+            "keras.Sequential.LSTMTextClassifier",
+        ])
+        graph = pipeline.graph(inputs=["X", "y"])
+        edges = {(u.split(".")[-1].split("#")[0], v.split(".")[-1].split("#")[0], d)
+                 for u, v, d in edge_data_items(graph)}
+        assert ("UniqueCounter", "LSTMTextClassifier", "classes") in edges
+        assert ("VocabularyCounter", "LSTMTextClassifier", "vocabulary_size") in edges
+        assert ("pad_sequences", "LSTMTextClassifier", "X") in edges
+        assert ("TextCleaner", "VocabularyCounter", "X") in edges

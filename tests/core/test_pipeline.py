@@ -1,0 +1,215 @@
+"""Tests for the MLPipeline execution engine (MLBlocks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import MLPipeline
+from repro.learners.metrics import accuracy_score, r2_score
+
+
+CLASSIFICATION_PRIMITIVES = [
+    "mlprimitives.custom.preprocessing.ClassEncoder",
+    "sklearn.impute.SimpleImputer",
+    "sklearn.preprocessing.StandardScaler",
+    "xgboost.XGBClassifier",
+    "mlprimitives.custom.preprocessing.ClassDecoder",
+]
+
+
+@pytest.fixture
+def fitted_pipeline(classification_data):
+    X, y = classification_data
+    labels = np.where(y == 1, "pos", "neg")
+    pipeline = MLPipeline(
+        CLASSIFICATION_PRIMITIVES,
+        init_params={"xgboost.XGBClassifier": {"n_estimators": 8, "random_state": 0}},
+    )
+    pipeline.fit(X=X, y=labels)
+    return pipeline, X, labels
+
+
+class TestPipelineConstruction:
+    def test_requires_primitives(self):
+        with pytest.raises(ValueError):
+            MLPipeline([])
+
+    def test_steps_get_unique_names(self):
+        pipeline = MLPipeline([
+            "sklearn.impute.SimpleImputer",
+            "sklearn.impute.SimpleImputer",
+            "sklearn.linear_model.Ridge",
+        ])
+        names = [step.name for step in pipeline.steps]
+        assert len(set(names)) == 3
+        assert names[0].endswith("#0")
+        assert names[1].endswith("#1")
+
+    def test_init_params_by_primitive_name(self):
+        pipeline = MLPipeline(
+            ["xgboost.XGBRegressor"],
+            init_params={"xgboost.XGBRegressor": {"n_estimators": 7}},
+        )
+        assert pipeline.steps[0].get_hyperparameters()["n_estimators"] == 7
+
+    def test_init_params_by_step_name(self):
+        pipeline = MLPipeline(
+            ["sklearn.impute.SimpleImputer", "sklearn.impute.SimpleImputer",
+             "sklearn.linear_model.Ridge"],
+            init_params={"sklearn.impute.SimpleImputer#1": {"strategy": "median"}},
+        )
+        assert pipeline.steps[0].get_hyperparameters()["strategy"] == "mean"
+        assert pipeline.steps[1].get_hyperparameters()["strategy"] == "median"
+
+    def test_unknown_primitive_raises(self):
+        with pytest.raises(KeyError):
+            MLPipeline(["not.a.primitive"])
+
+    def test_default_output_is_last_step_output(self):
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        assert pipeline.outputs == "y"
+
+
+class TestPipelineExecution:
+    def test_fit_predict_classification(self, fitted_pipeline):
+        pipeline, X, labels = fitted_pipeline
+        predictions = pipeline.predict(X=X)
+        assert set(predictions) <= {"pos", "neg"}
+        assert accuracy_score(labels, predictions) > 0.9
+
+    def test_predict_before_fit_raises(self, classification_data):
+        X, _ = classification_data
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        with pytest.raises(RuntimeError, match="fitted"):
+            pipeline.predict(X=X)
+
+    def test_fit_predict_shortcut(self, regression_data):
+        X, y = regression_data
+        pipeline = MLPipeline(
+            ["sklearn.impute.SimpleImputer", "sklearn.preprocessing.StandardScaler",
+             "sklearn.linear_model.Ridge"],
+        )
+        predictions = pipeline.fit_predict(X=X, y=y)
+        assert r2_score(y, predictions) > 0.9
+
+    def test_regression_pipeline_generalizes(self, rng):
+        X = rng.normal(size=(200, 5))
+        y = 3.0 * X[:, 0] - X[:, 2] + 0.1 * rng.normal(size=200)
+        pipeline = MLPipeline(
+            ["featuretools.dfs", "sklearn.impute.SimpleImputer",
+             "sklearn.preprocessing.StandardScaler", "xgboost.XGBRegressor"],
+            init_params={"xgboost.XGBRegressor": {"n_estimators": 20, "random_state": 0}},
+        )
+        pipeline.fit(X=X[:150], y=y[:150])
+        assert r2_score(y[150:], pipeline.predict(X=X[150:])) > 0.6
+
+    def test_target_dependent_steps_skipped_at_predict(self, fitted_pipeline):
+        pipeline, X, _ = fitted_pipeline
+        # predict must work without y in the context
+        predictions = pipeline.predict(X=X[:10])
+        assert len(predictions) == 10
+
+    def test_missing_output_raises_helpful_error(self, classification_data):
+        X, y = classification_data
+        pipeline = MLPipeline(["mlprimitives.custom.preprocessing.ClassEncoder"])
+        pipeline.fit(X=X, y=y)
+        with pytest.raises(RuntimeError, match="did not produce"):
+            pipeline.predict(X=X)
+
+    def test_unsupervised_pipeline_creates_target_on_the_fly(self, rng):
+        # the ORION-style property highlighted in the paper: y is created
+        # mid-pipeline by rolling_window_sequences
+        t = np.arange(300.0)
+        signal = np.column_stack([t, np.sin(t / 10.0)])
+        pipeline = MLPipeline([
+            "mlprimitives.custom.timeseries_preprocessing.time_segments_average",
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences",
+            "keras.Sequential.LSTMTimeSeriesRegressor",
+        ], init_params={
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences": {
+                "window_size": 20},
+            "keras.Sequential.LSTMTimeSeriesRegressor": {"epochs": 5, "random_state": 0},
+        })
+        pipeline.fit(X=signal)
+        predictions = pipeline.predict(X=signal)
+        assert len(predictions) > 0
+
+
+class TestHyperparameterManagement:
+    def test_get_tunable_hyperparameters_structure(self):
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        tunables = pipeline.get_tunable_hyperparameters()
+        assert "xgboost.XGBClassifier#0" in tunables
+        assert "n_estimators" in tunables["xgboost.XGBClassifier#0"]
+
+    def test_set_hyperparameters_nested(self, classification_data):
+        X, y = classification_data
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        pipeline.set_hyperparameters({"xgboost.XGBClassifier#0": {"n_estimators": 4}})
+        assert pipeline.get_hyperparameters()["xgboost.XGBClassifier#0"]["n_estimators"] == 4
+
+    def test_set_hyperparameters_flat_tuples(self):
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        pipeline.set_hyperparameters({("xgboost.XGBClassifier#0", "max_depth"): 5})
+        assert pipeline.get_hyperparameters()["xgboost.XGBClassifier#0"]["max_depth"] == 5
+
+    def test_set_hyperparameters_unknown_step_raises(self):
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        with pytest.raises(ValueError, match="Unknown pipeline step"):
+            pipeline.set_hyperparameters({"nope#0": {"a": 1}})
+
+    def test_setting_hyperparameters_invalidates_fit(self, fitted_pipeline):
+        pipeline, X, _ = fitted_pipeline
+        pipeline.set_hyperparameters({"xgboost.XGBClassifier#0": {"n_estimators": 3}})
+        with pytest.raises(RuntimeError):
+            pipeline.predict(X=X)
+
+
+class TestSerialization:
+    def test_to_dict_round_trip(self, classification_data):
+        X, y = classification_data
+        pipeline = MLPipeline(
+            CLASSIFICATION_PRIMITIVES,
+            init_params={"xgboost.XGBClassifier": {"n_estimators": 6, "random_state": 0}},
+        )
+        rebuilt = MLPipeline.from_dict(pipeline.to_dict())
+        assert rebuilt.primitives == pipeline.primitives
+        rebuilt.fit(X=X, y=y)
+        assert accuracy_score(y, rebuilt.predict(X=X)) > 0.8
+
+    def test_save_and_load_json(self, tmp_path, classification_data):
+        X, y = classification_data
+        path = tmp_path / "pipeline.json"
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        pipeline.save(path)
+        loaded = MLPipeline.load(path)
+        assert loaded.primitives == pipeline.primitives
+
+    def test_to_json_is_valid_json(self):
+        import json
+
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        payload = json.loads(pipeline.to_json())
+        assert payload["primitives"] == CLASSIFICATION_PRIMITIVES
+
+    def test_validate_accepts_valid_pipeline(self):
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        assert pipeline.validate() is True
+
+
+class TestDescribe:
+    def test_describe_lists_every_edge(self):
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        description = pipeline.describe()
+        assert description.count("--[") == pipeline.graph().number_of_edges()
+
+    def test_describe_uses_short_names(self):
+        pipeline = MLPipeline(CLASSIFICATION_PRIMITIVES)
+        description = pipeline.describe()
+        assert "XGBClassifier" in description
+        assert "xgboost.XGBClassifier#0" not in description
+
+    def test_describe_mentions_inputs(self):
+        pipeline = MLPipeline(["sklearn.preprocessing.StandardScaler"])
+        description = pipeline.describe(inputs=["X"])
+        assert "inputs: X" in description
+        assert "input --[X]--> StandardScaler" in description

@@ -1,0 +1,153 @@
+"""Tests for the primitive registry and the curated catalog (paper Table I)."""
+
+import pytest
+
+from repro.core.annotations import PrimitiveAnnotation
+from repro.core.catalog import build_catalog
+from repro.core.registry import (
+    PrimitiveNotFoundError,
+    PrimitiveRegistry,
+    get_default_registry,
+    load_primitive,
+)
+from repro.learners.preprocessing import MinMaxScaler
+
+
+def _annotation(name="test.scaler", source="scikit-learn"):
+    return PrimitiveAnnotation(
+        name=name,
+        primitive=MinMaxScaler,
+        category="preprocessor",
+        source=source,
+        fit={"method": "fit", "args": [{"name": "X", "type": "X"}]},
+        produce={
+            "method": "transform",
+            "args": [{"name": "X", "type": "X"}],
+            "output": [{"name": "X", "type": "X"}],
+        },
+    )
+
+
+class TestPrimitiveRegistry:
+    def test_register_and_get(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation())
+        assert registry.get("test.scaler").primitive is MinMaxScaler
+
+    def test_duplicate_registration_rejected(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation())
+        with pytest.raises(ValueError):
+            registry.register(_annotation())
+
+    def test_register_requires_annotation_type(self):
+        with pytest.raises(TypeError):
+            PrimitiveRegistry().register({"name": "x"})
+
+    def test_missing_primitive_raises_with_suggestion(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation("sklearn.preprocessing.MinMaxScaler"))
+        with pytest.raises(PrimitiveNotFoundError, match="did you mean"):
+            registry.get("other.MinMaxScaler")
+
+    def test_contains_and_len(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation())
+        assert "test.scaler" in registry
+        assert len(registry) == 1
+
+    def test_unregister(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation())
+        registry.unregister("test.scaler")
+        assert "test.scaler" not in registry
+
+    def test_search_by_source(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation("a.one", source="scikit-learn"))
+        registry.register(_annotation("b.two", source="Keras"))
+        assert [a.name for a in registry.search(source="Keras")] == ["b.two"]
+
+    def test_search_by_category(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation())
+        assert len(registry.search(category="preprocessor")) == 1
+        assert registry.search(category="estimator") == []
+
+    def test_count_by_source(self):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation("a.one", source="scikit-learn"))
+        registry.register(_annotation("b.two", source="scikit-learn"))
+        registry.register(_annotation("c.three", source="Keras"))
+        assert registry.count_by_source() == {"scikit-learn": 2, "Keras": 1}
+
+    def test_dump_json(self, tmp_path):
+        registry = PrimitiveRegistry()
+        registry.register(_annotation())
+        path = tmp_path / "catalog.json"
+        registry.dump_json(path)
+        assert path.exists()
+        assert "test.scaler" in path.read_text()
+
+
+class TestCuratedCatalog:
+    """Structural checks over the Table I catalog."""
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_catalog()
+
+    def test_catalog_size(self, catalog):
+        assert len(catalog) >= 55
+
+    def test_covers_all_expected_sources(self, catalog):
+        sources = set(catalog.count_by_source())
+        expected = {
+            "scikit-learn", "XGBoost", "Keras", "MLPrimitives (custom)", "Featuretools",
+            "NetworkX", "python-louvain", "OpenCV", "scikit-image", "NumPy", "LightFM",
+        }
+        assert expected <= sources
+
+    def test_sklearn_is_largest_source(self, catalog):
+        counts = catalog.count_by_source()
+        assert counts["scikit-learn"] == max(counts.values())
+
+    def test_covers_all_categories(self, catalog):
+        categories = set(catalog.count_by_category())
+        assert categories == {"preprocessor", "feature_processor", "estimator", "postprocessor"}
+
+    def test_orion_primitives_present(self, catalog):
+        # the ORION pipeline of paper Listing 1 must load verbatim
+        for name in [
+            "mlprimitives.custom.timeseries_preprocessing.time_segments_average",
+            "sklearn.impute.SimpleImputer",
+            "sklearn.preprocessing.MinMaxScaler",
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences",
+            "keras.Sequential.LSTMTimeSeriesRegressor",
+            "mlprimitives.custom.timeseries_anomalies.regression_errors",
+            "mlprimitives.custom.timeseries_anomalies.find_anomalies",
+        ]:
+            assert name in catalog
+
+    def test_every_annotation_validates(self, catalog):
+        for annotation in catalog:
+            annotation.validate()
+
+    def test_every_tunable_spec_has_valid_default(self, catalog):
+        for annotation in catalog:
+            for spec in annotation.tunable_hyperparameters:
+                spec.validate()
+
+    def test_estimators_consume_x_and_y(self, catalog):
+        for annotation in catalog.search(category="estimator"):
+            if annotation.fit is None:
+                continue
+            fit_types = {arg["type"] for arg in annotation.fit_args}
+            assert "X" in fit_types or "graph" in fit_types
+
+    def test_default_registry_is_cached(self):
+        assert get_default_registry() is get_default_registry()
+
+    def test_load_primitive_shortcut(self):
+        annotation = load_primitive("xgboost.XGBClassifier")
+        assert annotation.source == "XGBoost"

@@ -1,0 +1,140 @@
+"""Tests for pipeline steps and the execution context."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.core.registry import load_primitive
+from repro.core.step import PipelineStep, StepExecutionError
+
+
+class TestContext:
+    def test_record_stores_values_and_history(self):
+        context = Context({"X": 1})
+        context.record("step_a", {"y": 2})
+        assert context["y"] == 2
+        assert context.history == [("step_a", "y")]
+
+    def test_require_returns_requested_values(self):
+        context = Context({"X": 1, "y": 2})
+        assert context.require(["X"]) == {"X": 1}
+
+    def test_require_missing_raises_with_available_keys(self):
+        context = Context({"X": 1})
+        with pytest.raises(KeyError, match="available"):
+            context.require(["X", "graph"])
+
+    def test_copy_preserves_history(self):
+        context = Context()
+        context.record("a", {"X": 1})
+        duplicate = context.copy()
+        assert duplicate.history == context.history
+        duplicate.record("b", {"y": 2})
+        assert len(context.history) == 1
+
+
+class TestPipelineStep:
+    def test_transformer_fit_and_produce(self, rng):
+        step = PipelineStep(load_primitive("sklearn.preprocessing.StandardScaler"))
+        context = Context({"X": rng.normal(loc=5.0, size=(50, 3))})
+        step.fit(context)
+        outputs = step.produce(context)
+        assert set(outputs) == {"X"}
+        assert abs(outputs["X"].mean()) < 1e-9
+
+    def test_estimator_fit_and_predict(self, classification_data):
+        X, y = classification_data
+        step = PipelineStep(
+            load_primitive("xgboost.XGBClassifier"),
+            hyperparameters={"n_estimators": 5, "random_state": 0},
+        )
+        context = Context({"X": X, "y": y})
+        step.fit(context)
+        outputs = step.produce(context)
+        assert outputs["y"].shape == y.shape
+
+    def test_function_primitive_receives_hyperparameters(self):
+        step = PipelineStep(
+            load_primitive("mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences"),
+            hyperparameters={"window_size": 5},
+        )
+        context = Context({"X": np.arange(40, dtype=float)})
+        outputs = step.produce(context)
+        assert outputs["X"].shape[1] == 5
+        assert set(outputs) == {"X", "y", "index", "target_index"}
+
+    def test_missing_input_raises_by_default(self):
+        step = PipelineStep(load_primitive("sklearn.preprocessing.StandardScaler"))
+        with pytest.raises(StepExecutionError, match="requires"):
+            step.fit(Context({}))
+
+    def test_missing_input_skipped_when_requested(self, classification_data):
+        X, y = classification_data
+        step = PipelineStep(load_primitive("mlprimitives.custom.preprocessing.ClassEncoder"))
+        assert step.produce(Context({"X": X}), skip_if_missing=True) is None
+
+    def test_optional_input_omitted_silently(self, rng):
+        step = PipelineStep(load_primitive("featuretools.dfs"))
+        context = Context({"X": rng.normal(size=(10, 3))})
+        outputs = step.produce(context)
+        assert outputs["X"].shape == (10, 3)
+
+    def test_multiple_outputs_mapped_by_type(self):
+        step = PipelineStep(load_primitive("mlprimitives.custom.preprocessing.ClassEncoder"))
+        context = Context({"y": np.array(["a", "b", "a"])})
+        step.fit(context)
+        outputs = step.produce(context)
+        assert set(outputs) == {"y", "classes"}
+
+    def test_output_renaming(self, rng):
+        step = PipelineStep(
+            load_primitive("sklearn.preprocessing.StandardScaler"),
+            output_names={"X": "X_scaled"},
+        )
+        context = Context({"X": rng.normal(size=(20, 2))})
+        step.fit(context)
+        assert "X_scaled" in step.produce(context)
+
+    def test_input_renaming(self, rng):
+        step = PipelineStep(
+            load_primitive("sklearn.preprocessing.StandardScaler"),
+            input_names={"X": "features"},
+        )
+        context = Context({"features": rng.normal(size=(20, 2))})
+        step.fit(context)
+        outputs = step.produce(context)
+        assert outputs["X"].shape == (20, 2)
+
+    def test_set_hyperparameters_resets_instance(self, classification_data):
+        X, y = classification_data
+        step = PipelineStep(
+            load_primitive("xgboost.XGBClassifier"),
+            hyperparameters={"n_estimators": 3},
+        )
+        step.fit(Context({"X": X, "y": y}))
+        assert step.instance is not None
+        step.set_hyperparameters({"n_estimators": 4})
+        assert step._instance is None
+
+    def test_set_unknown_hyperparameter_rejected(self):
+        step = PipelineStep(load_primitive("xgboost.XGBClassifier"))
+        with pytest.raises(ValueError):
+            step.set_hyperparameters({"bogus_knob": 1})
+
+    def test_get_tunable_hyperparameters(self):
+        step = PipelineStep(load_primitive("xgboost.XGBClassifier"))
+        tunables = step.get_tunable_hyperparameters()
+        assert "n_estimators" in tunables
+        assert "learning_rate" in tunables
+
+    def test_failing_primitive_wrapped_in_step_error(self):
+        step = PipelineStep(load_primitive("sklearn.decomposition.PCA"),
+                            hyperparameters={"n_components": 0})
+        with pytest.raises(StepExecutionError, match="failed during fit"):
+            step.fit(Context({"X": np.ones((5, 3))}))
+
+    def test_default_hyperparameters_merge_fixed_and_tunable(self):
+        step = PipelineStep(load_primitive("keras.preprocessing.sequence.pad_sequences"))
+        values = step.get_hyperparameters()
+        assert values["maxlen"] == 50
+        assert values["padding"] == "pre"

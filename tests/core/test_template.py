@@ -1,0 +1,145 @@
+"""Tests for templates and hypertemplates (paper Section IV-A, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotations import HyperparamSpec
+from repro.core.template import ConditionalHyperparam, Hypertemplate, Template
+from repro.learners.metrics import accuracy_score
+
+PRIMITIVES = [
+    "mlprimitives.custom.preprocessing.ClassEncoder",
+    "sklearn.impute.SimpleImputer",
+    "sklearn.preprocessing.StandardScaler",
+    "xgboost.XGBClassifier",
+    "mlprimitives.custom.preprocessing.ClassDecoder",
+]
+
+
+class TestTemplate:
+    def test_tunable_space_collects_step_hyperparameters(self):
+        template = Template("clf", PRIMITIVES)
+        space = template.get_tunable_hyperparameters()
+        assert ("xgboost.XGBClassifier#0", "n_estimators") in space
+        assert ("sklearn.impute.SimpleImputer#0", "strategy") in space
+
+    def test_init_params_remove_hyperparameters_from_space(self):
+        template = Template(
+            "clf", PRIMITIVES,
+            init_params={"xgboost.XGBClassifier": {"n_estimators": 10}},
+        )
+        space = template.get_tunable_hyperparameters()
+        assert ("xgboost.XGBClassifier#0", "n_estimators") not in space
+        assert ("xgboost.XGBClassifier#0", "max_depth") in space
+
+    def test_default_hyperparameters_match_spec_defaults(self):
+        template = Template("clf", PRIMITIVES)
+        defaults = template.default_hyperparameters()
+        space = template.get_tunable_hyperparameters()
+        assert set(defaults) == set(space)
+        assert defaults[("xgboost.XGBClassifier#0", "max_depth")] == 3
+
+    def test_build_pipeline_applies_hyperparameters(self, classification_data):
+        X, y = classification_data
+        template = Template("clf", PRIMITIVES)
+        pipeline = template.build_pipeline({("xgboost.XGBClassifier#0", "n_estimators"): 5})
+        values = pipeline.get_hyperparameters()["xgboost.XGBClassifier#0"]
+        assert values["n_estimators"] == 5
+        pipeline.fit(X=X, y=y)
+        assert accuracy_score(y, pipeline.predict(X=X)) > 0.8
+
+    def test_build_pipeline_with_defaults(self):
+        template = Template("clf", PRIMITIVES)
+        pipeline = template.build_pipeline()
+        assert pipeline.primitives == PRIMITIVES
+
+    def test_to_dict_round_trip(self):
+        template = Template(
+            "clf", PRIMITIVES,
+            init_params={"xgboost.XGBClassifier": {"n_estimators": 10}},
+            task_types=[("single_table", "classification")],
+        )
+        rebuilt = Template.from_dict(template.to_dict())
+        assert rebuilt.name == template.name
+        assert rebuilt.primitives == template.primitives
+        assert rebuilt.task_types == [("single_table", "classification")]
+
+    def test_tunable_override_used_verbatim(self):
+        override = {"xgboost.XGBClassifier#0": {
+            "n_estimators": HyperparamSpec("n_estimators", "int", 5, range=(2, 10)),
+        }}
+        template = Template("clf", PRIMITIVES, tunable=override)
+        space = template.get_tunable_hyperparameters()
+        assert list(space) == [("xgboost.XGBClassifier#0", "n_estimators")]
+
+
+class TestConditionalHyperparam:
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            ConditionalHyperparam("step", "kernel", [])
+
+    def test_subspace_must_contain_specs(self):
+        with pytest.raises(TypeError):
+            ConditionalHyperparam("step", "kernel", ["rbf"], subspaces={"rbf": ["not a spec"]})
+
+    def test_missing_subspace_defaults_to_empty(self):
+        conditional = ConditionalHyperparam("step", "kernel", ["rbf", "linear"])
+        assert conditional.subspaces == {"rbf": [], "linear": []}
+
+
+class TestHypertemplate:
+    """Reproduces the structure of paper Figure 4: conditionals expand to templates."""
+
+    def _hypertemplate(self):
+        # two conditional hyperparameters with 2 values each -> 4 templates,
+        # exactly like the example in paper Figure 4
+        conditional_q = ConditionalHyperparam(
+            "sklearn.impute.SimpleImputer#0", "strategy", ["mean", "median"],
+            subspaces={
+                "mean": [],
+                "median": [HyperparamSpec("fill_value", "float", 0.0, range=(-1.0, 1.0))],
+            },
+        )
+        conditional_s = ConditionalHyperparam(
+            "sklearn.preprocessing.StandardScaler#0", "with_mean", [True, False],
+        )
+        return Hypertemplate("hyper_clf", PRIMITIVES, [conditional_q, conditional_s])
+
+    def test_n_templates(self):
+        assert self._hypertemplate().n_templates() == 4
+
+    def test_derive_templates_count_and_names(self):
+        templates = self._hypertemplate().derive_templates()
+        assert len(templates) == 4
+        assert len({t.name for t in templates}) == 4
+
+    def test_conditional_values_fixed_in_derived_templates(self):
+        templates = self._hypertemplate().derive_templates()
+        strategies = {t.init_params["sklearn.impute.SimpleImputer#0"]["strategy"]
+                      for t in templates}
+        assert strategies == {"mean", "median"}
+
+    def test_subspace_added_only_for_matching_value(self):
+        templates = self._hypertemplate().derive_templates()
+        for template in templates:
+            strategy = template.init_params["sklearn.impute.SimpleImputer#0"]["strategy"]
+            space = template.get_tunable_hyperparameters()
+            has_fill = ("sklearn.impute.SimpleImputer#0", "fill_value") in space
+            assert has_fill == (strategy == "median")
+
+    def test_conditional_hyperparameter_not_tunable_in_derived_template(self):
+        templates = self._hypertemplate().derive_templates()
+        for template in templates:
+            space = template.get_tunable_hyperparameters()
+            assert ("sklearn.impute.SimpleImputer#0", "strategy") not in space
+
+    def test_derived_templates_build_working_pipelines(self, classification_data):
+        X, y = classification_data
+        template = self._hypertemplate().derive_templates()[0]
+        pipeline = template.build_pipeline({("xgboost.XGBClassifier#0", "n_estimators"): 5})
+        pipeline.fit(X=X, y=y)
+        assert accuracy_score(y, pipeline.predict(X=X)) > 0.8
+
+    def test_requires_conditionals(self):
+        with pytest.raises(ValueError):
+            Hypertemplate("bad", PRIMITIVES, [])

@@ -1,0 +1,67 @@
+"""Tests for piex text reporting."""
+
+import pytest
+
+from repro.explorer import PipelineStore, format_report, report, summarize_store
+
+
+@pytest.fixture
+def store():
+    store = PipelineStore()
+    documents = [
+        {"task_name": "t1", "template_name": "xgb", "score": 0.5, "is_default": True},
+        {"task_name": "t1", "template_name": "xgb", "score": 0.8},
+        {"task_name": "t1", "template_name": "rf", "score": 0.6},
+        {"task_name": "t2", "template_name": "xgb", "score": 0.4, "is_default": True},
+        {"task_name": "t2", "template_name": "rf", "score": None, "error": "boom"},
+    ]
+    for document in documents:
+        store.add(document)
+    return store
+
+
+class TestSummarizeStore:
+    def test_counts(self, store):
+        summary = summarize_store(store)
+        assert summary["n_documents"] == 5
+        assert summary["n_failed"] == 1
+        assert summary["n_tasks"] == 2
+
+    def test_template_statistics(self, store):
+        summary = summarize_store(store)
+        assert summary["templates"]["xgb"]["n_pipelines"] == 3
+        assert summary["templates"]["xgb"]["best_score"] == pytest.approx(0.8)
+        assert summary["templates"]["rf"]["mean_score"] == pytest.approx(0.6)
+
+    def test_best_per_task(self, store):
+        summary = summarize_store(store)
+        assert summary["best_per_task"] == {"t1": 0.8, "t2": 0.4}
+
+    def test_filters_restrict_documents(self, store):
+        summary = summarize_store(store, template_name="rf")
+        assert summary["n_documents"] == 2
+
+
+class TestFormatReport:
+    def test_report_contains_key_sections(self, store):
+        text = report(store, title="experiment A")
+        assert "experiment A" in text
+        assert "pipelines evaluated : 5" in text
+        assert "xgb" in text
+        assert "t1" in text
+
+    def test_format_report_accepts_summary(self, store):
+        summary = summarize_store(store)
+        text = format_report(summary)
+        assert "piex report" in text
+        assert "mean tuning gain" in text
+
+    def test_report_on_search_results(self):
+        from repro.automl import AutoBazaarSearch
+        from repro.tasks import synth
+
+        store = PipelineStore()
+        task = synth.make_single_table_classification(n_samples=80, random_state=2)
+        AutoBazaarSearch(n_splits=2, random_state=0, store=store).search(task, budget=4)
+        text = report(store)
+        assert "pipelines evaluated : 4" in text

@@ -1,0 +1,132 @@
+"""Tests for the pipeline store and meta-analysis (piex)."""
+
+import numpy as np
+import pytest
+
+from repro.explorer import (
+    PipelineStore,
+    best_score_per_task,
+    improvement_sigmas_per_task,
+    pairwise_win_rate,
+    summarize_improvements,
+)
+
+
+def _document(task="task_a", template="xgb", score=0.5, is_default=False, **extra):
+    document = {
+        "task_name": task,
+        "template_name": template,
+        "score": score,
+        "is_default": is_default,
+    }
+    document.update(extra)
+    return document
+
+
+class TestPipelineStore:
+    def test_add_and_len(self):
+        store = PipelineStore()
+        store.add(_document())
+        assert len(store) == 1
+
+    def test_add_requires_core_fields(self):
+        with pytest.raises(ValueError):
+            PipelineStore().add({"task_name": "t"})
+
+    def test_find_filters_by_equality(self):
+        store = PipelineStore()
+        store.add(_document(task="a", estimator="xgb"))
+        store.add(_document(task="a", estimator="rf"))
+        assert len(store.find(estimator="xgb")) == 1
+
+    def test_tasks_and_templates_listing(self):
+        store = PipelineStore()
+        store.add(_document(task="b", template="t2"))
+        store.add(_document(task="a", template="t1"))
+        assert store.tasks() == ["a", "b"]
+        assert store.templates() == ["t1", "t2"]
+
+    def test_scores_for_task_skips_failures(self):
+        store = PipelineStore()
+        store.add(_document(score=0.4))
+        store.add(_document(score=None, error="boom"))
+        assert store.scores_for_task("task_a") == [0.4]
+        assert len(store.scores_for_task("task_a", include_failed=True)) == 2
+
+    def test_json_round_trip(self, tmp_path):
+        store = PipelineStore()
+        store.add(_document(score=0.7))
+        path = tmp_path / "store.json"
+        store.dump_json(path)
+        loaded = PipelineStore.load_json(path)
+        assert len(loaded) == 1
+        assert loaded.scores_for_task("task_a") == [0.7]
+
+    def test_add_result_tags_documents(self):
+        from repro.automl.search import EvaluationRecord, SearchResult
+
+        records = [
+            EvaluationRecord("t", "xgb_template", {}, 0.5, 0.5, 0, 0.1, is_default=True),
+            EvaluationRecord("t", "xgb_template", {}, 0.7, 0.7, 1, 0.1),
+        ]
+        result = SearchResult("t", "xgb_template", {}, 0.7, None, records)
+        store = PipelineStore()
+        store.add_result(result, tags={"estimator": "xgb"})
+        assert len(store.find(estimator="xgb")) == 2
+
+
+class TestAnalysis:
+    def _populated_store(self):
+        store = PipelineStore()
+        # task_a: default 0.5, best 0.9; task_b: default 0.6, best 0.6
+        store.add(_document(task="task_a", score=0.5, is_default=True))
+        store.add(_document(task="task_a", score=0.7))
+        store.add(_document(task="task_a", score=0.9))
+        store.add(_document(task="task_b", score=0.6, is_default=True))
+        store.add(_document(task="task_b", score=0.6))
+        return store
+
+    def test_best_score_per_task(self):
+        best = best_score_per_task(self._populated_store())
+        assert best["task_a"] == 0.9
+        assert best["task_b"] == 0.6
+
+    def test_improvement_sigmas_positive_when_tuning_helps(self):
+        improvements = improvement_sigmas_per_task(self._populated_store())
+        assert improvements["task_a"] > 0.0
+        assert improvements["task_b"] == 0.0
+
+    def test_summarize_improvements(self):
+        improvements = {"a": 2.0, "b": 0.5, "c": 1.5}
+        summary = summarize_improvements(improvements)
+        assert summary["n_tasks"] == 3
+        assert summary["mean_sigmas"] == pytest.approx(4.0 / 3)
+        assert summary["fraction_above_1_sigma"] == pytest.approx(2.0 / 3)
+
+    def test_summarize_empty(self):
+        summary = summarize_improvements({})
+        assert summary["n_tasks"] == 0
+
+    def test_pairwise_win_rate(self):
+        store = PipelineStore()
+        for task, xgb_score, rf_score in [("t1", 0.9, 0.8), ("t2", 0.7, 0.75), ("t3", 0.6, 0.5)]:
+            store.add(_document(task=task, score=xgb_score, estimator="xgb"))
+            store.add(_document(task=task, score=rf_score, estimator="rf"))
+        result = pairwise_win_rate(store, "estimator", "xgb", "rf")
+        assert result["n_tasks"] == 3
+        assert result["win_rate_a"] == pytest.approx(2.0 / 3)
+        assert result["win_rate_b"] == pytest.approx(1.0 / 3)
+
+    def test_pairwise_win_rate_ties_split(self):
+        store = PipelineStore()
+        store.add(_document(task="t", score=0.5, tuner="a"))
+        store.add(_document(task="t", score=0.5, tuner="b"))
+        result = pairwise_win_rate(store, "tuner", "a", "b")
+        assert result["win_rate_a"] == pytest.approx(0.5)
+
+    def test_pairwise_win_rate_requires_common_tasks(self):
+        store = PipelineStore()
+        store.add(_document(task="t1", estimator="xgb"))
+        store.add(_document(task="t2", estimator="rf"))
+        with pytest.raises(ValueError):
+            pairwise_win_rate(store, "estimator", "xgb", "rf")

@@ -1,0 +1,68 @@
+"""Tests for the DatetimeFeaturizer primitive."""
+
+import numpy as np
+import pytest
+
+from repro.learners.preprocessing import DatetimeFeaturizer
+from repro.learners.preprocessing.datetime_features import datetime_components
+
+
+class TestDatetimeComponents:
+    def test_iso_string(self):
+        components = datetime_components("2019-06-19 14:30:00")
+        assert components.tolist() == [2019.0, 6.0, 19.0, 2.0, 14.0, 30.0]
+
+    def test_date_only_string(self):
+        components = datetime_components("2020-01-05")
+        assert components[0] == 2020.0
+        assert components[4] == 0.0  # hour defaults to midnight
+
+    def test_unix_timestamp(self):
+        components = datetime_components(0)
+        assert components[0] == 1970.0
+        assert components[1] == 1.0
+
+    def test_unparseable_value_raises(self):
+        with pytest.raises(ValueError):
+            datetime_components("not a date")
+
+
+class TestDatetimeFeaturizer:
+    def test_single_column_expansion(self):
+        X = np.asarray(["2021-03-01", "2021-03-02"], dtype=object)
+        features = DatetimeFeaturizer().fit_transform(X)
+        assert features.shape == (2, 6)
+        assert features[0, 2] == 1.0  # day of month
+        assert features[1, 2] == 2.0
+
+    def test_mixed_columns_passthrough(self):
+        X = np.asarray([[1.5, "2021-03-01"], [2.5, "2022-07-04"]], dtype=object)
+        featurizer = DatetimeFeaturizer(columns=[1]).fit(X)
+        features = featurizer.transform(X)
+        assert features.shape == (2, 1 + 6)
+        assert features[:, 0].tolist() == [1.5, 2.5]
+        assert features[1, 1] == 2022.0
+
+    def test_drop_original_columns(self):
+        X = np.asarray([[1.5, "2021-03-01"]], dtype=object)
+        features = DatetimeFeaturizer(columns=[1], keep_original=False).fit_transform(X)
+        assert features.shape == (1, 6)
+
+    def test_feature_names(self):
+        X = np.asarray(["2021-03-01"], dtype=object)
+        featurizer = DatetimeFeaturizer().fit(X)
+        names = featurizer.feature_names()
+        assert len(names) == 6
+        assert names[0] == "col0_year"
+
+    def test_out_of_range_column_rejected(self):
+        X = np.asarray(["2021-03-01"], dtype=object)
+        with pytest.raises(ValueError):
+            DatetimeFeaturizer(columns=[3]).fit(X)
+
+    def test_registered_in_catalog(self):
+        from repro.core.registry import get_default_registry
+
+        registry = get_default_registry()
+        assert "pandas.DatetimeFeaturizer" in registry
+        assert registry.count_by_source().get("pandas") == 1

@@ -1,0 +1,189 @@
+"""Tests for the extension learners: forecasters, outlier detectors, embeddings, edges."""
+
+import numpy as np
+import pytest
+
+from repro.learners.image import SobelEdgeFeaturizer
+from repro.learners.metrics import accuracy_score, r2_score
+from repro.learners.outliers import IsolationTreeDetector, ZScoreBoundaryDetector
+from repro.learners.text import WordEmbeddingVectorizer
+from repro.learners.timeseries import (
+    ARRegressor,
+    ExponentialSmoothingRegressor,
+    rolling_window_sequences,
+)
+
+
+@pytest.fixture
+def sine_windows(rng):
+    t = np.arange(300, dtype=float)
+    series = np.sin(t / 12.0) + 0.05 * rng.normal(size=300)
+    X, y, _, _ = rolling_window_sequences(series, window_size=20)
+    return X, y
+
+
+class TestARRegressor:
+    def test_forecasts_sine_wave(self, sine_windows):
+        X, y = sine_windows
+        model = ARRegressor(alpha=0.1).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_accepts_3d_windows(self, sine_windows):
+        X, y = sine_windows
+        assert X.ndim == 3
+        model = ARRegressor().fit(X, y)
+        assert model.predict(X).shape == y.shape
+
+    def test_accepts_2d_lag_matrix(self, rng):
+        X = rng.normal(size=(50, 5))
+        y = X[:, -1] * 0.9
+        model = ARRegressor(alpha=0.01).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_regularization_shrinks_coefficients(self, sine_windows):
+        X, y = sine_windows
+        light = ARRegressor(alpha=1e-6).fit(X, y)
+        heavy = ARRegressor(alpha=1e4).fit(X, y)
+        assert np.abs(heavy.coef_).sum() < np.abs(light.coef_).sum()
+
+    def test_negative_alpha_rejected(self, sine_windows):
+        X, y = sine_windows
+        with pytest.raises(ValueError):
+            ARRegressor(alpha=-1.0).fit(X, y)
+
+
+class TestExponentialSmoothing:
+    def test_constant_series_predicted_exactly(self):
+        X = np.full((10, 8), 3.0)
+        model = ExponentialSmoothingRegressor(trend=False).fit(X)
+        assert np.allclose(model.predict(X), 3.0)
+
+    def test_trend_extrapolates_upward(self):
+        X = np.tile(np.arange(10, dtype=float), (5, 1))
+        with_trend = ExponentialSmoothingRegressor(trend=True).fit(X).predict(X)
+        without_trend = ExponentialSmoothingRegressor(trend=False).fit(X).predict(X)
+        assert np.all(with_trend > without_trend)
+
+    def test_tracks_sine_reasonably(self, sine_windows):
+        X, y = sine_windows
+        model = ExponentialSmoothingRegressor(smoothing=0.7).fit(X)
+        assert r2_score(y, model.predict(X)) > 0.5
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothingRegressor(smoothing=0.0).fit(np.ones((5, 4)))
+
+
+class TestZScoreBoundaryDetector:
+    def test_flags_obvious_outlier(self, rng):
+        X = rng.normal(size=(100, 3))
+        X[0] = [50.0, 50.0, 50.0]
+        detector = ZScoreBoundaryDetector(threshold=3.5).fit(X)
+        predictions = detector.predict(X)
+        assert predictions[0] == 1
+        assert predictions[1:].mean() < 0.1
+
+    def test_scores_higher_for_outliers(self, rng):
+        X = rng.normal(size=(80, 2))
+        detector = ZScoreBoundaryDetector().fit(X)
+        inlier_score = detector.score_samples(np.array([[0.0, 0.0]]))[0]
+        outlier_score = detector.score_samples(np.array([[20.0, -20.0]]))[0]
+        assert outlier_score > inlier_score
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ZScoreBoundaryDetector(threshold=0.0).fit(np.ones((5, 2)))
+
+
+class TestIsolationTreeDetector:
+    def test_flags_cluster_outliers(self, rng):
+        inliers = rng.normal(size=(150, 2))
+        outliers = rng.uniform(6, 10, size=(10, 2))
+        X = np.vstack([inliers, outliers])
+        detector = IsolationTreeDetector(n_estimators=40, contamination=0.08,
+                                         random_state=0).fit(X)
+        scores = detector.score_samples(X)
+        assert scores[150:].mean() > scores[:150].mean()
+
+    def test_contamination_controls_flag_rate(self, rng):
+        X = rng.normal(size=(200, 3))
+        detector = IsolationTreeDetector(contamination=0.1, random_state=0).fit(X)
+        flagged = detector.predict(X).mean()
+        assert 0.02 <= flagged <= 0.2
+
+    def test_invalid_contamination(self):
+        with pytest.raises(ValueError):
+            IsolationTreeDetector(contamination=0.9).fit(np.ones((10, 2)))
+
+    def test_scores_bounded(self, rng):
+        X = rng.normal(size=(60, 2))
+        detector = IsolationTreeDetector(random_state=0).fit(X)
+        scores = detector.score_samples(X)
+        assert np.all(scores > 0.0)
+        assert np.all(scores < 1.0)
+
+
+class TestWordEmbeddingVectorizer:
+    def test_output_shape(self):
+        documents = ["the cat sat", "the dog ran", "a cat and a dog"]
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=8).fit(documents)
+        embeddings = vectorizer.transform(documents)
+        assert embeddings.shape == (3, min(8, len(vectorizer.vocabulary_)))
+
+    def test_similar_documents_closer_than_dissimilar(self):
+        corpus = (["engine wheel road car driver"] * 10
+                  + ["galaxy star orbit planet telescope"] * 10)
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=6, window=2).fit(corpus)
+        car_a = vectorizer.transform(["engine wheel car"])[0]
+        car_b = vectorizer.transform(["road driver car"])[0]
+        space = vectorizer.transform(["galaxy orbit telescope"])[0]
+        assert np.linalg.norm(car_a - car_b) < np.linalg.norm(car_a - space)
+
+    def test_unknown_tokens_embed_to_zero(self):
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=4).fit(["alpha beta gamma"])
+        embedding = vectorizer.transform(["zzz qqq"])[0]
+        assert np.allclose(embedding, 0.0)
+
+    def test_classifier_on_embeddings_learns(self, rng):
+        from repro.learners.tree import GradientBoostingClassifier
+
+        topics = {0: "engine wheel road car", 1: "galaxy star orbit planet"}
+        y = rng.randint(0, 2, size=80)
+        documents = [topics[label] for label in y]
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=6).fit(documents)
+        X = vectorizer.transform(documents)
+        model = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            WordEmbeddingVectorizer().fit(["", ""])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WordEmbeddingVectorizer(embedding_dim=0).fit(["a b"])
+        with pytest.raises(ValueError):
+            WordEmbeddingVectorizer(window=0).fit(["a b"])
+
+
+class TestSobelEdgeFeaturizer:
+    def test_output_shape(self, rng):
+        images = rng.normal(size=(5, 16, 16))
+        features = SobelEdgeFeaturizer(grid=4).fit_transform(images)
+        assert features.shape == (5, 4 * 4 * 2)
+
+    def test_edge_rich_image_scores_higher(self):
+        flat = np.zeros((16, 16))
+        edges = np.zeros((16, 16))
+        edges[:, 8:] = 1.0
+        features = SobelEdgeFeaturizer(grid=2).fit_transform(np.stack([flat, edges]))
+        assert features[1].sum() > features[0].sum()
+
+    def test_color_images_averaged(self, rng):
+        images = rng.normal(size=(3, 12, 12, 3))
+        features = SobelEdgeFeaturizer(grid=3).fit_transform(images)
+        assert features.shape[0] == 3
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            SobelEdgeFeaturizer(grid=0).fit(np.ones((1, 8, 8)))

@@ -1,0 +1,145 @@
+"""Tests for the additional feature engineering transformers."""
+
+import numpy as np
+import pytest
+
+from repro.learners.preprocessing import (
+    Binarizer,
+    KBinsDiscretizer,
+    Normalizer,
+    PolynomialFeatures,
+    SelectKBest,
+    VarianceThreshold,
+)
+from repro.learners.preprocessing.feature_engineering import (
+    correlation_score_regression,
+    f_score_classification,
+)
+
+
+class TestNormalizer:
+    def test_l2_rows_have_unit_norm(self, rng):
+        X = rng.normal(size=(30, 4))
+        result = Normalizer(norm="l2").fit_transform(X)
+        assert np.allclose(np.linalg.norm(result, axis=1), 1.0)
+
+    def test_l1_rows_sum_to_one_in_absolute_value(self, rng):
+        X = rng.normal(size=(20, 3))
+        result = Normalizer(norm="l1").fit_transform(X)
+        assert np.allclose(np.abs(result).sum(axis=1), 1.0)
+
+    def test_max_norm(self, rng):
+        X = rng.normal(size=(20, 3))
+        result = Normalizer(norm="max").fit_transform(X)
+        assert np.allclose(np.abs(result).max(axis=1), 1.0)
+
+    def test_zero_row_left_as_zeros(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = Normalizer().fit_transform(X)
+        assert np.allclose(result[0], 0.0)
+
+    def test_unknown_norm_rejected(self):
+        with pytest.raises(ValueError):
+            Normalizer(norm="l3").fit(np.ones((2, 2)))
+
+
+class TestBinarizer:
+    def test_thresholding(self):
+        X = np.array([[-1.0, 0.5], [2.0, -0.1]])
+        result = Binarizer(threshold=0.0).fit_transform(X)
+        assert result.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+    def test_custom_threshold(self):
+        X = np.array([[1.0, 3.0]])
+        assert Binarizer(threshold=2.0).fit_transform(X).tolist() == [[0.0, 1.0]]
+
+
+class TestPolynomialFeatures:
+    def test_output_dimension_full(self):
+        X = np.ones((5, 3))
+        result = PolynomialFeatures().fit_transform(X)
+        assert result.shape == (5, 3 + 6)  # original + upper triangle incl. squares
+
+    def test_interaction_only_excludes_squares(self):
+        X = np.array([[2.0, 3.0]])
+        result = PolynomialFeatures(interaction_only=True).fit_transform(X)
+        assert result.shape == (1, 3)
+        assert 6.0 in result[0]
+        assert 4.0 not in result[0]
+
+    def test_include_bias_adds_ones_column(self):
+        X = np.zeros((4, 2))
+        result = PolynomialFeatures(include_bias=True).fit_transform(X)
+        assert np.allclose(result[:, 0], 1.0)
+
+    def test_values_are_products(self):
+        X = np.array([[2.0, 5.0]])
+        result = PolynomialFeatures().fit_transform(X)
+        assert set(result[0]) == {2.0, 5.0, 4.0, 10.0, 25.0}
+
+
+class TestKBinsDiscretizer:
+    def test_bins_within_range(self, rng):
+        X = rng.normal(size=(100, 2))
+        result = KBinsDiscretizer(n_bins=4).fit_transform(X)
+        assert result.min() >= 0
+        assert result.max() <= 3
+
+    def test_monotone_in_input(self):
+        X = np.linspace(0, 10, 50).reshape(-1, 1)
+        result = KBinsDiscretizer(n_bins=5).fit_transform(X).ravel()
+        assert np.all(np.diff(result) >= 0)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            KBinsDiscretizer(n_bins=1).fit(np.ones((5, 1)))
+
+
+class TestVarianceThreshold:
+    def test_removes_constant_columns(self, rng):
+        X = np.hstack([rng.normal(size=(30, 2)), np.ones((30, 1))])
+        result = VarianceThreshold().fit_transform(X)
+        assert result.shape == (30, 2)
+
+    def test_keeps_at_least_one_feature(self):
+        X = np.ones((10, 3))
+        result = VarianceThreshold().fit_transform(X)
+        assert result.shape[1] == 1
+
+
+class TestSelectKBest:
+    def test_keeps_informative_classification_features(self, classification_data):
+        X, y = classification_data
+        selector = SelectKBest(k=2, problem_type="classification").fit(X, y)
+        assert selector.support_[:2].sum() == 2
+
+    def test_keeps_informative_regression_features(self, regression_data):
+        X, y = regression_data
+        selector = SelectKBest(k=2, problem_type="regression").fit(X, y)
+        assert selector.support_[:2].sum() == 2
+
+    def test_k_larger_than_features_keeps_all(self, classification_data):
+        X, y = classification_data
+        selector = SelectKBest(k=100).fit(X, y)
+        assert selector.transform(X).shape[1] == X.shape[1]
+
+    def test_invalid_k(self, classification_data):
+        X, y = classification_data
+        with pytest.raises(ValueError):
+            SelectKBest(k=0).fit(X, y)
+
+    def test_invalid_problem_type(self, classification_data):
+        X, y = classification_data
+        with pytest.raises(ValueError):
+            SelectKBest(problem_type="ranking").fit(X, y)
+
+    def test_f_score_higher_for_separating_feature(self, classification_data):
+        X, y = classification_data
+        scores = f_score_classification(X, y)
+        assert scores[0] > scores[-1]
+
+    def test_correlation_score_bounded(self, regression_data):
+        X, y = regression_data
+        scores = correlation_score_regression(X, y)
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0 + 1e-9)

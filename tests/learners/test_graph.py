@@ -1,0 +1,128 @@
+"""Tests for graph featurization, link prediction and community detection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.learners.graph import (
+    CommunityBestPartition,
+    graph_feature_extraction,
+    link_prediction_feature_extraction,
+    louvain_communities,
+)
+from repro.learners.graph.community import modularity
+from repro.learners.metrics import adjusted_rand_score
+
+
+@pytest.fixture
+def two_cliques():
+    """Two 6-cliques joined by a single bridge edge."""
+    graph = nx.Graph()
+    graph.add_edges_from((i, j) for i in range(6) for j in range(i + 1, 6))
+    graph.add_edges_from((i, j) for i in range(6, 12) for j in range(i + 1, 12))
+    graph.add_edge(0, 6)
+    return graph
+
+
+class TestGraphFeatureExtraction:
+    def test_feature_shape(self, two_cliques):
+        features = graph_feature_extraction(two_cliques)
+        assert features.shape == (12, 5)
+
+    def test_subset_of_nodes(self, two_cliques):
+        features = graph_feature_extraction(two_cliques, nodes=[0, 1, 2])
+        assert features.shape == (3, 5)
+
+    def test_degree_column_correct(self, two_cliques):
+        features = graph_feature_extraction(two_cliques, nodes=[1])
+        assert features[0, 0] == 5.0  # inside a 6-clique
+
+    def test_unknown_node_gets_zero_row(self, two_cliques):
+        features = graph_feature_extraction(two_cliques, nodes=[999])
+        assert np.allclose(features[0], 0.0)
+
+    def test_clustering_is_one_inside_clique(self, two_cliques):
+        features = graph_feature_extraction(two_cliques, nodes=[3])
+        assert features[0, 1] == pytest.approx(1.0)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            graph_feature_extraction(nx.Graph())
+
+
+class TestLinkPredictionFeatures:
+    def test_feature_shape(self, two_cliques):
+        pairs = [(0, 1), (0, 7)]
+        features = link_prediction_feature_extraction(two_cliques, pairs)
+        assert features.shape == (2, 5)
+
+    def test_within_clique_pair_has_more_common_neighbors(self, two_cliques):
+        features = link_prediction_feature_extraction(two_cliques, [(1, 2), (1, 7)])
+        assert features[0, 0] > features[1, 0]
+
+    def test_jaccard_bounded(self, two_cliques):
+        pairs = [(0, 1), (2, 9), (5, 11)]
+        features = link_prediction_feature_extraction(two_cliques, pairs)
+        assert np.all(features[:, 1] >= 0.0)
+        assert np.all(features[:, 1] <= 1.0)
+
+    def test_same_component_flag(self, two_cliques):
+        isolated = nx.Graph(two_cliques)
+        isolated.add_node(100)
+        features = link_prediction_feature_extraction(isolated, [(0, 1), (0, 100)])
+        assert features[0, 4] == 1.0
+        assert features[1, 4] == 0.0
+
+    def test_unknown_nodes_get_zero_row(self, two_cliques):
+        features = link_prediction_feature_extraction(two_cliques, [(500, 501)])
+        assert np.allclose(features[0], 0.0)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            link_prediction_feature_extraction(nx.Graph(), [(0, 1)])
+
+
+class TestCommunityDetection:
+    def test_separates_two_cliques(self, two_cliques):
+        partition = louvain_communities(two_cliques, random_state=0)
+        first = {partition[node] for node in range(6)}
+        second = {partition[node] for node in range(6, 12)}
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_partition_covers_all_nodes(self, two_cliques):
+        partition = louvain_communities(two_cliques, random_state=0)
+        assert set(partition) == set(two_cliques.nodes())
+
+    def test_community_labels_are_consecutive(self, two_cliques):
+        partition = louvain_communities(two_cliques, random_state=0)
+        labels = set(partition.values())
+        assert labels == set(range(len(labels)))
+
+    def test_empty_graph_gives_empty_partition(self):
+        assert louvain_communities(nx.Graph()) == {}
+
+    def test_modularity_positive_for_good_partition(self, two_cliques):
+        partition = louvain_communities(two_cliques, random_state=0)
+        assert modularity(two_cliques, partition) > 0.3
+
+    def test_recovers_planted_blocks_on_sbm(self):
+        rng = np.random.RandomState(0)
+        sizes = [20, 20, 20]
+        probabilities = [[0.4, 0.02, 0.02], [0.02, 0.4, 0.02], [0.02, 0.02, 0.4]]
+        graph = nx.stochastic_block_model(sizes, probabilities, seed=1)
+        truth = np.repeat([0, 1, 2], 20)
+        partition = louvain_communities(nx.Graph(graph), random_state=0)
+        predicted = np.asarray([partition[node] for node in range(60)])
+        assert adjusted_rand_score(truth, predicted) > 0.6
+        assert rng is not None
+
+    def test_primitive_wrapper_returns_aligned_labels(self, two_cliques):
+        labels = CommunityBestPartition(random_state=0).produce(two_cliques, nodes=list(range(12)))
+        assert labels.shape == (12,)
+        assert labels.dtype.kind == "i"
+
+    def test_primitive_wrapper_unknown_node_label(self, two_cliques):
+        labels = CommunityBestPartition(random_state=0).produce(two_cliques, nodes=[0, 999])
+        assert labels[1] == -1

@@ -1,0 +1,108 @@
+"""Tests for image preprocessing and featurization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.learners.image import (
+    GaussianBlur,
+    HOGFeaturizer,
+    PretrainedCNNFeaturizer,
+    preprocess_input,
+)
+from repro.learners.image.features import flatten_images
+
+
+class TestPreprocessInput:
+    def test_scales_uint8_range_to_minus_one_one(self):
+        images = np.array([[[0.0, 255.0], [127.5, 255.0]]])
+        scaled = preprocess_input(images)
+        assert scaled.min() == pytest.approx(-1.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_leaves_small_range_untouched(self):
+        images = np.full((1, 2, 2), 0.5)
+        assert np.allclose(preprocess_input(images), 0.5)
+
+
+class TestFlattenImages:
+    def test_flattens_3d_stack(self):
+        assert flatten_images(np.zeros((4, 8, 8))).shape == (4, 64)
+
+    def test_flattens_4d_stack(self):
+        assert flatten_images(np.zeros((4, 8, 8, 3))).shape == (4, 192)
+
+    def test_2d_passthrough(self):
+        X = np.ones((5, 10))
+        assert flatten_images(X).shape == (5, 10)
+
+
+class TestGaussianBlur:
+    def test_preserves_shape(self, rng):
+        images = rng.normal(size=(3, 12, 12))
+        blurred = GaussianBlur(kernel_size=3).produce(images)
+        assert blurred.shape == images.shape
+
+    def test_reduces_noise_variance(self, rng):
+        images = rng.normal(size=(1, 32, 32))
+        blurred = GaussianBlur(kernel_size=5, sigma=2.0).produce(images)
+        assert blurred.var() < images.var()
+
+    def test_single_image_promoted_to_stack(self, rng):
+        image = rng.normal(size=(10, 10))
+        blurred = GaussianBlur().produce(image)
+        assert blurred.shape == (1, 10, 10)
+
+    def test_even_kernel_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GaussianBlur(kernel_size=4).produce(rng.normal(size=(1, 8, 8)))
+
+
+class TestHOGFeaturizer:
+    def test_output_shape_consistent(self, rng):
+        images = rng.normal(size=(6, 16, 16))
+        features = HOGFeaturizer(cell_size=8, n_bins=9).fit_transform(images)
+        assert features.shape == (6, 2 * 2 * 9)
+
+    def test_rows_are_normalized(self, rng):
+        images = rng.normal(size=(3, 16, 16))
+        features = HOGFeaturizer().fit_transform(images)
+        norms = np.linalg.norm(features, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    def test_distinguishes_stripe_orientations(self):
+        horizontal = np.zeros((16, 16))
+        horizontal[::2, :] = 1.0
+        vertical = np.zeros((16, 16))
+        vertical[:, ::2] = 1.0
+        features = HOGFeaturizer().fit_transform(np.stack([horizontal, vertical]))
+        assert not np.allclose(features[0], features[1])
+
+    def test_color_images_averaged(self, rng):
+        images = rng.normal(size=(2, 16, 16, 3))
+        features = HOGFeaturizer().fit_transform(images)
+        assert features.shape[0] == 2
+
+
+class TestPretrainedCNNFeaturizer:
+    def test_deterministic_given_seed(self, rng):
+        images = rng.normal(size=(4, 16, 16))
+        a = PretrainedCNNFeaturizer(random_state=0).fit_transform(images)
+        b = PretrainedCNNFeaturizer(random_state=0).fit_transform(images)
+        assert np.allclose(a, b)
+
+    def test_feature_dimension_depends_on_filters(self, rng):
+        images = rng.normal(size=(2, 16, 16))
+        features = PretrainedCNNFeaturizer(n_filters=6, random_state=0).fit_transform(images)
+        assert features.shape == (2, 12)
+
+    def test_transform_without_fit_self_initializes(self, rng):
+        images = rng.normal(size=(2, 16, 16))
+        features = PretrainedCNNFeaturizer(random_state=1).transform(images)
+        assert np.all(np.isfinite(features))
+
+    def test_separates_bright_and_dark_images(self):
+        bright = np.ones((1, 16, 16))
+        dark = np.zeros((1, 16, 16))
+        featurizer = PretrainedCNNFeaturizer(random_state=0).fit(bright)
+        difference = featurizer.transform(bright) - featurizer.transform(dark)
+        assert np.abs(difference).sum() > 0.0

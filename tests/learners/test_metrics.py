@@ -1,0 +1,184 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learners import metrics
+
+
+class TestClassificationMetrics:
+    def test_accuracy_perfect(self):
+        assert metrics.accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_accuracy_half(self):
+        assert metrics.accuracy_score([1, 0, 1, 0], [1, 0, 0, 1]) == 0.5
+
+    def test_accuracy_with_string_labels(self):
+        assert metrics.accuracy_score(["a", "b"], ["a", "a"]) == 0.5
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy_score([1, 0], [1])
+
+    def test_confusion_matrix_values(self):
+        matrix = metrics.confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_confusion_matrix_with_labels(self):
+        matrix = metrics.confusion_matrix([0, 1], [0, 1], labels=[0, 1, 2])
+        assert matrix.shape == (3, 3)
+
+    def test_f1_perfect(self):
+        assert metrics.f1_score([0, 1, 1], [0, 1, 1]) == pytest.approx(1.0)
+
+    def test_f1_zero_when_all_wrong(self):
+        assert metrics.f1_score([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(0.0)
+
+    def test_f1_macro_vs_weighted_differ_on_imbalance(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        macro = metrics.f1_score(y_true, y_pred, average="macro")
+        weighted = metrics.f1_score(y_true, y_pred, average="weighted")
+        assert weighted > macro
+
+    def test_f1_micro_equals_accuracy_for_single_label(self):
+        y_true = [0, 1, 2, 1, 0]
+        y_pred = [0, 2, 2, 1, 1]
+        micro = metrics.f1_score(y_true, y_pred, average="micro")
+        assert micro == pytest.approx(metrics.accuracy_score(y_true, y_pred))
+
+    def test_f1_unknown_average_raises(self):
+        with pytest.raises(ValueError):
+            metrics.f1_score([0, 1], [0, 1], average="bogus")
+
+    def test_precision_recall_bounds(self):
+        y_true = [0, 1, 1, 0, 1]
+        y_pred = [0, 1, 0, 0, 1]
+        assert 0.0 <= metrics.precision_score(y_true, y_pred) <= 1.0
+        assert 0.0 <= metrics.recall_score(y_true, y_pred) <= 1.0
+
+    def test_log_loss_confident_correct_is_small(self):
+        proba = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert metrics.log_loss([0, 1], proba) < 0.05
+
+    def test_log_loss_confident_wrong_is_large(self):
+        proba = np.array([[0.01, 0.99], [0.99, 0.01]])
+        assert metrics.log_loss([0, 1], proba) > 2.0
+
+    def test_log_loss_binary_vector_input(self):
+        value = metrics.log_loss([0, 1], [0.1, 0.9])
+        assert value == pytest.approx(-np.log(0.9), rel=1e-6)
+
+    def test_log_loss_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.log_loss([0, 1, 2], np.ones((3, 2)) / 2)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert metrics.roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_random_is_half(self):
+        assert metrics.roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_inverted_is_zero(self):
+        assert metrics.roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            metrics.roc_auc_score([1, 1, 1], [0.1, 0.2, 0.3])
+
+
+class TestRegressionMetrics:
+    def test_mse_zero_on_perfect(self):
+        assert metrics.mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mse_known_value(self):
+        assert metrics.mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        y_true = [0.0, 1.0, 2.0]
+        y_pred = [0.5, 1.5, 2.5]
+        assert metrics.root_mean_squared_error(y_true, y_pred) == pytest.approx(
+            np.sqrt(metrics.mean_squared_error(y_true, y_pred))
+        )
+
+    def test_mae_known_value(self):
+        assert metrics.mean_absolute_error([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_r2_perfect(self):
+        assert metrics.r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert metrics.r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_r2_can_be_negative(self):
+        assert metrics.r2_score([1.0, 2.0, 3.0], [3.0, 3.0, -1.0]) < 0.0
+
+    def test_r2_constant_target(self):
+        assert metrics.r2_score([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert metrics.r2_score([1.0, 1.0], [2.0, 0.0]) == 0.0
+
+    def test_mape_guards_zero_targets(self):
+        value = metrics.mean_absolute_percentage_error([0.0, 1.0], [0.1, 1.1])
+        assert np.isfinite(value)
+
+
+class TestAdjustedRand:
+    def test_identical_partitions(self):
+        assert metrics.adjusted_rand_score([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.RandomState(0)
+        a = rng.randint(0, 3, size=300)
+        b = rng.randint(0, 3, size=300)
+        assert abs(metrics.adjusted_rand_score(a, b)) < 0.1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            metrics.adjusted_rand_score([0, 1], [0, 1, 2])
+
+
+class TestAnomalyF1:
+    def test_exact_overlap(self):
+        assert metrics.anomaly_f1_score([(10, 20)], [(10, 20)]) == 1.0
+
+    def test_partial_overlap_counts(self):
+        assert metrics.anomaly_f1_score([(10, 20)], [(18, 30)]) == 1.0
+
+    def test_miss_and_false_alarm(self):
+        score = metrics.anomaly_f1_score([(10, 20)], [(50, 60)])
+        assert score == 0.0
+
+    def test_empty_both_is_perfect(self):
+        assert metrics.anomaly_f1_score([], []) == 1.0
+
+    def test_empty_detections_is_zero(self):
+        assert metrics.anomaly_f1_score([(1, 2)], []) == 0.0
+
+    def test_extra_false_alarms_lower_precision(self):
+        perfect = metrics.anomaly_f1_score([(10, 20)], [(10, 20)])
+        noisy = metrics.anomaly_f1_score([(10, 20)], [(10, 20), (100, 110), (200, 210)])
+        assert noisy < perfect
+
+
+class TestMetricRegistry:
+    def test_get_metric_returns_callable_and_direction(self):
+        fn, higher = metrics.get_metric("accuracy")
+        assert callable(fn)
+        assert higher is True
+
+    def test_loss_metrics_marked_lower_is_better(self):
+        _, higher = metrics.get_metric("mse")
+        assert higher is False
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError, match="Unknown metric"):
+            metrics.get_metric("nope")
+
+    @pytest.mark.parametrize("name", sorted(metrics.METRICS))
+    def test_every_registered_metric_is_callable(self, name):
+        fn, higher = metrics.get_metric(name)
+        assert callable(fn)
+        assert isinstance(higher, bool)

@@ -1,0 +1,114 @@
+"""Tests for splitting and cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.learners.metrics import accuracy_score
+from repro.learners.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.learners.tree import DecisionTreeClassifier
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40).reshape(-1, 1)
+        X_train, X_test = train_test_split(X, test_size=0.25, random_state=0)
+        assert len(X_train) == 30
+        assert len(X_test) == 10
+
+    def test_multiple_arrays_stay_aligned(self):
+        X = np.arange(20).reshape(-1, 1)
+        y = np.arange(20)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.3, random_state=1)
+        assert np.array_equal(X_train.ravel(), y_train)
+        assert np.array_equal(X_test.ravel(), y_test)
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(30)
+        X_train, X_test = train_test_split(X, test_size=0.2, random_state=2)
+        assert set(X_train) | set(X_test) == set(range(30))
+        assert set(X_train) & set(X_test) == set()
+
+    def test_reproducible_with_seed(self):
+        X = np.arange(30)
+        a_train, _ = train_test_split(X, random_state=5)
+        b_train, _ = train_test_split(X, random_state=5)
+        assert np.array_equal(a_train, b_train)
+
+    def test_absolute_test_size(self):
+        X = np.arange(30)
+        _, X_test = train_test_split(X, test_size=7, random_state=0)
+        assert len(X_test) == 7
+
+    def test_stratified_preserves_proportions(self):
+        y = np.array([0] * 40 + [1] * 10)
+        X = np.arange(50).reshape(-1, 1)
+        _, _, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=0, stratify=y)
+        assert set(np.unique(y_test)) == {0, 1}
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), test_size=1.5)
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), np.arange(5))
+
+
+class TestKFold:
+    def test_number_of_splits(self):
+        splits = list(KFold(n_splits=5, random_state=0).split(np.arange(23)))
+        assert len(splits) == 5
+
+    def test_folds_partition_the_data(self):
+        splits = list(KFold(n_splits=4, random_state=0).split(np.arange(21)))
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test.tolist()) == list(range(21))
+
+    def test_train_and_test_disjoint(self):
+        for train, test in KFold(n_splits=3, random_state=0).split(np.arange(12)):
+            assert set(train) & set(test) == set()
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.arange(3)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestStratifiedKFold:
+    def test_each_fold_contains_both_classes(self):
+        y = np.array([0] * 20 + [1] * 10)
+        for _, test in StratifiedKFold(n_splits=5, random_state=0).split(np.zeros(30), y):
+            assert set(y[test]) == {0, 1}
+
+    def test_folds_partition_the_data(self):
+        y = np.array([0, 1] * 15)
+        splits = list(StratifiedKFold(n_splits=3, random_state=0).split(np.zeros(30), y))
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test.tolist()) == list(range(30))
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3, random_state=0), X, y,
+            scoring=accuracy_score, cv=4, random_state=0,
+        )
+        assert len(scores) == 4
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_learnable_data_scores_above_chance(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=4, random_state=0), X, y,
+            scoring=accuracy_score, cv=3, random_state=0,
+        )
+        assert scores.mean() > 0.7

@@ -1,0 +1,243 @@
+"""Tests for imputation, scaling, encoding and decomposition transformers."""
+
+import numpy as np
+import pytest
+
+from repro.learners.base import NotFittedError
+from repro.learners.preprocessing import (
+    PCA,
+    CategoricalEncoder,
+    ClassDecoder,
+    ClassEncoder,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    RobustScaler,
+    SimpleImputer,
+    StandardScaler,
+    TruncatedSVD,
+)
+
+
+class TestSimpleImputer:
+    def test_mean_imputation(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        result = SimpleImputer(strategy="mean").fit_transform(X)
+        assert result[2, 0] == pytest.approx(2.0)
+        assert result[0, 1] == pytest.approx(6.0)
+
+    def test_median_imputation(self):
+        X = np.array([[1.0], [100.0], [3.0], [np.nan]])
+        result = SimpleImputer(strategy="median").fit_transform(X)
+        assert result[3, 0] == pytest.approx(3.0)
+
+    def test_most_frequent_imputation(self):
+        X = np.array([[1.0], [1.0], [2.0], [np.nan]])
+        result = SimpleImputer(strategy="most_frequent").fit_transform(X)
+        assert result[3, 0] == 1.0
+
+    def test_constant_imputation(self):
+        X = np.array([[np.nan], [2.0]])
+        result = SimpleImputer(strategy="constant", fill_value=-1.0).fit_transform(X)
+        assert result[0, 0] == -1.0
+
+    def test_no_missing_values_is_identity(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(SimpleImputer().fit_transform(X), X)
+
+    def test_all_missing_column_uses_fill_value(self):
+        X = np.array([[np.nan], [np.nan]])
+        result = SimpleImputer(strategy="mean", fill_value=0.0).fit_transform(X)
+        assert np.all(result == 0.0)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            SimpleImputer(strategy="bogus").fit(np.ones((2, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        imputer = SimpleImputer().fit(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            imputer.transform(np.ones((3, 3)))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            SimpleImputer().transform(np.ones((2, 2)))
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_variance(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        result = StandardScaler().fit_transform(X)
+        assert np.allclose(result.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(result.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.array([[1.0, 5.0], [1.0, 6.0]])
+        result = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(result))
+
+    def test_standard_scaler_without_centering(self, rng):
+        X = rng.normal(loc=10.0, size=(100, 2))
+        result = StandardScaler(with_mean=False).fit_transform(X)
+        assert result.mean() > 1.0
+
+    def test_minmax_scaler_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 10
+        result = MinMaxScaler().fit_transform(X)
+        assert result.min() >= 0.0
+        assert result.max() <= 1.0 + 1e-12
+
+    def test_minmax_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        result = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert result.min() >= -1.0 - 1e-12
+        assert result.max() <= 1.0 + 1e-12
+
+    def test_minmax_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0)).fit(np.ones((3, 2)))
+
+    def test_minmax_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(40, 2))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_robust_scaler_centers_on_median(self):
+        X = np.array([[1.0], [2.0], [3.0], [100.0]])
+        scaler = RobustScaler().fit(X)
+        assert scaler.center_[0] == pytest.approx(2.5)
+
+    def test_robust_scaler_invalid_quantiles(self):
+        with pytest.raises(ValueError):
+            RobustScaler(quantile_range=(80.0, 20.0)).fit(np.ones((3, 1)))
+
+
+class TestLabelEncoders:
+    def test_label_encoder_roundtrip(self):
+        y = np.array(["b", "a", "c", "a"])
+        encoder = LabelEncoder().fit(y)
+        encoded = encoder.transform(y)
+        assert encoded.tolist() == [1, 0, 2, 0]
+        assert np.array_equal(encoder.inverse_transform(encoded), y)
+
+    def test_label_encoder_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.transform(["c"])
+
+    def test_label_encoder_out_of_range_decode_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.inverse_transform([5])
+
+    def test_class_encoder_produce_returns_classes(self):
+        y = np.array(["x", "y", "x"])
+        encoded, classes = ClassEncoder().produce(y)
+        assert encoded.tolist() == [0, 1, 0]
+        assert classes.tolist() == ["x", "y"]
+
+    def test_class_decoder_roundtrip(self):
+        y = np.array(["x", "y", "x", "z"])
+        encoded, classes = ClassEncoder().produce(y)
+        decoder = ClassDecoder().fit(classes)
+        assert np.array_equal(decoder.produce(encoded), y)
+
+    def test_class_decoder_clips_out_of_range(self):
+        decoder = ClassDecoder().fit(np.array(["a", "b"]))
+        assert decoder.produce([10]).tolist() == ["b"]
+
+    def test_class_decoder_without_classes_raises(self):
+        with pytest.raises(ValueError):
+            ClassDecoder().fit(None).produce([0, 1])
+
+    def test_class_decoder_rounds_float_predictions(self):
+        decoder = ClassDecoder().fit(np.array([10, 20, 30]))
+        assert decoder.produce([0.2, 1.7, 2.1]).tolist() == [10, 30, 30]
+
+
+class TestFeatureEncoders:
+    def test_onehot_shape(self):
+        X = np.array([["a"], ["b"], ["a"]], dtype=object)
+        result = OneHotEncoder().fit_transform(X)
+        assert result.shape == (3, 2)
+        assert np.allclose(result.sum(axis=1), 1.0)
+
+    def test_onehot_unknown_category_maps_to_zeros(self):
+        encoder = OneHotEncoder().fit(np.array([["a"], ["b"]], dtype=object))
+        result = encoder.transform(np.array([["c"]], dtype=object))
+        assert np.all(result == 0.0)
+
+    def test_onehot_multi_column(self):
+        X = np.array([["a", "x"], ["b", "y"], ["a", "x"]], dtype=object)
+        result = OneHotEncoder().fit_transform(X)
+        assert result.shape == (3, 4)
+
+    def test_ordinal_encoder_codes(self):
+        X = np.array([["low"], ["high"], ["low"]], dtype=object)
+        result = OrdinalEncoder().fit_transform(X)
+        assert set(np.unique(result)) <= {0.0, 1.0}
+
+    def test_ordinal_encoder_unknown_value(self):
+        encoder = OrdinalEncoder(unknown_value=-5).fit(np.array([["a"]], dtype=object))
+        assert encoder.transform(np.array([["zzz"]], dtype=object))[0, 0] == -5
+
+    def test_categorical_encoder_mixed_columns(self):
+        X = np.array([[1.0, "red"], [2.0, "blue"], [3.0, "red"]], dtype=object)
+        result = CategoricalEncoder().fit_transform(X)
+        # one numeric column + two one-hot columns
+        assert result.shape == (3, 3)
+
+    def test_categorical_encoder_all_numeric_passthrough(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        result = CategoricalEncoder().fit_transform(X)
+        assert np.allclose(result, X)
+
+
+class TestDecomposition:
+    def test_pca_reduces_dimension(self, rng):
+        X = rng.normal(size=(60, 10))
+        result = PCA(n_components=3).fit_transform(X)
+        assert result.shape == (60, 3)
+
+    def test_pca_components_are_orthonormal(self, rng):
+        X = rng.normal(size=(50, 6))
+        pca = PCA(n_components=4).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_pca_explained_variance_ratio_sums_below_one(self, rng):
+        X = rng.normal(size=(80, 5))
+        pca = PCA(n_components=3).fit(X)
+        assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+
+    def test_pca_full_rank_reconstruction(self, rng):
+        X = rng.normal(size=(30, 4))
+        pca = PCA().fit(X)
+        reconstructed = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(reconstructed, X, atol=1e-8)
+
+    def test_pca_caps_components_at_rank(self, rng):
+        X = rng.normal(size=(5, 10))
+        pca = PCA(n_components=9).fit(X)
+        assert pca.n_components_ == 5
+
+    def test_pca_whitening_gives_unit_variance(self, rng):
+        X = rng.normal(size=(200, 4)) @ np.diag([5.0, 2.0, 1.0, 0.5])
+        transformed = PCA(n_components=3, whiten=True).fit_transform(X)
+        assert np.allclose(transformed.std(axis=0), 1.0, atol=0.1)
+
+    def test_truncated_svd_shape(self, rng):
+        X = np.abs(rng.normal(size=(40, 8)))
+        result = TruncatedSVD(n_components=2).fit_transform(X)
+        assert result.shape == (40, 2)
+
+    def test_invalid_n_components(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0).fit(np.ones((4, 3)))

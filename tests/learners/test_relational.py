@@ -1,0 +1,153 @@
+"""Tests for the EntitySet abstraction and deep feature synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.learners.relational import DeepFeatureSynthesis, EntitySet, dfs
+
+
+@pytest.fixture
+def retail_entityset():
+    """Customers with transactions; one customer has no transactions."""
+    entityset = EntitySet("retail")
+    entityset.add_entity("customers", {
+        "customer_id": np.array([1, 2, 3]),
+        "age": np.array([30.0, 40.0, 50.0]),
+    }, index="customer_id")
+    entityset.add_entity("transactions", {
+        "transaction_id": np.arange(5),
+        "customer_id": np.array([1, 1, 2, 2, 2]),
+        "amount": np.array([10.0, 20.0, 5.0, 5.0, 5.0]),
+    }, index="transaction_id")
+    entityset.add_relationship("customers", "customer_id", "transactions", "customer_id")
+    return entityset
+
+
+class TestEntitySet:
+    def test_add_entity_and_lookup(self, retail_entityset):
+        assert set(retail_entityset.entities) == {"customers", "transactions"}
+
+    def test_duplicate_entity_raises(self, retail_entityset):
+        with pytest.raises(ValueError):
+            retail_entityset.add_entity("customers", {"customer_id": [1]}, index="customer_id")
+
+    def test_missing_index_column_raises(self):
+        entityset = EntitySet()
+        with pytest.raises(ValueError):
+            entityset.add_entity("t", {"a": [1, 2]}, index="missing")
+
+    def test_ragged_columns_raise(self):
+        entityset = EntitySet()
+        with pytest.raises(ValueError):
+            entityset.add_entity("t", {"id": [1, 2], "x": [1.0]}, index="id")
+
+    def test_relationship_unknown_entity_raises(self, retail_entityset):
+        with pytest.raises(ValueError):
+            retail_entityset.add_relationship("customers", "customer_id", "orders", "customer_id")
+
+    def test_relationship_unknown_column_raises(self, retail_entityset):
+        with pytest.raises(ValueError):
+            retail_entityset.add_relationship("customers", "bogus", "transactions", "customer_id")
+
+    def test_children_of(self, retail_entityset):
+        children = retail_entityset.children_of("customers")
+        assert len(children) == 1
+        assert children[0].child_entity == "transactions"
+
+    def test_numeric_columns_exclude_keys(self, retail_entityset):
+        assert retail_entityset.numeric_columns("transactions") == ["amount"]
+        assert retail_entityset.numeric_columns("customers") == ["age"]
+
+
+class TestDFS:
+    def test_feature_matrix_aligned_with_target_entity(self, retail_entityset):
+        matrix, names = dfs(retail_entityset, "customers")
+        assert matrix.shape[0] == 3
+        assert len(names) == matrix.shape[1]
+
+    def test_count_feature_values(self, retail_entityset):
+        matrix, names = dfs(retail_entityset, "customers", aggregations=["count"])
+        count_column = names.index("customers.COUNT(transactions)")
+        assert matrix[:, count_column].tolist() == [2.0, 3.0, 0.0]
+
+    def test_mean_aggregation(self, retail_entityset):
+        matrix, names = dfs(retail_entityset, "customers", aggregations=["mean"])
+        mean_column = names.index("customers.MEAN(transactions.amount)")
+        assert matrix[0, mean_column] == pytest.approx(15.0)
+        assert matrix[2, mean_column] == 0.0  # no transactions
+
+    def test_direct_numeric_features_included(self, retail_entityset):
+        _, names = dfs(retail_entityset, "customers")
+        assert "customers.age" in names
+
+    def test_instance_ids_select_and_order_rows(self, retail_entityset):
+        matrix, names = dfs(retail_entityset, "customers", instance_ids=[3, 1])
+        age_column = names.index("customers.age")
+        assert matrix[:, age_column].tolist() == [50.0, 30.0]
+
+    def test_unknown_instance_id_raises(self, retail_entityset):
+        with pytest.raises(ValueError):
+            dfs(retail_entityset, "customers", instance_ids=[42])
+
+    def test_unknown_target_entity_raises(self, retail_entityset):
+        with pytest.raises(ValueError):
+            dfs(retail_entityset, "orders")
+
+    def test_unknown_aggregation_raises(self, retail_entityset):
+        with pytest.raises(ValueError):
+            dfs(retail_entityset, "customers", aggregations=["mode"])
+
+    def test_invalid_max_depth_raises(self, retail_entityset):
+        with pytest.raises(ValueError):
+            dfs(retail_entityset, "customers", max_depth=0)
+
+    def test_non_entityset_raises(self):
+        with pytest.raises(TypeError):
+            dfs({"not": "an entityset"}, "customers")
+
+    def test_two_level_aggregation(self):
+        entityset = EntitySet("nested")
+        entityset.add_entity("regions", {"region_id": np.array([1, 2])}, index="region_id")
+        entityset.add_entity("stores", {
+            "store_id": np.array([10, 11, 12]),
+            "region_id": np.array([1, 1, 2]),
+        }, index="store_id")
+        entityset.add_entity("sales", {
+            "sale_id": np.arange(4),
+            "store_id": np.array([10, 10, 11, 12]),
+            "amount": np.array([1.0, 2.0, 3.0, 4.0]),
+        }, index="sale_id")
+        entityset.add_relationship("regions", "region_id", "stores", "region_id")
+        entityset.add_relationship("stores", "store_id", "sales", "store_id")
+        matrix, names = dfs(entityset, "regions", max_depth=2)
+        assert any("sales" in name for name in names)
+        assert matrix.shape[0] == 2
+
+
+class TestDeepFeatureSynthesisPrimitive:
+    def test_entityset_mode(self, retail_entityset):
+        primitive = DeepFeatureSynthesis(target_entity="customers")
+        matrix = primitive.produce(np.array([1, 2, 3]), entityset=retail_entityset)
+        assert matrix.shape[0] == 3
+        assert len(primitive.feature_names_) == matrix.shape[1]
+
+    def test_passthrough_mode_for_plain_matrices(self):
+        X = np.arange(12, dtype=float).reshape(4, 3)
+        assert np.allclose(DeepFeatureSynthesis().produce(X), X)
+
+    def test_passthrough_flattens_3d_input(self):
+        X = np.zeros((5, 4, 4))
+        assert DeepFeatureSynthesis().produce(X).shape == (5, 16)
+
+    def test_passthrough_reshapes_1d_input(self):
+        X = np.arange(6, dtype=float)
+        assert DeepFeatureSynthesis().produce(X).shape == (6, 1)
+
+    def test_entityset_as_positional_argument(self, retail_entityset):
+        matrix = DeepFeatureSynthesis(target_entity="customers").produce(retail_entityset)
+        assert matrix.shape[0] == 3
+
+    def test_default_target_entity_inferred(self, retail_entityset):
+        primitive = DeepFeatureSynthesis()
+        matrix = primitive.produce(np.array([1, 2, 3]), entityset=retail_entityset)
+        assert matrix.shape[0] == 3

@@ -1,0 +1,111 @@
+"""Tests for voting and stacking ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.learners.metrics import accuracy_score, r2_score
+from repro.learners.naive_bayes import GaussianNB
+from repro.learners.linear import Ridge
+from repro.learners.stacking import StackingClassifier, StackingRegressor, VotingClassifier
+from repro.learners.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestVotingClassifier:
+    def test_default_members_learn(self, classification_data):
+        X, y = classification_data
+        model = VotingClassifier(random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_soft_voting(self, multiclass_data):
+        X, y = multiclass_data
+        model = VotingClassifier(voting="soft", random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(y), 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_custom_members(self, classification_data):
+        X, y = classification_data
+        model = VotingClassifier(
+            estimators=[GaussianNB(), DecisionTreeClassifier(max_depth=3, random_state=0)],
+            random_state=0,
+        ).fit(X, y)
+        assert len(model.estimators_) == 2
+        assert accuracy_score(y, model.predict(X)) > 0.8
+
+    def test_invalid_voting_mode(self, classification_data):
+        X, y = classification_data
+        with pytest.raises(ValueError):
+            VotingClassifier(voting="ranked").fit(X, y)
+
+    def test_members_are_not_mutated(self, classification_data):
+        X, y = classification_data
+        base = GaussianNB()
+        VotingClassifier(estimators=[base], random_state=0).fit(X, y)
+        assert not hasattr(base, "theta_")
+
+
+class TestStackingClassifier:
+    def test_learns_and_beats_chance(self, multiclass_data):
+        X, y = multiclass_data
+        model = StackingClassifier(n_splits=3, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_custom_base_estimators(self, classification_data):
+        X, y = classification_data
+        model = StackingClassifier(
+            estimators=[GaussianNB(), DecisionTreeClassifier(max_depth=3, random_state=0)],
+            n_splits=2, random_state=0,
+        ).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.8
+
+    def test_invalid_splits(self, classification_data):
+        X, y = classification_data
+        with pytest.raises(ValueError):
+            StackingClassifier(n_splits=1).fit(X, y)
+
+    def test_string_labels(self, classification_data):
+        X, y = classification_data
+        labels = np.where(y == 1, "a", "b")
+        model = StackingClassifier(n_splits=2, random_state=0).fit(X, labels)
+        assert set(model.predict(X)) <= {"a", "b"}
+
+
+class TestStackingRegressor:
+    def test_learns_linear_signal(self, regression_data):
+        X, y = regression_data
+        model = StackingRegressor(n_splits=3, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.8
+
+    def test_custom_members(self, regression_data):
+        X, y = regression_data
+        model = StackingRegressor(
+            estimators=[Ridge(alpha=0.1), DecisionTreeRegressor(max_depth=4, random_state=0)],
+            n_splits=2, random_state=0,
+        ).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.8
+
+    def test_invalid_splits(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError):
+            StackingRegressor(n_splits=0).fit(X, y)
+
+
+class TestCatalogIntegration:
+    def test_stacking_primitives_registered(self):
+        from repro.core.registry import get_default_registry
+
+        registry = get_default_registry()
+        assert "sklearn.ensemble.VotingClassifier" in registry
+        assert "sklearn.ensemble.StackingClassifier" in registry
+        assert "sklearn.ensemble.StackingRegressor" in registry
+
+    def test_voting_classifier_in_pipeline(self, classification_data):
+        from repro import MLPipeline
+
+        X, y = classification_data
+        pipeline = MLPipeline([
+            "sklearn.preprocessing.StandardScaler",
+            "sklearn.ensemble.VotingClassifier",
+        ])
+        pipeline.fit(X=X, y=y)
+        assert accuracy_score(y, pipeline.predict(X=X)) > 0.85

@@ -1,0 +1,139 @@
+"""Tests for linear SVMs, KMeans clustering and extra ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.learners.cluster import KMeans
+from repro.learners.ensemble import AdaBoostClassifier, BaggingClassifier, BaggingRegressor
+from repro.learners.metrics import accuracy_score, adjusted_rand_score, r2_score
+from repro.learners.svm import LinearSVC, LinearSVR
+from repro.learners.naive_bayes import GaussianNB
+
+
+class TestLinearSVC:
+    def test_separable_binary_data(self, classification_data):
+        X, y = classification_data
+        model = LinearSVC(max_iter=300, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_multiclass_one_vs_rest(self, multiclass_data):
+        X, y = multiclass_data
+        model = LinearSVC(max_iter=300, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.8
+
+    def test_decision_function_shape(self, multiclass_data):
+        X, y = multiclass_data
+        model = LinearSVC(max_iter=50, random_state=0).fit(X, y)
+        assert model.decision_function(X).shape == (len(y), 3)
+
+    def test_string_labels(self, classification_data):
+        X, y = classification_data
+        labels = np.where(y == 1, "in", "out")
+        model = LinearSVC(max_iter=100, random_state=0).fit(X, labels)
+        assert set(model.predict(X)) <= {"in", "out"}
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=0.0).fit(np.ones((4, 2)), [0, 1, 0, 1])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSVC().fit(np.ones((4, 2)), [1, 1, 1, 1])
+
+
+class TestLinearSVR:
+    def test_fits_linear_signal(self, regression_data):
+        X, y = regression_data
+        model = LinearSVR(max_iter=300).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.7
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LinearSVR(C=-1.0).fit(np.ones((4, 2)), np.ones(4))
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, multiclass_data):
+        X, y = multiclass_data
+        model = KMeans(n_clusters=3, random_state=0).fit(X[:, :2])
+        assert adjusted_rand_score(y, model.labels_) > 0.7
+
+    def test_predict_assigns_to_nearest_center(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1]])
+        model = KMeans(n_clusters=2, random_state=0).fit(X)
+        labels = model.predict(np.array([[0.05], [9.9]]))
+        assert labels[0] != labels[1]
+
+    def test_transform_gives_distances(self, rng):
+        X = rng.normal(size=(30, 2))
+        model = KMeans(n_clusters=4, random_state=0).fit(X)
+        distances = model.transform(X)
+        assert distances.shape == (30, 4)
+        assert np.all(distances >= 0.0)
+
+    def test_fit_predict_matches_labels(self, rng):
+        X = rng.normal(size=(40, 3))
+        model = KMeans(n_clusters=3, random_state=1)
+        labels = model.fit_predict(X)
+        assert np.array_equal(labels, model.labels_)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        X = rng.normal(size=(80, 2))
+        small = KMeans(n_clusters=2, random_state=0).fit(X).inertia_
+        large = KMeans(n_clusters=8, random_state=0).fit(X).inertia_
+        assert large < small
+
+    def test_too_many_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.ones((3, 2)))
+
+
+class TestAdaBoost:
+    def test_boosting_improves_over_single_stump(self, classification_data):
+        X, y = classification_data
+        from repro.learners.tree import DecisionTreeClassifier
+
+        stump = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=25, random_state=0).fit(X, y)
+        assert accuracy_score(y, boosted.predict(X)) >= accuracy_score(y, stump.predict(X))
+
+    def test_multiclass_support(self, multiclass_data):
+        X, y = multiclass_data
+        model = AdaBoostClassifier(n_estimators=15, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.7
+
+    def test_estimator_weights_positive(self, classification_data):
+        X, y = classification_data
+        model = AdaBoostClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert all(weight > 0 for weight in model.estimator_weights_)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0).fit(np.ones((4, 2)), [0, 1, 0, 1])
+
+
+class TestBagging:
+    def test_classifier_default_base(self, classification_data):
+        X, y = classification_data
+        model = BaggingClassifier(n_estimators=8, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_regressor_default_base(self, regression_data):
+        X, y = regression_data
+        model = BaggingRegressor(n_estimators=8, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.7
+
+    def test_custom_base_estimator(self, classification_data):
+        X, y = classification_data
+        model = BaggingClassifier(base_estimator=GaussianNB(), n_estimators=5,
+                                  random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.8
+
+    def test_max_samples_validation(self):
+        with pytest.raises(ValueError):
+            BaggingClassifier(max_samples=0.0).fit(np.ones((4, 2)), [0, 1, 0, 1])
+
+    def test_number_of_members(self, classification_data):
+        X, y = classification_data
+        model = BaggingClassifier(n_estimators=6, random_state=0).fit(X, y)
+        assert len(model.estimators_) == 6

@@ -1,0 +1,166 @@
+"""Tests for text cleaning, tokenization and vectorization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.learners.text import (
+    CountVectorizer,
+    SequencePadder,
+    StringVectorizer,
+    TextCleaner,
+    TfidfVectorizer,
+    Tokenizer,
+    UniqueCounter,
+    VocabularyCounter,
+    pad_sequences,
+)
+
+
+class TestTextCleaner:
+    def test_lowercases_and_strips_punctuation(self):
+        cleaned = TextCleaner().produce(["Hello, World!!"])
+        assert cleaned[0] == "hello world"
+
+    def test_collapses_whitespace(self):
+        cleaned = TextCleaner().produce(["a   b\t\tc"])
+        assert cleaned[0] == "a b c"
+
+    def test_preserves_case_when_disabled(self):
+        cleaned = TextCleaner(lowercase=False).produce(["Hello"])
+        assert cleaned[0] == "Hello"
+
+    def test_keeps_punctuation_when_disabled(self):
+        cleaned = TextCleaner(strip_punctuation=False).produce(["a,b"])
+        assert "," in cleaned[0]
+
+    def test_rejects_single_string(self):
+        with pytest.raises(ValueError):
+            TextCleaner().produce("not a list")
+
+    def test_output_length_matches_input(self):
+        documents = ["one", "two", "three"]
+        assert len(TextCleaner().produce(documents)) == 3
+
+
+class TestCounters:
+    def test_unique_counter_counts_classes(self):
+        assert UniqueCounter().produce([0, 1, 1, 2, 2, 2]) == 3
+
+    def test_unique_counter_string_labels(self):
+        assert UniqueCounter().produce(["a", "b", "a"]) == 2
+
+    def test_vocabulary_counter_counts_tokens(self):
+        count = VocabularyCounter(add=0).produce(["a b c", "a d"])
+        assert count == 4
+
+    def test_vocabulary_counter_add_offset(self):
+        assert VocabularyCounter(add=1).produce(["x y"]) == 3
+
+
+class TestTokenizer:
+    def test_assigns_indices_above_reserved(self):
+        tokenizer = Tokenizer().fit(["cat dog", "dog bird"])
+        indices = set(tokenizer.word_index_.values())
+        assert min(indices) >= 2
+
+    def test_transform_maps_known_tokens(self):
+        tokenizer = Tokenizer().fit(["cat dog"])
+        sequences = tokenizer.transform(["cat dog cat"])
+        assert len(sequences[0]) == 3
+        assert sequences[0][0] == sequences[0][2]
+
+    def test_unknown_tokens_map_to_oov(self):
+        tokenizer = Tokenizer().fit(["cat dog"])
+        sequences = tokenizer.transform(["elephant"])
+        assert sequences[0] == [Tokenizer.OOV_INDEX]
+
+    def test_num_words_limits_vocabulary(self):
+        tokenizer = Tokenizer(num_words=2).fit(["a b c d e a b"])
+        assert len(tokenizer.word_index_) == 2
+
+    def test_vocabulary_size_accounts_for_reserved(self):
+        tokenizer = Tokenizer().fit(["a b c"])
+        assert tokenizer.vocabulary_size_ == 5
+
+    def test_fit_transform_shortcut(self):
+        sequences = Tokenizer().fit_transform(["a b", "b c"])
+        assert len(sequences) == 2
+
+
+class TestPadSequences:
+    def test_pads_to_longest_by_default(self):
+        padded = pad_sequences([[1], [1, 2, 3]])
+        assert padded.shape == (2, 3)
+
+    def test_pre_padding_puts_zeros_first(self):
+        padded = pad_sequences([[1, 2]], maxlen=4, padding="pre")
+        assert padded[0].tolist() == [0, 0, 1, 2]
+
+    def test_post_padding_puts_zeros_last(self):
+        padded = pad_sequences([[1, 2]], maxlen=4, padding="post")
+        assert padded[0].tolist() == [1, 2, 0, 0]
+
+    def test_pre_truncation_keeps_tail(self):
+        padded = pad_sequences([[1, 2, 3, 4]], maxlen=2, truncating="pre")
+        assert padded[0].tolist() == [3, 4]
+
+    def test_post_truncation_keeps_head(self):
+        padded = pad_sequences([[1, 2, 3, 4]], maxlen=2, truncating="post")
+        assert padded[0].tolist() == [1, 2]
+
+    def test_custom_padding_value(self):
+        padded = pad_sequences([[1]], maxlen=3, value=-1)
+        assert padded[0].tolist() == [-1, -1, 1]
+
+    def test_empty_sequence_padded_fully(self):
+        padded = pad_sequences([[], [1]], maxlen=2)
+        assert padded[0].tolist() == [0, 0]
+
+    def test_invalid_padding_mode(self):
+        with pytest.raises(ValueError):
+            pad_sequences([[1]], padding="middle")
+
+    def test_no_sequences_raises(self):
+        with pytest.raises(ValueError):
+            pad_sequences([])
+
+    def test_sequence_padder_primitive_wrapper(self):
+        padded = SequencePadder(maxlen=3).produce([[5, 6]])
+        assert padded.shape == (1, 3)
+
+
+class TestVectorizers:
+    def test_count_vectorizer_counts_tokens(self):
+        matrix = CountVectorizer().fit_transform(["a a b", "b c"])
+        assert matrix.shape == (2, 3)
+        assert matrix.sum() == pytest.approx(5.0)
+
+    def test_count_vectorizer_max_features(self):
+        matrix = CountVectorizer(max_features=2).fit_transform(["a a a b b c"])
+        assert matrix.shape[1] == 2
+
+    def test_count_vectorizer_min_df(self):
+        vectorizer = CountVectorizer(min_df=2).fit(["a b", "a c", "a d"])
+        assert list(vectorizer.vocabulary_) == ["a"]
+
+    def test_count_vectorizer_unknown_tokens_ignored(self):
+        vectorizer = CountVectorizer().fit(["a b"])
+        matrix = vectorizer.transform(["z z z"])
+        assert matrix.sum() == 0.0
+
+    def test_tfidf_rows_are_unit_norm(self):
+        matrix = TfidfVectorizer().fit_transform(["a b c", "a a d"])
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_tfidf_downweights_common_terms(self):
+        documents = ["common rare_one", "common rare_two", "common rare_three"]
+        vectorizer = TfidfVectorizer().fit(documents)
+        idf = dict(zip(sorted(vectorizer.vocabulary_), [None] * len(vectorizer.vocabulary_)))
+        common_idx = vectorizer.vocabulary_["common"]
+        rare_idx = vectorizer.vocabulary_["rare_one"]
+        assert vectorizer.idf_[common_idx] < vectorizer.idf_[rare_idx]
+        assert idf is not None
+
+    def test_string_vectorizer_is_tfidf(self):
+        assert issubclass(StringVectorizer, TfidfVectorizer)

@@ -1,0 +1,156 @@
+"""Tests for time series preprocessing and anomaly detection primitives."""
+
+import numpy as np
+import pytest
+
+from repro.learners.timeseries import (
+    find_anomalies,
+    regression_errors,
+    rolling_window_sequences,
+    time_segments_average,
+)
+
+
+class TestTimeSegmentsAverage:
+    def test_aggregates_by_interval(self):
+        X = np.column_stack([np.arange(10, dtype=float), np.arange(10, dtype=float)])
+        values, index = time_segments_average(X, interval=2)
+        assert values[0, 0] == pytest.approx(0.5)
+        assert index[0] == 0.0
+        assert len(values) == len(index)
+
+    def test_interval_one_is_identity_like(self):
+        X = np.column_stack([np.arange(5, dtype=float), np.array([1.0, 2.0, 3.0, 4.0, 5.0])])
+        values, _ = time_segments_average(X, interval=1)
+        assert np.allclose(values.ravel()[:5], [1, 2, 3, 4, 5])
+
+    def test_accepts_1d_series(self):
+        values, index = time_segments_average(np.arange(8, dtype=float), interval=4)
+        assert len(values) == 2
+
+    def test_empty_segments_forward_filled(self):
+        X = np.column_stack([np.array([0.0, 10.0]), np.array([1.0, 5.0])])
+        values, _ = time_segments_average(X, interval=2)
+        assert not np.isnan(values).any()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            time_segments_average(np.arange(5, dtype=float), interval=0)
+
+
+class TestRollingWindowSequences:
+    def test_shapes(self):
+        series = np.arange(100, dtype=float)
+        X, y, X_index, y_index = rolling_window_sequences(series, window_size=10)
+        assert X.shape == (90, 10, 1)
+        assert y.shape == (90,)
+        assert X_index.shape == (90,)
+        assert y_index.shape == (90,)
+
+    def test_targets_follow_windows(self):
+        series = np.arange(50, dtype=float)
+        X, y, _, y_index = rolling_window_sequences(series, window_size=5)
+        assert y[0] == 5.0
+        assert y_index[0] == 5.0
+        assert np.allclose(X[0].ravel(), [0, 1, 2, 3, 4])
+
+    def test_step_size_reduces_windows(self):
+        series = np.arange(60, dtype=float)
+        X_dense, *_ = rolling_window_sequences(series, window_size=10, step_size=1)
+        X_sparse, *_ = rolling_window_sequences(series, window_size=10, step_size=5)
+        assert len(X_sparse) < len(X_dense)
+
+    def test_multivariate_input_keeps_channels(self):
+        series = np.random.RandomState(0).normal(size=(80, 3))
+        X, y, _, _ = rolling_window_sequences(series, window_size=8, target_column=1)
+        assert X.shape == (72, 8, 3)
+        assert np.allclose(y, series[8:8 + len(y), 1])
+
+    def test_series_too_short_raises(self):
+        with pytest.raises(ValueError):
+            rolling_window_sequences(np.arange(5, dtype=float), window_size=10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rolling_window_sequences(np.arange(50, dtype=float), window_size=0)
+
+
+class TestRegressionErrors:
+    def test_zero_errors_for_perfect_forecast(self):
+        y = np.ones(50)
+        errors = regression_errors(y, y, smooth=False)
+        assert np.allclose(errors, 0.0)
+
+    def test_unsmoothed_errors_are_absolute_differences(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.array([2.0, 2.0, 1.0])
+        errors = regression_errors(y_true, y_pred, smooth=False)
+        assert np.allclose(errors, [1.0, 0.0, 2.0])
+
+    def test_smoothing_reduces_spikes(self):
+        y_true = np.zeros(100)
+        y_pred = np.zeros(100)
+        y_pred[50] = 10.0
+        raw = regression_errors(y_true, y_pred, smooth=False)
+        smoothed = regression_errors(y_true, y_pred, smoothing_window=0.1)
+        assert smoothed.max() < raw.max()
+
+    def test_output_length_preserved(self):
+        errors = regression_errors(np.zeros(80), np.ones(80), smoothing_window=0.05)
+        assert len(errors) == 80
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            regression_errors(np.zeros(5), np.zeros(6))
+
+
+class TestFindAnomalies:
+    def _errors_with_spike(self, position=150, width=8, magnitude=8.0, length=300):
+        rng = np.random.RandomState(0)
+        errors = np.abs(rng.normal(0.1, 0.05, size=length))
+        errors[position:position + width] += magnitude
+        return errors
+
+    def test_detects_injected_spike(self):
+        errors = self._errors_with_spike()
+        anomalies = find_anomalies(errors, window_size=100, window_step=50)
+        assert len(anomalies) >= 1
+        start, end, severity = anomalies[0]
+        assert start <= 150 <= end
+        assert severity > 1.0
+
+    def test_no_anomalies_in_flat_noise(self):
+        rng = np.random.RandomState(1)
+        errors = np.abs(rng.normal(0.1, 0.02, size=200))
+        anomalies = find_anomalies(errors, z_threshold=6.0)
+        assert anomalies == []
+
+    def test_uses_provided_index(self):
+        errors = self._errors_with_spike(position=100, length=200)
+        index = np.arange(1000, 1200)
+        anomalies = find_anomalies(errors, index=index, window_size=100, window_step=50)
+        assert anomalies[0][0] >= 1000
+
+    def test_padding_extends_intervals(self):
+        errors = self._errors_with_spike()
+        narrow = find_anomalies(errors, anomaly_padding=0, window_size=100, window_step=50)
+        wide = find_anomalies(errors, anomaly_padding=10, window_size=100, window_step=50)
+        assert (wide[0][1] - wide[0][0]) >= (narrow[0][1] - narrow[0][0])
+
+    def test_empty_errors_return_no_anomalies(self):
+        assert find_anomalies(np.array([])) == []
+
+    def test_misaligned_index_raises(self):
+        with pytest.raises(ValueError):
+            find_anomalies(np.ones(10), index=np.arange(5))
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            find_anomalies(np.ones(10), z_threshold=0.0)
+
+    def test_results_sorted_by_start(self):
+        errors = self._errors_with_spike(position=50)
+        errors[250:255] += 8.0
+        anomalies = find_anomalies(errors, window_size=100, window_step=50)
+        starts = [a[0] for a in anomalies]
+        assert starts == sorted(starts)

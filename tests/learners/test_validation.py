@@ -1,0 +1,64 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.learners.validation import check_array, check_X_y, column_or_1d
+
+
+class TestCheckArray:
+    def test_returns_float_array(self):
+        result = check_array([[1, 2], [3, 4]])
+        assert result.dtype == float
+        assert result.shape == (2, 2)
+
+    def test_rejects_1d_when_2d_required(self):
+        with pytest.raises(ValueError, match="2D"):
+            check_array([1.0, 2.0, 3.0])
+
+    def test_allows_1d_when_requested(self):
+        result = check_array([1.0, 2.0], ensure_2d=False)
+        assert result.shape == (2,)
+
+    def test_rejects_nan_by_default(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_allows_nan_when_requested(self):
+        result = check_array([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(result[0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array(np.empty((0, 3)))
+
+
+class TestCheckXy:
+    def test_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_X_y([[1.0], [2.0]], [0, 1, 2])
+
+    def test_column_target_is_raveled(self):
+        _, y = check_X_y([[1.0], [2.0]], [[0], [1]])
+        assert y.ndim == 1
+
+    def test_y_numeric_casts_to_float(self):
+        _, y = check_X_y([[1.0], [2.0]], ["1", "2"], y_numeric=True)
+        assert y.dtype == float
+
+
+class TestColumnOr1d:
+    def test_1d_passthrough(self):
+        assert column_or_1d([1, 2, 3]).shape == (3,)
+
+    def test_column_vector_raveled(self):
+        assert column_or_1d([[1], [2]]).shape == (2,)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            column_or_1d([[1, 2], [3, 4]])

@@ -1,0 +1,123 @@
+"""Property-based tests for hyperparameter spaces, tuners and graph recovery."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import MLPipeline
+from repro.core.graph import edge_data_items
+from repro.tuning.hyperparams import (
+    BooleanHyperparam,
+    CategoricalHyperparam,
+    FloatHyperparam,
+    IntHyperparam,
+    Tunable,
+)
+from repro.tuning.tuners import UniformTuner
+
+
+# strategies for building random tunable spaces -------------------------------------
+
+def _int_hp(name):
+    return st.tuples(st.integers(-20, 20), st.integers(0, 40)).map(
+        lambda bounds: IntHyperparam(name, bounds[0], bounds[0] + bounds[1])
+    )
+
+
+def _float_hp(name):
+    return st.tuples(
+        st.floats(-100, 100, allow_nan=False), st.floats(0.1, 50, allow_nan=False)
+    ).map(lambda bounds: FloatHyperparam(name, bounds[0], bounds[0] + bounds[1]))
+
+
+def _cat_hp(name):
+    return st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=5, unique=True).map(
+        lambda values: CategoricalHyperparam(name, values)
+    )
+
+
+def _bool_hp(name):
+    return st.just(BooleanHyperparam(name))
+
+
+def tunable_spaces():
+    def build(kinds):
+        hyperparams = {}
+        for index, kind in enumerate(kinds):
+            name = "hp{}".format(index)
+            hyperparams[("step", name)] = kind
+        return Tunable(hyperparams)
+
+    single = st.one_of(_int_hp("x"), _float_hp("x"), _cat_hp("x"), _bool_hp("x"))
+    return st.lists(single, min_size=1, max_size=5).map(build)
+
+
+class TestTunableProperties:
+    @given(space=tunable_spaces(), seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_samples_roundtrip_through_vectorization(self, space, seed):
+        rng = np.random.RandomState(seed)
+        params = space.sample(rng)
+        vector = space.to_vector(params)
+        assert len(vector) == space.dimensions
+        assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+        recovered = space.from_vector(vector)
+        # int/float values may shift by rounding, but category/bool are exact
+        for key, hyperparam in space.hyperparams.items():
+            if isinstance(hyperparam, (CategoricalHyperparam, BooleanHyperparam)):
+                assert recovered[key] == params[key]
+
+    @given(space=tunable_spaces(), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_defaults_vectorize(self, space, seed):
+        vector = space.to_vector(space.defaults())
+        assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+
+    @given(space=tunable_spaces(), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_tuner_proposals_always_valid(self, space, seed):
+        tuner = UniformTuner(space, random_state=seed)
+        for _ in range(5):
+            params = tuner.propose()
+            vector = space.to_vector(params)
+            assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+            tuner.record(params, float(seed % 7))
+
+
+#: Primitive chains that are valid pipelines regardless of how many of the
+#: optional middle transformers are kept.
+_MIDDLE_STEPS = [
+    "sklearn.impute.SimpleImputer",
+    "sklearn.preprocessing.StandardScaler",
+    "sklearn.preprocessing.MinMaxScaler",
+    "sklearn.preprocessing.RobustScaler",
+]
+
+
+class TestGraphRecoveryProperties:
+    @given(
+        middle=st.lists(st.sampled_from(_MIDDLE_STEPS), min_size=0, max_size=4),
+        estimator=st.sampled_from(["xgboost.XGBRegressor", "sklearn.linear_model.Ridge",
+                                   "sklearn.ensemble.RandomForestRegressor"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_transformer_chain_recovers_a_connected_dag(self, middle, estimator):
+        import networkx as nx
+
+        pipeline = MLPipeline(middle + [estimator])
+        graph = pipeline.graph(inputs=["X", "y"])
+        assert nx.is_directed_acyclic_graph(graph)
+        # every pipeline step appears in the graph and has at least one edge
+        step_names = {step.name for step in pipeline.steps}
+        nodes_with_edges = {u for u, _, _ in edge_data_items(graph)} | {
+            v for _, v, _ in edge_data_items(graph)
+        }
+        assert step_names <= nodes_with_edges
+
+    @given(middle=st.lists(st.sampled_from(_MIDDLE_STEPS), min_size=0, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_x_flows_through_every_transformer_exactly_once(self, middle):
+        pipeline = MLPipeline(middle + ["sklearn.linear_model.Ridge"])
+        graph = pipeline.graph(inputs=["X", "y"])
+        x_edges = [edge for edge in edge_data_items(graph) if edge[2] == "X"]
+        # a chain of k transformers plus the estimator consumes X k+1 times
+        assert len(x_edges) == len(middle) + 1

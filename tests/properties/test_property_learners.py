@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.learners import metrics
+from repro.learners.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+from repro.learners.text import pad_sequences
+
+
+# reusable strategies -----------------------------------------------------------
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+# feature values are rounded to a coarse grid so that near-constant columns do
+# not trigger catastrophic cancellation (a float artifact, not a code bug)
+feature_values = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                           allow_infinity=False).map(lambda value: round(value, 3))
+
+
+def feature_matrices(min_rows=2, max_rows=30, min_cols=1, max_cols=6):
+    return hnp.arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)),
+        elements=feature_values,
+    )
+
+
+class TestScalerProperties:
+    @given(X=feature_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_standard_scaler_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        restored = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(restored, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+    @given(X=feature_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_scaler_output_in_unit_interval(self, X):
+        transformed = MinMaxScaler().fit_transform(X)
+        assert transformed.min() >= -1e-9
+        assert transformed.max() <= 1.0 + 1e-9
+
+    @given(X=feature_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_standard_scaler_output_is_centered(self, X):
+        transformed = StandardScaler().fit_transform(X)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-6)
+
+
+class TestLabelEncoderProperties:
+    @given(labels=st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, labels):
+        encoder = LabelEncoder().fit(labels)
+        encoded = encoder.transform(labels)
+        assert np.array_equal(encoder.inverse_transform(encoded), np.asarray(labels))
+
+    @given(labels=st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_encoded_values_are_dense(self, labels):
+        encoder = LabelEncoder().fit(labels)
+        encoded = encoder.transform(labels)
+        assert encoded.min() >= 0
+        assert encoded.max() < len(np.unique(labels))
+
+
+class TestPadSequencesProperties:
+    @given(
+        sequences=st.lists(st.lists(st.integers(1, 100), max_size=20), min_size=1, max_size=20),
+        maxlen=st.integers(1, 25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_shape_and_membership(self, sequences, maxlen):
+        padded = pad_sequences(sequences, maxlen=maxlen)
+        assert padded.shape == (len(sequences), maxlen)
+        for row, sequence in zip(padded, sequences):
+            non_padding = row[row != 0]
+            assert set(non_padding.tolist()) <= set(sequence)
+
+    @given(sequences=st.lists(st.lists(st.integers(1, 9), min_size=1, max_size=10),
+                              min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_preserves_tail_by_default(self, sequences):
+        padded = pad_sequences(sequences, maxlen=3)
+        for row, sequence in zip(padded, sequences):
+            tail = sequence[-3:]
+            assert row[-len(tail):].tolist() == tail
+
+
+class TestMetricProperties:
+    @given(y=hnp.arrays(dtype=int, shape=st.integers(1, 60), elements=st.integers(0, 4)))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_maximizes_classification_metrics(self, y):
+        assert metrics.accuracy_score(y, y) == 1.0
+        assert metrics.f1_score(y, y) == 1.0
+
+    @given(y=hnp.arrays(dtype=float, shape=st.integers(2, 60), elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_zero_regression_error(self, y):
+        assert metrics.mean_squared_error(y, y) == 0.0
+        assert metrics.mean_absolute_error(y, y) == 0.0
+
+    @given(
+        y_true=hnp.arrays(dtype=int, shape=20, elements=st.integers(0, 3)),
+        y_pred=hnp.arrays(dtype=int, shape=20, elements=st.integers(0, 3)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_classification_metrics_bounded(self, y_true, y_pred):
+        assert 0.0 <= metrics.accuracy_score(y_true, y_pred) <= 1.0
+        assert 0.0 <= metrics.f1_score(y_true, y_pred) <= 1.0
+        assert 0.0 <= metrics.precision_score(y_true, y_pred) <= 1.0
+        assert 0.0 <= metrics.recall_score(y_true, y_pred) <= 1.0
+
+    @given(
+        y_true=hnp.arrays(dtype=float, shape=15, elements=finite_floats),
+        y_pred=hnp.arrays(dtype=float, shape=15, elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mse_is_symmetric_and_nonnegative(self, y_true, y_pred):
+        forward = metrics.mean_squared_error(y_true, y_pred)
+        backward = metrics.mean_squared_error(y_pred, y_true)
+        assert forward >= 0.0
+        assert np.isclose(forward, backward)
+
+    @given(labels=hnp.arrays(dtype=int, shape=st.integers(2, 40), elements=st.integers(0, 5)))
+    @settings(max_examples=40, deadline=None)
+    def test_ari_is_one_for_identical_partitions(self, labels):
+        assert metrics.adjusted_rand_score(labels, labels) == 1.0
+
+    @given(
+        labels=hnp.arrays(dtype=int, shape=st.integers(2, 40), elements=st.integers(0, 5)),
+        permutation_seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ari_invariant_to_label_permutation(self, labels, permutation_seed):
+        rng = np.random.RandomState(permutation_seed)
+        mapping = rng.permutation(6)
+        relabeled = mapping[labels]
+        assert metrics.adjusted_rand_score(labels, relabeled) == 1.0

@@ -1,0 +1,106 @@
+"""Property-based tests for model invariants (predictions, probabilities, DFS)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.learners.relational import EntitySet, dfs
+from repro.learners.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    RandomForestRegressor,
+)
+
+feature_values = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False,
+                           allow_infinity=False).map(lambda value: round(value, 2))
+
+
+def datasets(max_rows=40, max_cols=4):
+    """Strategy producing (X, y_classification, y_regression) triples."""
+
+    def build(args):
+        X, labels, targets = args
+        return np.asarray(X), np.asarray(labels) % 3, np.asarray(targets)
+
+    shape = st.tuples(st.integers(8, max_rows), st.integers(1, max_cols))
+    return shape.flatmap(
+        lambda dims: st.tuples(
+            hnp.arrays(dtype=float, shape=dims, elements=feature_values),
+            hnp.arrays(dtype=int, shape=dims[0], elements=st.integers(0, 2)),
+            hnp.arrays(dtype=float, shape=dims[0], elements=feature_values),
+        ).map(build)
+    )
+
+
+class TestTreeModelProperties:
+    @given(data=datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_regression_predictions_within_target_range(self, data):
+        X, _, y = data
+        model = DecisionTreeRegressor(max_depth=4, random_state=0).fit(X, y)
+        predictions = model.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(data=datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_forest_predictions_within_target_range(self, data):
+        X, _, y = data
+        model = RandomForestRegressor(n_estimators=4, random_state=0).fit(X, y)
+        predictions = model.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(data=datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_classifier_predictions_are_known_labels(self, data):
+        X, y, _ = data
+        if len(np.unique(y)) < 2:
+            y = y.copy()
+            y[0] = (y[0] + 1) % 3
+        model = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        assert set(model.predict(X)) <= set(np.unique(y))
+
+    @given(data=datasets())
+    @settings(max_examples=15, deadline=None)
+    def test_boosting_probabilities_are_valid(self, data):
+        X, y, _ = data
+        if len(np.unique(y)) < 2:
+            y = y.copy()
+            y[0] = (y[0] + 1) % 3
+        model = GradientBoostingClassifier(n_estimators=4, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0.0)
+        assert np.all(proba <= 1.0 + 1e-9)
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+
+class TestDFSProperties:
+    @given(
+        n_parents=st.integers(2, 8),
+        n_children=st.integers(0, 30),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_feature_matrix_always_aligned_with_parents(self, n_parents, n_children, seed):
+        rng = np.random.RandomState(seed)
+        entityset = EntitySet("prop")
+        entityset.add_entity("parents", {
+            "parent_id": np.arange(n_parents),
+            "value": rng.normal(size=n_parents),
+        }, index="parent_id")
+        entityset.add_entity("children", {
+            "child_id": np.arange(n_children),
+            "parent_id": rng.randint(0, n_parents, size=n_children),
+            "amount": rng.normal(size=n_children),
+        }, index="child_id")
+        entityset.add_relationship("parents", "parent_id", "children", "parent_id")
+
+        matrix, names = dfs(entityset, "parents")
+        assert matrix.shape[0] == n_parents
+        assert matrix.shape[1] == len(names)
+        assert np.all(np.isfinite(matrix))
+        # the COUNT feature sums to the number of children
+        count_column = names.index("parents.COUNT(children)")
+        assert matrix[:, count_column].sum() == n_children

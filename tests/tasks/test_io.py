@@ -1,0 +1,102 @@
+"""Tests for task and suite serialization (dataset folder layout)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.tasks import build_task_suite, load_suite, load_task, save_suite, save_task, synth
+from repro.tasks.types import TaskType
+
+
+class TestSaveLoadTask:
+    def test_tabular_roundtrip(self, tmp_path):
+        task = synth.make_single_table_classification(random_state=0)
+        save_task(task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        assert loaded.name == task.name
+        assert loaded.task_type == task.task_type
+        assert loaded.metric == task.metric
+        assert np.allclose(loaded.context["X"], task.context["X"])
+        assert np.array_equal(loaded.context["y"], task.context["y"])
+
+    def test_folder_layout(self, tmp_path):
+        task = synth.make_single_table_regression(random_state=0)
+        save_task(task, tmp_path / "task")
+        assert (tmp_path / "task" / "task.json").exists()
+        assert (tmp_path / "task" / "data.npz").exists()
+
+    def test_ordered_flag_preserved(self, tmp_path):
+        task = synth.make_timeseries_forecasting(random_state=0)
+        save_task(task, tmp_path / "task")
+        assert load_task(tmp_path / "task").ordered is True
+
+    def test_text_task_roundtrip(self, tmp_path):
+        task = synth.make_text_classification(random_state=0)
+        save_task(task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        assert list(loaded.context["X"]) == list(task.context["X"])
+
+    def test_graph_task_roundtrip(self, tmp_path):
+        task = synth.make_link_prediction(random_state=0)
+        save_task(task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        assert "graph" in loaded.static_keys
+        assert loaded.context["graph"].number_of_nodes() == task.context["graph"].number_of_nodes()
+        assert loaded.context["graph"].number_of_edges() == task.context["graph"].number_of_edges()
+
+    def test_graph_node_ids_usable_after_roundtrip(self, tmp_path):
+        from repro.learners.graph import link_prediction_feature_extraction
+
+        task = synth.make_link_prediction(random_state=1)
+        save_task(task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        features = link_prediction_feature_extraction(
+            loaded.context["graph"], loaded.context["X"][:5].astype(int)
+        )
+        assert np.any(features != 0.0)
+
+    def test_multitable_task_roundtrip(self, tmp_path):
+        task = synth.make_multi_table_regression(random_state=0)
+        save_task(task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        entityset = loaded.context["entityset"]
+        assert set(entityset.entities) == {"customers", "transactions"}
+        assert len(entityset.relationships) == 1
+
+    def test_loaded_multitable_task_is_fittable(self, tmp_path):
+        from repro.automl import get_templates
+
+        task = synth.make_multi_table_classification(random_state=0)
+        save_task(task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        template = get_templates("multi_table", "classification")[0]
+        pipeline = template.build_pipeline()
+        pipeline.fit(**loaded.pipeline_data())
+        assert pipeline.fitted
+
+    def test_metadata_preserved(self, tmp_path):
+        task = synth.make_single_table_classification(random_state=0)
+        save_task(task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        assert loaded.metadata == {str(k): v for k, v in task.metadata.items()} or loaded.metadata == task.metadata
+
+
+class TestSaveLoadSuite:
+    def test_suite_roundtrip(self, tmp_path):
+        counts = {
+            TaskType("single_table", "classification"): 2,
+            TaskType("graph", "link_prediction"): 1,
+        }
+        suite = build_task_suite(counts=counts, random_state=0)
+        save_suite(suite, tmp_path / "suite")
+        loaded = load_suite(tmp_path / "suite")
+        assert len(loaded) == len(suite)
+        assert [t.name for t in loaded] == [t.name for t in suite]
+
+    def test_index_file_written(self, tmp_path):
+        suite = build_task_suite(
+            counts={TaskType("single_table", "regression"): 1}, random_state=0
+        )
+        index_path = save_suite(suite, tmp_path / "suite")
+        assert os.path.exists(index_path)

@@ -1,0 +1,145 @@
+"""Tests for the synthetic task generators and the Table II suite builder."""
+
+import numpy as np
+import pytest
+
+from repro.learners.relational import EntitySet
+from repro.tasks import TABLE_II_COUNTS, TASK_TYPES, build_task_suite, synth
+from repro.tasks.suite import scaled_counts
+from repro.tasks.types import TaskType, default_metric
+
+
+class TestGenerators:
+    def test_single_table_classification_learnable(self):
+        task = synth.make_single_table_classification(random_state=0)
+        assert task.task_type == TaskType("single_table", "classification")
+        assert set(np.unique(task.context["y"])) == {0, 1}
+
+    def test_single_table_regression_shapes(self):
+        task = synth.make_single_table_regression(n_samples=80, n_features=5, random_state=0)
+        assert task.context["X"].shape == (80, 5)
+        assert task.context["y"].shape == (80,)
+
+    def test_collaborative_filtering_ids_within_bounds(self):
+        task = synth.make_collaborative_filtering(n_users=10, n_items=7, random_state=0)
+        X = task.context["X"]
+        assert X[:, 0].max() < 10
+        assert X[:, 1].max() < 7
+
+    def test_forecasting_task_is_ordered(self):
+        task = synth.make_timeseries_forecasting(random_state=0)
+        assert task.ordered is True
+        assert task.problem_type == "timeseries_forecasting"
+
+    def test_multi_table_tasks_carry_entitysets(self):
+        for generator in (synth.make_multi_table_classification,
+                          synth.make_multi_table_regression):
+            task = generator(random_state=0)
+            assert isinstance(task.context["entityset"], EntitySet)
+            assert "entityset" in task.static_keys
+
+    def test_timeseries_classification_shapes(self):
+        task = synth.make_timeseries_classification(n_samples=50, series_length=20, random_state=0)
+        assert task.context["X"].shape == (50, 20)
+
+    def test_text_tasks_produce_strings(self):
+        task = synth.make_text_classification(random_state=0)
+        assert isinstance(task.context["X"][0], str)
+        regression = synth.make_text_regression(random_state=0)
+        assert regression.metric == "r2"
+
+    def test_image_tasks_are_3d(self):
+        task = synth.make_image_classification(n_samples=20, image_size=8, random_state=0)
+        assert task.context["X"].shape == (20, 8, 8)
+
+    def test_graph_tasks_have_static_graph(self):
+        for generator in (synth.make_community_detection, synth.make_vertex_nomination,
+                          synth.make_link_prediction, synth.make_graph_matching):
+            task = generator(random_state=0)
+            assert "graph" in task.static_keys
+            assert task.data_modality == "graph"
+
+    def test_link_prediction_balanced_labels(self):
+        task = synth.make_link_prediction(random_state=0)
+        y = task.context["y"]
+        assert 0.3 < y.mean() < 0.7
+
+    def test_community_detection_uses_ari(self):
+        task = synth.make_community_detection(random_state=0)
+        assert task.metric == "adjusted_rand"
+
+    def test_generators_reproducible(self):
+        a = synth.make_single_table_classification(random_state=5)
+        b = synth.make_single_table_classification(random_state=5)
+        assert np.allclose(a.context["X"], b.context["X"])
+
+    def test_anomaly_signal_contains_injected_intervals(self):
+        signal, anomalies = synth.make_anomaly_signal(length=400, n_anomalies=2, random_state=0)
+        assert signal.shape == (400, 2)
+        assert len(anomalies) == 2
+        for start, end in anomalies:
+            assert 0 <= start <= end < 400
+
+
+class TestSuite:
+    def test_table_ii_totals(self):
+        assert sum(TABLE_II_COUNTS.values()) == 456
+        assert len(TABLE_II_COUNTS) == 15
+
+    def test_scaled_counts_cover_every_type(self):
+        counts = scaled_counts(30)
+        assert set(counts) == set(TABLE_II_COUNTS)
+        assert all(count >= 1 for count in counts.values())
+
+    def test_scaled_counts_proportional(self):
+        counts = scaled_counts(60)
+        most_common = max(counts, key=counts.get)
+        assert most_common == TaskType("single_table", "classification")
+
+    def test_scaled_counts_minimum_total(self):
+        with pytest.raises(ValueError):
+            scaled_counts(5)
+
+    def test_build_suite_covers_all_task_types(self):
+        suite = build_task_suite(total_tasks=20, random_state=0)
+        assert set(suite.counts_by_task_type()) == set(TASK_TYPES)
+
+    def test_build_suite_with_explicit_counts(self):
+        counts = {TaskType("single_table", "classification"): 3}
+        suite = build_task_suite(counts=counts, random_state=0)
+        assert len(suite) == 3
+
+    def test_suite_task_names_unique(self):
+        suite = build_task_suite(total_tasks=20, random_state=0)
+        names = [task.name for task in suite]
+        assert len(names) == len(set(names))
+
+    def test_suite_filter(self):
+        suite = build_task_suite(total_tasks=20, random_state=0)
+        graph_only = suite.filter(data_modality="graph")
+        assert all(task.data_modality == "graph" for task in graph_only)
+
+    def test_suite_get_by_name(self):
+        suite = build_task_suite(total_tasks=20, random_state=0)
+        name = suite[0].name
+        assert suite.get(name) is suite[0]
+        with pytest.raises(KeyError):
+            suite.get("missing-task")
+
+    def test_suite_reproducible(self):
+        a = build_task_suite(total_tasks=16, random_state=3)
+        b = build_task_suite(total_tasks=16, random_state=3)
+        assert [t.name for t in a] == [t.name for t in b]
+
+
+class TestTaskTypes:
+    def test_fifteen_task_types(self):
+        assert len(TASK_TYPES) == 15
+
+    def test_default_metric_known_for_every_problem_type(self):
+        for task_type in TASK_TYPES:
+            assert isinstance(default_metric(task_type.problem_type), str)
+
+    def test_default_metric_unknown_problem(self):
+        with pytest.raises(ValueError):
+            default_metric("speech_transcription")

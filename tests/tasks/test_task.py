@@ -1,0 +1,131 @@
+"""Tests for the MLTask abstraction, splitting and scoring."""
+
+import numpy as np
+import pytest
+
+from repro.tasks.task import MLTask, split_task, task_cv_splits
+from repro.tasks.types import TaskType
+
+
+def _simple_task(n=40, ordered=False, metric=None):
+    rng = np.random.RandomState(0)
+    X = rng.normal(size=(n, 3))
+    y = rng.randint(0, 2, size=n)
+    return MLTask(
+        name="toy",
+        data_modality="single_table",
+        problem_type="classification",
+        context={"X": X, "y": y},
+        metric=metric,
+        ordered=ordered,
+    )
+
+
+class TestMLTask:
+    def test_requires_target(self):
+        with pytest.raises(ValueError, match="'y'"):
+            MLTask("t", "single_table", "classification", {"X": np.ones((3, 2))})
+
+    def test_task_type_property(self):
+        task = _simple_task()
+        assert task.task_type == TaskType("single_table", "classification")
+
+    def test_default_metric_from_problem_type(self):
+        assert _simple_task().metric == "f1_macro"
+
+    def test_explicit_metric_respected(self):
+        assert _simple_task(metric="accuracy").metric == "accuracy"
+
+    def test_sample_alignment_validated(self):
+        with pytest.raises(ValueError, match="static_keys"):
+            MLTask("t", "single_table", "classification",
+                   {"X": np.ones((5, 2)), "y": np.zeros(5), "extra": np.ones(3)})
+
+    def test_static_keys_skip_alignment_check(self):
+        task = MLTask("t", "graph", "link_prediction",
+                      {"X": np.ones((5, 2)), "y": np.zeros(5), "graph": object()},
+                      static_keys={"graph"})
+        assert task.n_samples == 5
+
+    def test_subset_restricts_sample_keys_only(self):
+        task = MLTask("t", "graph", "link_prediction",
+                      {"X": np.arange(10).reshape(5, 2), "y": np.arange(5), "graph": "G"},
+                      static_keys={"graph"})
+        subset = task.subset([0, 2])
+        assert subset.n_samples == 2
+        assert subset.context["graph"] == "G"
+        assert subset.context["y"].tolist() == [0, 2]
+
+    def test_pipeline_data_excludes_target_when_asked(self):
+        task = _simple_task()
+        assert "y" in task.pipeline_data()
+        assert "y" not in task.pipeline_data(include_target=False)
+
+    def test_score_uses_configured_metric(self):
+        task = _simple_task(metric="accuracy")
+        y = task.context["y"]
+        assert task.score(y, y) == 1.0
+
+    def test_normalized_score_flips_losses(self):
+        rng = np.random.RandomState(0)
+        task = MLTask("t", "single_table", "regression",
+                      {"X": rng.normal(size=(10, 2)), "y": rng.normal(size=10)},
+                      metric="mse")
+        y = task.context["y"]
+        assert task.normalized_score(y, y) == 0.0
+        assert task.normalized_score(y, y + 1.0) < 0.0
+
+    def test_higher_is_better_flag(self):
+        assert _simple_task().higher_is_better is True
+
+
+class TestSplitTask:
+    def test_split_sizes(self):
+        train, test = split_task(_simple_task(40), test_size=0.25, random_state=0)
+        assert train.n_samples == 30
+        assert test.n_samples == 10
+
+    def test_ordered_split_keeps_temporal_order(self):
+        task = _simple_task(20, ordered=True)
+        task.context["y"] = np.arange(20)
+        train, test = split_task(task, test_size=0.25)
+        assert train.context["y"].max() < test.context["y"].min()
+
+    def test_unordered_split_is_random_but_disjoint(self):
+        task = _simple_task(30)
+        task.context["y"] = np.arange(30)
+        train, test = split_task(task, test_size=0.3, random_state=1)
+        assert set(train.context["y"]) & set(test.context["y"]) == set()
+        assert len(set(train.context["y"]) | set(test.context["y"])) == 30
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            split_task(_simple_task(10), test_size=10)
+
+
+class TestTaskCvSplits:
+    def test_number_of_splits(self):
+        splits = task_cv_splits(_simple_task(30), n_splits=3, random_state=0)
+        assert len(splits) == 3
+
+    def test_folds_are_disjoint(self):
+        task = _simple_task(30)
+        task.context["y"] = np.arange(30)
+        splits = task_cv_splits(task, n_splits=3, random_state=0)
+        for train, val in splits:
+            assert set(train.context["y"]) & set(val.context["y"]) == set()
+
+    def test_ordered_splits_use_expanding_window(self):
+        task = _simple_task(40, ordered=True)
+        task.context["y"] = np.arange(40)
+        splits = task_cv_splits(task, n_splits=3)
+        for train, val in splits:
+            assert train.context["y"].max() < val.context["y"].min()
+
+    def test_small_task_reduces_n_splits(self):
+        splits = task_cv_splits(_simple_task(5), n_splits=5, random_state=0)
+        assert len(splits) >= 2
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            task_cv_splits(_simple_task(20), n_splits=1)

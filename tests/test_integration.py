@@ -1,0 +1,126 @@
+"""End-to-end integration tests: catalog templates on every task type, ORION, use cases."""
+
+import numpy as np
+import pytest
+
+from repro import MLPipeline
+from repro.automl import AutoBazaarSearch, get_templates
+from repro.explorer import PipelineStore, improvement_sigmas_per_task, summarize_improvements
+from repro.learners.metrics import anomaly_f1_score
+from repro.tasks import TASK_TYPES, build_task_suite, synth
+from repro.tasks.task import split_task
+
+
+GENERATORS = {
+    ("graph", "community_detection"): synth.make_community_detection,
+    ("graph", "graph_matching"): synth.make_graph_matching,
+    ("graph", "link_prediction"): synth.make_link_prediction,
+    ("graph", "vertex_nomination"): synth.make_vertex_nomination,
+    ("image", "classification"): synth.make_image_classification,
+    ("image", "regression"): synth.make_image_regression,
+    ("multi_table", "classification"): synth.make_multi_table_classification,
+    ("multi_table", "regression"): synth.make_multi_table_regression,
+    ("single_table", "classification"): synth.make_single_table_classification,
+    ("single_table", "collaborative_filtering"): synth.make_collaborative_filtering,
+    ("single_table", "regression"): synth.make_single_table_regression,
+    ("single_table", "timeseries_forecasting"): synth.make_timeseries_forecasting,
+    ("text", "classification"): synth.make_text_classification,
+    ("text", "regression"): synth.make_text_regression,
+    ("timeseries", "classification"): synth.make_timeseries_classification,
+}
+
+
+class TestDefaultTemplatesSolveEveryTaskType:
+    """The core claim of the paper: one framework covers all 15 task types."""
+
+    @pytest.mark.parametrize("task_type", TASK_TYPES,
+                             ids=["{}/{}".format(*tt) for tt in TASK_TYPES])
+    def test_default_template_fits_and_predicts(self, task_type):
+        task = GENERATORS[tuple(task_type)](random_state=3)
+        train, test = split_task(task, test_size=0.3, random_state=0)
+        template = get_templates(task.data_modality, task.problem_type)[0]
+        pipeline = template.build_pipeline()
+        pipeline.fit(**train.pipeline_data())
+        predictions = pipeline.predict(**test.pipeline_data(include_target=False))
+        assert len(predictions) == test.n_samples
+        score = test.score(test.context["y"], predictions)
+        assert np.isfinite(score)
+
+    @pytest.mark.parametrize("task_type", [
+        ("single_table", "classification"),
+        ("single_table", "regression"),
+        ("text", "classification"),
+        ("graph", "link_prediction"),
+    ], ids=lambda tt: "{}/{}".format(*tt))
+    def test_default_template_beats_chance_on_learnable_tasks(self, task_type):
+        task = GENERATORS[tuple(task_type)](random_state=7)
+        train, test = split_task(task, test_size=0.3, random_state=0)
+        template = get_templates(*task_type)[0]
+        pipeline = template.build_pipeline()
+        pipeline.fit(**train.pipeline_data())
+        predictions = pipeline.predict(**test.pipeline_data(include_target=False))
+        score = test.normalized_score(test.context["y"], predictions)
+        assert score > 0.3
+
+
+class TestOrionUseCase:
+    """Paper Section I-B / V-A: anomaly detection on satellite telemetry."""
+
+    def test_orion_pipeline_detects_injected_anomalies(self):
+        signal, true_anomalies = synth.make_anomaly_signal(
+            length=700, n_anomalies=2, anomaly_magnitude=3.5, random_state=3
+        )
+        pipeline = MLPipeline([
+            "mlprimitives.custom.timeseries_preprocessing.time_segments_average",
+            "sklearn.impute.SimpleImputer",
+            "sklearn.preprocessing.MinMaxScaler",
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences",
+            "keras.Sequential.LSTMTimeSeriesRegressor",
+            "mlprimitives.custom.timeseries_anomalies.regression_errors",
+            "mlprimitives.custom.timeseries_anomalies.find_anomalies",
+        ], init_params={
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences": {
+                "window_size": 40},
+            "keras.Sequential.LSTMTimeSeriesRegressor": {"epochs": 20, "random_state": 0},
+        })
+        pipeline.fit(X=signal)
+        detections = [(start, end) for start, end, _ in pipeline.predict(X=signal)]
+        score = anomaly_f1_score(true_anomalies, detections)
+        assert score > 0.4
+
+    def test_orion_pipeline_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "orion.json"
+        pipeline = MLPipeline([
+            "mlprimitives.custom.timeseries_preprocessing.time_segments_average",
+            "sklearn.impute.SimpleImputer",
+            "sklearn.preprocessing.MinMaxScaler",
+            "mlprimitives.custom.timeseries_preprocessing.rolling_window_sequences",
+            "keras.Sequential.LSTMTimeSeriesRegressor",
+            "mlprimitives.custom.timeseries_anomalies.regression_errors",
+            "mlprimitives.custom.timeseries_anomalies.find_anomalies",
+        ])
+        pipeline.save(path)
+        loaded = MLPipeline.load(path)
+        assert loaded.primitives == pipeline.primitives
+
+
+class TestMiniSuiteSearch:
+    """A miniature version of the paper's Section VI-A evaluation."""
+
+    def test_suite_search_improves_over_defaults(self):
+        suite = build_task_suite(counts={
+            tt: 1 for tt in [
+                ("single_table", "classification"),
+                ("single_table", "regression"),
+                ("graph", "link_prediction"),
+            ]
+        }, random_state=0)
+        store = PipelineStore()
+        for task in suite:
+            searcher = AutoBazaarSearch(n_splits=2, random_state=0, store=store)
+            result = searcher.search(task, budget=6)
+            assert result.best_score is not None
+        improvements = improvement_sigmas_per_task(store)
+        summary = summarize_improvements(improvements)
+        assert summary["n_tasks"] == 3
+        assert summary["mean_sigmas"] >= 0.0

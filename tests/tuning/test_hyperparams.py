@@ -1,0 +1,176 @@
+"""Tests for hyperparameter types and the joint Tunable space."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotations import HyperparamSpec
+from repro.tuning.hyperparams import (
+    BooleanHyperparam,
+    CategoricalHyperparam,
+    FloatHyperparam,
+    IntHyperparam,
+    Tunable,
+    hyperparam_from_spec,
+)
+
+
+class TestIntHyperparam:
+    def test_sample_within_range(self, rng):
+        hp = IntHyperparam("n", 2, 9)
+        samples = [hp.sample(rng) for _ in range(200)]
+        assert min(samples) >= 2
+        assert max(samples) <= 9
+
+    def test_unit_roundtrip(self):
+        hp = IntHyperparam("n", 0, 10)
+        for value in (0, 3, 10):
+            assert hp.from_unit(hp.to_unit(value)) == value
+
+    def test_from_unit_clips(self):
+        hp = IntHyperparam("n", 1, 5)
+        assert hp.from_unit(-0.5) == 1
+        assert hp.from_unit(2.0) == 5
+
+    def test_degenerate_range(self):
+        hp = IntHyperparam("n", 3, 3)
+        assert hp.to_unit(3) == 0.0
+        assert hp.from_unit(0.7) == 3
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            IntHyperparam("n", 5, 1)
+
+
+class TestFloatHyperparam:
+    def test_sample_within_range(self, rng):
+        hp = FloatHyperparam("alpha", 0.1, 0.9)
+        samples = [hp.sample(rng) for _ in range(100)]
+        assert min(samples) >= 0.1
+        assert max(samples) <= 0.9
+
+    def test_unit_roundtrip(self):
+        hp = FloatHyperparam("alpha", -2.0, 2.0)
+        for value in (-2.0, 0.0, 1.5):
+            assert hp.from_unit(hp.to_unit(value)) == pytest.approx(value)
+
+    def test_default_falls_back_to_low(self):
+        assert FloatHyperparam("alpha", 0.5, 1.0).default == 0.5
+
+
+class TestBooleanHyperparam:
+    def test_roundtrip(self):
+        hp = BooleanHyperparam("flag")
+        assert hp.from_unit(hp.to_unit(True)) is True
+        assert hp.from_unit(hp.to_unit(False)) is False
+
+    def test_sample_produces_both_values(self, rng):
+        hp = BooleanHyperparam("flag")
+        assert {hp.sample(rng) for _ in range(50)} == {True, False}
+
+
+class TestCategoricalHyperparam:
+    def test_roundtrip_all_values(self):
+        hp = CategoricalHyperparam("kind", ["a", "b", "c"])
+        for value in ["a", "b", "c"]:
+            assert hp.from_unit(hp.to_unit(value)) == value
+
+    def test_tuple_and_none_values(self):
+        hp = CategoricalHyperparam("layers", [(32,), (64, 32), None])
+        assert hp.from_unit(hp.to_unit(None)) is None
+        assert hp.from_unit(hp.to_unit((64, 32))) == (64, 32)
+
+    def test_unknown_value_raises(self):
+        hp = CategoricalHyperparam("kind", ["a"])
+        with pytest.raises(ValueError):
+            hp.to_unit("z")
+
+    def test_single_value_category(self):
+        hp = CategoricalHyperparam("kind", ["only"])
+        assert hp.to_unit("only") == 0.0
+        assert hp.from_unit(0.9) == "only"
+
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            CategoricalHyperparam("kind", [])
+
+
+class TestHyperparamFromSpec:
+    def test_int_spec(self):
+        hp = hyperparam_from_spec("n", HyperparamSpec("n", "int", 3, range=(1, 10)))
+        assert isinstance(hp, IntHyperparam)
+        assert hp.default == 3
+
+    def test_float_spec(self):
+        hp = hyperparam_from_spec("a", HyperparamSpec("a", "float", 0.5, range=(0.0, 1.0)))
+        assert isinstance(hp, FloatHyperparam)
+
+    def test_bool_spec(self):
+        hp = hyperparam_from_spec("f", HyperparamSpec("f", "bool", True))
+        assert isinstance(hp, BooleanHyperparam)
+
+    def test_categorical_spec(self):
+        hp = hyperparam_from_spec("k", HyperparamSpec("k", "categorical", "a", values=["a", "b"]))
+        assert isinstance(hp, CategoricalHyperparam)
+
+
+class TestTunable:
+    def _space(self):
+        return Tunable({
+            ("step", "n"): IntHyperparam("n", 1, 20, default=5),
+            ("step", "rate"): FloatHyperparam("rate", 0.0, 1.0, default=0.3),
+            ("step", "kind"): CategoricalHyperparam("kind", ["a", "b"], default="a"),
+        })
+
+    def test_dimensions(self):
+        assert self._space().dimensions == 3
+
+    def test_defaults(self):
+        defaults = self._space().defaults()
+        assert defaults[("step", "n")] == 5
+        assert defaults[("step", "kind")] == "a"
+
+    def test_sample_contains_every_key(self, rng):
+        sample = self._space().sample(rng)
+        assert set(sample) == set(self._space().keys)
+
+    def test_sample_many_length(self, rng):
+        assert len(self._space().sample_many(7, rng)) == 7
+
+    def test_vector_roundtrip(self, rng):
+        space = self._space()
+        params = space.sample(rng)
+        recovered = space.from_vector(space.to_vector(params))
+        assert recovered[("step", "kind")] == params[("step", "kind")]
+        assert recovered[("step", "n")] == params[("step", "n")]
+
+    def test_vector_within_unit_cube(self, rng):
+        space = self._space()
+        for _ in range(20):
+            vector = space.to_vector(space.sample(rng))
+            assert np.all(vector >= 0.0)
+            assert np.all(vector <= 1.0)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValueError):
+            self._space().to_vector({("step", "n"): 3})
+
+    def test_wrong_vector_size_raises(self):
+        with pytest.raises(ValueError):
+            self._space().from_vector([0.5])
+
+    def test_from_specs_filters_non_tunable(self):
+        specs = {
+            ("s", "a"): HyperparamSpec("a", "int", 1, range=(0, 5)),
+            ("s", "b"): HyperparamSpec("b", "int", 1, range=(0, 5), tunable=False),
+        }
+        tunable = Tunable.from_specs(specs)
+        assert tunable.keys == [("s", "a")]
+
+    def test_from_specs_requires_something_tunable(self):
+        specs = {("s", "b"): HyperparamSpec("b", "int", 1, range=(0, 5), tunable=False)}
+        with pytest.raises(ValueError):
+            Tunable.from_specs(specs)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            Tunable({})

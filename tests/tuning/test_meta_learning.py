@@ -1,0 +1,129 @@
+"""Tests for the meta-learning (warm-start) tuner extension."""
+
+import numpy as np
+import pytest
+
+from repro.explorer import PipelineStore
+from repro.tuning.hyperparams import FloatHyperparam, IntHyperparam, Tunable
+from repro.tuning.meta import WarmStartGPTuner, harvest_history, _parse_key
+
+
+def _space():
+    return Tunable({
+        ("m", "x"): FloatHyperparam("x", 0.0, 1.0, default=0.5),
+        ("m", "n"): IntHyperparam("n", 1, 10, default=5),
+    })
+
+
+def _objective(params):
+    x = params[("m", "x")]
+    n = params[("m", "n")] / 10.0
+    return float(-((x - 0.8) ** 2) - (n - 0.2) ** 2)
+
+
+def _history(n=20, seed=0):
+    rng = np.random.RandomState(seed)
+    history = []
+    for _ in range(n):
+        params = {("m", "x"): float(rng.uniform()), ("m", "n"): int(rng.randint(1, 11))}
+        history.append((params, _objective(params)))
+    return history
+
+
+class TestWarmStartGPTuner:
+    def test_first_proposal_exploits_best_prior(self):
+        history = _history()
+        best_prior = max(history, key=lambda pair: pair[1])[0]
+        tuner = WarmStartGPTuner(_space(), history=history, random_state=0)
+        assert tuner.propose() == best_prior
+
+    def test_warm_observations_counted(self):
+        tuner = WarmStartGPTuner(_space(), history=_history(12), random_state=0)
+        assert tuner.n_warm_observations == 12
+
+    def test_incomplete_history_entries_ignored(self):
+        history = [({("m", "x"): 0.5}, 0.1), ({("m", "x"): 0.2, ("m", "n"): 3}, 0.2)]
+        tuner = WarmStartGPTuner(_space(), history=history)
+        assert tuner.n_warm_observations == 1
+
+    def test_none_scores_ignored(self):
+        history = [({("m", "x"): 0.5, ("m", "n"): 2}, None)]
+        tuner = WarmStartGPTuner(_space(), history=history)
+        assert tuner.n_warm_observations == 0
+
+    def test_behaves_like_gp_tuner_without_history(self):
+        tuner = WarmStartGPTuner(_space(), history=[], random_state=0)
+        for _ in range(5):
+            params = tuner.propose()
+            tuner.record(params, _objective(params))
+        assert tuner.best_score is not None
+
+    def test_warm_start_speeds_up_early_search(self):
+        def best_after(tuner, iterations=4):
+            best = -np.inf
+            for _ in range(iterations):
+                params = tuner.propose()
+                score = _objective(params)
+                tuner.record(params, score)
+                best = max(best, score)
+            return best
+
+        history = _history(30, seed=1)
+        warm_bests = [
+            best_after(WarmStartGPTuner(_space(), history=history, random_state=seed))
+            for seed in range(4)
+        ]
+        from repro.tuning.tuners import UniformTuner
+
+        cold_bests = [
+            best_after(UniformTuner(_space(), random_state=seed)) for seed in range(4)
+        ]
+        assert np.mean(warm_bests) >= np.mean(cold_bests)
+
+    def test_proposals_stay_in_bounds(self):
+        tuner = WarmStartGPTuner(_space(), history=_history(), random_state=0)
+        for _ in range(8):
+            params = tuner.propose()
+            assert 0.0 <= params[("m", "x")] <= 1.0
+            assert 1 <= params[("m", "n")] <= 10
+            tuner.record(params, _objective(params))
+
+
+class TestHarvestHistory:
+    def _store(self):
+        store = PipelineStore()
+        for task, score, x in [("t1", 0.9, 0.8), ("t2", 0.5, 0.2), ("t3", None, 0.4)]:
+            store.add({
+                "task_name": task,
+                "template_name": "clf_xgb",
+                "score": score,
+                "hyperparameters": {str(("m", "x")): x, str(("m", "n")): 3},
+            })
+        store.add({
+            "task_name": "t1", "template_name": "other_template", "score": 0.99,
+            "hyperparameters": {str(("m", "x")): 0.1},
+        })
+        return store
+
+    def test_only_matching_template_and_scored_documents(self):
+        history = harvest_history(self._store(), "clf_xgb")
+        assert len(history) == 2
+
+    def test_exclude_task(self):
+        history = harvest_history(self._store(), "clf_xgb", exclude_task="t1")
+        assert len(history) == 1
+
+    def test_sorted_by_score_and_limited(self):
+        history = harvest_history(self._store(), "clf_xgb", limit=1)
+        assert len(history) == 1
+        assert history[0][1] == 0.9
+
+    def test_keys_parsed_back_to_tuples(self):
+        history = harvest_history(self._store(), "clf_xgb")
+        params, _ = history[0]
+        assert ("m", "x") in params
+
+    def test_parse_key_passthrough(self):
+        assert _parse_key(("a", "b")) == ("a", "b")
+        assert _parse_key("plain") == "plain"
+        assert _parse_key("('step#0', 'alpha')") == ("step#0", "alpha")

@@ -1,0 +1,67 @@
+"""Tests for the additional selectors (best-K velocity, Thompson sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.selectors import (
+    BestKVelocitySelector,
+    ThompsonSamplingSelector,
+    get_selector,
+)
+
+
+class TestBestKVelocitySelector:
+    def test_rewards_measure_improvement_speed(self):
+        selector = BestKVelocitySelector(["a"], k=3)
+        improving = selector.compute_rewards([0.1, 0.2, 0.4, 0.8])
+        flat = selector.compute_rewards([0.8, 0.8, 0.8, 0.8])
+        assert improving[0] > flat[0]
+
+    def test_single_score_uses_value_itself(self):
+        selector = BestKVelocitySelector(["a"], k=2)
+        assert selector.compute_rewards([0.7]) == [0.7]
+
+    def test_prefers_still_improving_template(self):
+        selector = BestKVelocitySelector(["improving", "plateaued"], k=2, random_state=0)
+        scores = {
+            "improving": [0.3, 0.5, 0.7],
+            "plateaued": [0.71, 0.72, 0.72],
+        }
+        assert selector.select(scores) == "improving"
+
+    def test_registered_by_name(self):
+        assert get_selector("best_k_velocity") is BestKVelocitySelector
+
+
+class TestThompsonSamplingSelector:
+    def test_unseen_candidates_first(self):
+        selector = ThompsonSamplingSelector(["a", "b"], random_state=0)
+        assert selector.select({"a": [0.9]}) == "b"
+
+    def test_clearly_better_arm_dominates(self):
+        selector = ThompsonSamplingSelector(["good", "bad"], random_state=0)
+        scores = {"good": [0.9, 0.92, 0.91], "bad": [0.1, 0.12, 0.09]}
+        picks = [selector.select(scores) for _ in range(20)]
+        assert picks.count("good") >= 18
+
+    def test_similar_arms_both_get_picked(self):
+        selector = ThompsonSamplingSelector(["a", "b"], random_state=0)
+        scores = {"a": [0.5, 0.52], "b": [0.51, 0.5]}
+        picks = {selector.select(scores) for _ in range(40)}
+        assert picks == {"a", "b"}
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            ThompsonSamplingSelector(["a"], prior_std=0.0)
+
+    def test_registered_by_name(self):
+        assert get_selector("thompson") is ThompsonSamplingSelector
+
+    def test_accumulates_more_pulls_on_better_arm(self, rng):
+        selector = ThompsonSamplingSelector(["good", "bad"], random_state=1)
+        scores = {"good": [], "bad": []}
+        true_means = {"good": 0.8, "bad": 0.5}
+        for _ in range(60):
+            arm = selector.select(scores)
+            scores[arm].append(float(np.clip(rng.normal(true_means[arm], 0.05), 0, 1)))
+        assert len(scores["good"]) > len(scores["bad"])

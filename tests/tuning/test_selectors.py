@@ -1,0 +1,95 @@
+"""Tests for the compute_rewards/select selectors (multi-armed bandits)."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.selectors import (
+    BestKRewardSelector,
+    UCB1Selector,
+    UniformSelector,
+    get_selector,
+)
+
+
+class TestUniformSelector:
+    def test_unseen_candidates_selected_first(self):
+        selector = UniformSelector(["a", "b"], random_state=0)
+        assert selector.select({"a": [0.5]}) == "b"
+
+    def test_selects_among_candidates(self):
+        selector = UniformSelector(["a", "b", "c"], random_state=0)
+        scores = {"a": [0.1], "b": [0.2], "c": [0.3]}
+        picks = {selector.select(scores) for _ in range(30)}
+        assert picks <= {"a", "b", "c"}
+        assert len(picks) > 1
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            UniformSelector([])
+
+
+class TestUCB1Selector:
+    def test_rewards_are_mean_scores(self):
+        selector = UCB1Selector(["a"])
+        rewards = selector.compute_rewards([0.0, 1.0])
+        assert rewards == [0.5, 0.5]
+
+    def test_exploits_clearly_better_arm(self):
+        selector = UCB1Selector(["good", "bad"], random_state=0)
+        scores = {"good": [0.9] * 10, "bad": [0.1] * 10}
+        assert selector.select(scores) == "good"
+
+    def test_explores_rarely_tried_arm(self):
+        selector = UCB1Selector(["often", "rare"], random_state=0)
+        # "often" has slightly better mean but has been tried many times
+        scores = {"often": [0.55] * 100, "rare": [0.50]}
+        assert selector.select(scores) == "rare"
+
+    def test_unseen_arm_goes_first(self):
+        selector = UCB1Selector(["a", "b", "c"], random_state=0)
+        assert selector.select({"a": [0.9], "b": [0.8]}) == "c"
+
+    def test_single_candidate_always_selected(self):
+        selector = UCB1Selector(["only"])
+        assert selector.select({"only": [0.5, 0.6]}) == "only"
+
+
+class TestBestKRewardSelector:
+    def test_rewards_use_top_k(self):
+        selector = BestKRewardSelector(["a"], k=2)
+        rewards = selector.compute_rewards([0.0, 0.2, 0.9, 1.0])
+        assert rewards[0] == pytest.approx(0.95)
+
+    def test_prefers_arm_with_best_peak_performance(self):
+        selector = BestKRewardSelector(["steady", "peaky"], k=1, random_state=0)
+        scores = {
+            "steady": [0.6] * 10,
+            "peaky": [0.2] * 9 + [0.95],
+        }
+        assert selector.select(scores) == "peaky"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BestKRewardSelector(["a"], k=0)
+
+
+class TestSelectorRegistry:
+    def test_lookup(self):
+        assert get_selector("ucb1") is UCB1Selector
+        assert get_selector("uniform") is UniformSelector
+        assert get_selector("best_k") is BestKRewardSelector
+
+    def test_unknown_selector(self):
+        with pytest.raises(ValueError):
+            get_selector("round_robin")
+
+
+class TestBanditBehaviour:
+    def test_ucb1_accumulates_more_pulls_on_better_arm(self, rng):
+        selector = UCB1Selector(["good", "bad"], random_state=0)
+        scores = {"good": [], "bad": []}
+        true_means = {"good": 0.8, "bad": 0.4}
+        for _ in range(60):
+            arm = selector.select(scores)
+            scores[arm].append(float(np.clip(rng.normal(true_means[arm], 0.1), 0, 1)))
+        assert len(scores["good"]) > len(scores["bad"])

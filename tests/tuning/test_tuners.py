@@ -1,0 +1,136 @@
+"""Tests for the record/propose tuners."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.hyperparams import FloatHyperparam, IntHyperparam, Tunable
+from repro.tuning.tuners import (
+    GCPEiTuner,
+    GPEiTuner,
+    GPMatern52EiTuner,
+    GPTuner,
+    UniformTuner,
+    get_tuner,
+)
+
+
+def _space():
+    return Tunable({
+        ("m", "x"): FloatHyperparam("x", 0.0, 1.0, default=0.5),
+        ("m", "n"): IntHyperparam("n", 1, 10, default=5),
+    })
+
+
+def _branin_like(params):
+    """A smooth 1-peak objective on the unit square (higher is better)."""
+    x = params[("m", "x")]
+    n = params[("m", "n")] / 10.0
+    return float(-((x - 0.7) ** 2) - (n - 0.3) ** 2)
+
+
+class TestBaseTunerBehaviour:
+    def test_record_and_best(self):
+        tuner = UniformTuner(_space(), random_state=0)
+        tuner.record({("m", "x"): 0.2, ("m", "n"): 3}, 0.5)
+        tuner.record({("m", "x"): 0.8, ("m", "n"): 4}, 0.9)
+        assert tuner.best_score == 0.9
+        assert tuner.best_params[("m", "x")] == 0.8
+
+    def test_empty_tuner_has_no_best(self):
+        tuner = UniformTuner(_space())
+        assert tuner.best_score is None
+        assert tuner.best_params is None
+
+    def test_non_finite_score_rejected(self):
+        tuner = UniformTuner(_space())
+        with pytest.raises(ValueError):
+            tuner.record({("m", "x"): 0.5, ("m", "n"): 5}, float("nan"))
+
+    def test_accepts_spec_dict_directly(self):
+        from repro.core.annotations import HyperparamSpec
+
+        tuner = UniformTuner({("m", "x"): HyperparamSpec("x", "float", 0.5, range=(0, 1))})
+        assert tuner.tunable.dimensions == 1
+
+    def test_propose_is_abstract_on_base(self):
+        from repro.tuning.tuners import BaseTuner
+
+        with pytest.raises(NotImplementedError):
+            BaseTuner(_space()).propose()
+
+
+class TestUniformTuner:
+    def test_proposals_within_bounds(self):
+        tuner = UniformTuner(_space(), random_state=0)
+        for _ in range(30):
+            params = tuner.propose()
+            assert 0.0 <= params[("m", "x")] <= 1.0
+            assert 1 <= params[("m", "n")] <= 10
+
+    def test_reproducible_with_seed(self):
+        a = UniformTuner(_space(), random_state=7).propose()
+        b = UniformTuner(_space(), random_state=7).propose()
+        assert a == b
+
+
+class TestGPTuners:
+    @pytest.mark.parametrize("tuner_class", [GPEiTuner, GPMatern52EiTuner, GCPEiTuner])
+    def test_tuner_improves_over_iterations(self, tuner_class):
+        tuner = tuner_class(_space(), random_state=0)
+        scores = []
+        for _ in range(15):
+            params = tuner.propose()
+            score = _branin_like(params)
+            tuner.record(params, score)
+            scores.append(score)
+        # the best of the later proposals should beat the best of the first 3 (random) ones
+        assert max(scores[3:]) >= max(scores[:3])
+        assert tuner.best_score > -0.5
+
+    def test_gp_tuner_beats_random_on_average(self):
+        def run(tuner):
+            best = -np.inf
+            for _ in range(12):
+                params = tuner.propose()
+                score = _branin_like(params)
+                tuner.record(params, score)
+                best = max(best, score)
+            return best
+
+        gp_bests = [run(GPEiTuner(_space(), random_state=seed)) for seed in range(5)]
+        random_bests = [run(UniformTuner(_space(), random_state=seed)) for seed in range(5)]
+        assert np.mean(gp_bests) >= np.mean(random_bests) - 0.02
+
+    def test_random_until_min_trials(self):
+        tuner = GPEiTuner(_space(), min_trials=4, random_state=0)
+        for _ in range(3):
+            params = tuner.propose()
+            tuner.record(params, 0.1)
+        assert len(tuner.trials) == 3  # still below min_trials; proposals were random
+
+    def test_kernel_attribute_matches_variant(self):
+        assert GPEiTuner(_space()).kernel == "se"
+        assert GPMatern52EiTuner(_space()).kernel == "matern52"
+
+    def test_invalid_acquisition_rejected(self):
+        with pytest.raises(ValueError):
+            GPTuner(_space(), acquisition="magic")
+
+    def test_proposals_stay_in_bounds_after_model_kicks_in(self):
+        tuner = GPEiTuner(_space(), min_trials=2, n_candidates=30, random_state=0)
+        for _ in range(10):
+            params = tuner.propose()
+            assert 0.0 <= params[("m", "x")] <= 1.0
+            assert 1 <= params[("m", "n")] <= 10
+            tuner.record(params, _branin_like(params))
+
+
+class TestTunerRegistry:
+    def test_lookup_by_name(self):
+        assert get_tuner("gp_ei") is GPEiTuner
+        assert get_tuner("gp_matern52_ei") is GPMatern52EiTuner
+        assert get_tuner("uniform") is UniformTuner
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_tuner("simulated_annealing")
