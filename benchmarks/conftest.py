@@ -4,11 +4,29 @@ The expensive experiment (an AutoBazaar search over the task suite) is run
 once per session and shared by the Figure 6 and Section VI-A benchmarks.
 """
 
+import numpy as np
 import pytest
 
 from repro.automl import AutoBazaarSearch
 from repro.explorer import PipelineStore
 from repro.tasks import build_task_suite
+
+
+@pytest.fixture(autouse=True)
+def _pin_global_rng():
+    """Pin the process-global NumPy RNG for every benchmark test.
+
+    Catalog estimator defaults leave ``random_state=None``, so pipeline
+    fits consume the global RNG, which NumPy seeds from OS entropy at
+    import — paper-figure assertions that sit near a decision boundary
+    (e.g. the CS1 win rate) would otherwise flip run-to-run.  The state
+    is restored afterwards so the suite outside ``benchmarks/`` is
+    unaffected.
+    """
+    state = np.random.get_state()
+    np.random.seed(20200614)
+    yield
+    np.random.set_state(state)
 
 
 #: Size of the scaled-down task suite used by the experiments.
@@ -28,10 +46,36 @@ def task_suite():
 @pytest.fixture(scope="session")
 def suite_search(task_suite):
     """AutoBazaar search results over the whole suite (shared across benchmarks)."""
-    store = PipelineStore()
-    results = []
-    for task in task_suite:
-        searcher = AutoBazaarSearch(n_splits=2, random_state=0, store=store)
-        result = searcher.search(task, budget=SEARCH_BUDGET)
-        results.append(result)
+    # session fixtures are instantiated before the function-scoped autouse
+    # RNG pin below, so the expensive experiment needs its own seed; the
+    # global state is restored so nothing outside this fixture is coupled
+    # to it
+    state = np.random.get_state()
+    np.random.seed(20200614)
+    try:
+        store = PipelineStore()
+        results = []
+        for task in task_suite:
+            searcher = AutoBazaarSearch(n_splits=2, random_state=0, store=store)
+            result = searcher.search(task, budget=SEARCH_BUDGET)
+            results.append(result)
+    finally:
+        np.random.set_state(state)
     return {"store": store, "results": results}
+
+
+@pytest.fixture(scope="session")
+def backend_throughput():
+    """Collects ``{label: pipelines_per_second}`` from the backend benchmarks.
+
+    The summary printed at session teardown is the number future PRs track:
+    the serial-vs-process speedup of the execution-backend layer.
+    """
+    numbers = {}
+    yield numbers
+    if numbers:
+        serial = numbers.get("serial")
+        print("\n\n-- execution backend throughput (pipelines/sec) --")
+        for label, value in sorted(numbers.items()):
+            speedup = "  ({:.2f}x vs serial)".format(value / serial) if serial else ""
+            print("  {:22s} {:8.3f}{}".format(label, value, speedup))

@@ -70,6 +70,45 @@ def test_text_pipeline_fit_predict(benchmark):
     assert accuracy > 0.6
 
 
+BACKEND_CONFIGS = [
+    ("serial", "serial", None),
+    ("process-1", "process", 1),
+    ("process-2", "process", 2),
+    ("process-4", "process", 4),
+]
+
+
+@pytest.mark.parametrize("label,backend,workers", BACKEND_CONFIGS,
+                         ids=[config[0] for config in BACKEND_CONFIGS])
+def test_search_throughput_by_backend(benchmark, backend_throughput, label, backend, workers):
+    """Section IV-C — pipelines/sec of the search by execution backend.
+
+    The process backend dispatches cross-validation folds to a worker pool
+    (work-stealing over folds), so on multi-core hardware its throughput
+    should scale with the worker count; the printed summary is the number
+    future scaling PRs track.  Every configuration proposes batches of 4
+    (constant-liar), so up to 4 x n_splits folds are in flight at once and
+    the 4-worker pool is never starved by the proposal loop.
+    """
+    from repro.automl import AutoBazaarSearch
+    from repro.tasks import synth
+
+    task = synth.make_single_table_classification(n_samples=240, random_state=0)
+
+    def run_search():
+        searcher = AutoBazaarSearch(
+            n_splits=3, random_state=0, backend=backend, workers=workers,
+            n_pending=4,
+        )
+        return searcher.search(task, budget=6)
+
+    result = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    assert result.n_evaluated == 6
+    backend_throughput[label] = result.pipelines_per_second
+    print("\n{}: {:.3f} pipelines/sec over {} evaluations".format(
+        label, result.pipelines_per_second, result.n_evaluated))
+
+
 @pytest.mark.parametrize("n_steps", [2, 4, 8, 16])
 def test_graph_recovery_scales_with_pipeline_length(benchmark, n_steps):
     # alternate imputer/scaler steps to build progressively longer chains

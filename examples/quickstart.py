@@ -5,16 +5,31 @@ This walks through the core ML Bazaar workflow from the paper:
 1. browse the curated primitive catalog,
 2. compose a pipeline from primitive names alone (no glue code),
 3. fit it and predict,
-4. wrap it in a template and tune it with a Bayesian-optimization tuner.
+4. wrap it in a template and tune it with a Bayesian-optimization tuner,
+5. run a full AutoBazaar search on a parallel execution backend.
 
 Run with:  python examples/quickstart.py
+
+The same backend selection is available on the command line when solving
+an on-disk task folder::
+
+    python -m repro.automl path/to/task --backend process --workers 4
+
+``--backend serial`` (the default) reproduces the classic single-threaded
+loop record-for-record; ``thread`` and ``process`` dispatch the
+cross-validation folds of each candidate pipeline to a worker pool.
+Record-for-record reproducibility across backends additionally requires
+deterministic pipelines (estimator ``random_state`` seeded via template
+``init_params``).
 """
 
 import numpy as np
 
 from repro import MLPipeline, Template, get_default_registry
+from repro.automl import AutoBazaarSearch
 from repro.learners.metrics import f1_score
 from repro.learners.model_selection import train_test_split
+from repro.tasks import synth
 from repro.tuning import GPEiTuner
 
 
@@ -72,6 +87,22 @@ def main():
     print("Best hyperparameters:")
     for (step, name), value in sorted(best_params.items(), key=lambda kv: str(kv[0])):
         print("  {:55s} {} = {}".format(step, name, value))
+
+    # ------------------------------------------------------------------ backends
+    # A full AutoBazaar search on the thread backend: cross-validation folds
+    # are dispatched to a worker pool, and n_pending > 1 proposes a batch of
+    # candidates per round (constant-liar batching).  Swap backend="process"
+    # for true multi-core parallelism.
+    task = synth.make_single_table_classification(n_samples=200, random_state=0)
+    searcher = AutoBazaarSearch(
+        n_splits=2, random_state=0, backend="thread", workers=2, n_pending=2,
+    )
+    search_result = searcher.search(task, budget=6)
+    print("\nAutoBazaar search on the thread backend:")
+    print("  best template : {}".format(search_result.best_template))
+    print("  best cv score : {:.3f}".format(search_result.best_score))
+    print("  throughput    : {:.2f} pipelines/sec".format(
+        search_result.pipelines_per_second))
 
 
 if __name__ == "__main__":

@@ -5,6 +5,15 @@ AutoML primitives (tuners and selectors from :mod:`repro.tuning`) in the
 search-and-evaluation loop of paper Algorithm 2.
 """
 
+from repro.automl.backends import (
+    BACKENDS,
+    EvaluationCandidate,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
 from repro.automl.catalog import TemplateCatalog, default_template_catalog, get_templates
 from repro.automl.search import AutoBazaarSearch, EvaluationRecord, SearchResult, evaluate_pipeline
 from repro.automl.session import AutoBazaarSession, run_from_directory
@@ -19,4 +28,11 @@ __all__ = [
     "evaluate_pipeline",
     "AutoBazaarSession",
     "run_from_directory",
+    "BACKENDS",
+    "ExecutionBackend",
+    "EvaluationCandidate",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
 ]

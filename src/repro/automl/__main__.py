@@ -27,6 +27,16 @@ def build_parser():
     parser.add_argument("--splits", type=int, default=3,
                         help="cross-validation folds used to score candidates")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process"),
+                        help="execution backend evaluating the pipelines (default: serial); "
+                             "thread/process dispatch cross-validation folds to a worker pool")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for the thread/process backends "
+                             "(default: the CPU count)")
+    parser.add_argument("--pending", type=int, default=1,
+                        help="candidates in flight at once; values > 1 enable "
+                             "constant-liar batch proposals (default: 1)")
     parser.add_argument("--output", default=None,
                         help="optional path for the JSON dump of every scored pipeline")
     return parser
@@ -44,6 +54,9 @@ def main(argv=None):
             n_splits=arguments.splits,
             random_state=arguments.seed,
             output=arguments.output,
+            backend=arguments.backend,
+            workers=arguments.workers,
+            n_pending=arguments.pending,
         )
     except (FileNotFoundError, ValueError) as error:
         print("error: {}".format(error), file=sys.stderr)

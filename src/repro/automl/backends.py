@@ -1,0 +1,458 @@
+"""Pluggable pipeline-execution backends (paper Section IV-C).
+
+The paper describes AutoBazaar as a distributed system with "a pipeline
+execution engine and an AutoML coordinator" that scored 2.5 million
+pipelines on a cluster.  This module is the seam between the two: the
+coordinator (:class:`~repro.automl.search.AutoBazaarSearch`) decides *what*
+to evaluate and an :class:`ExecutionBackend` decides *where and how* it
+runs.
+
+Three backends are provided:
+
+``serial``
+    Evaluates each candidate synchronously in the calling process —
+    bit-identical to the historical single-threaded search loop.
+``thread``
+    Evaluates cross-validation folds on a :class:`ThreadPoolExecutor`.
+``process``
+    Evaluates cross-validation folds on a :class:`ProcessPoolExecutor`.
+
+The parallel backends dispatch individual cross-validation *folds*, not
+whole candidates, into one shared executor queue.  Pipeline costs are
+heavily skewed (a linear model fold finishes orders of magnitude before a
+gradient-boosting fold), so fixed per-candidate chunking would leave
+workers idle behind stragglers; with fold-level dispatch every idle worker
+steals the next fold regardless of which candidate it belongs to — the
+work-stealing answer to the skew problem in parallel query processing.
+
+All backends aggregate fold results in fold order, so a candidate's score
+(the mean over folds) and its error message (the first failing fold) are
+identical across backends.
+
+Known trade-off: fold-level dispatch ships each fold's train/val subset
+to the worker (``budget * n_splits`` transfers per search for the process
+backend).  ``concurrent.futures`` offers no worker-resident state, so
+caching the task on the workers needs worker affinity — that belongs to
+the future distributed-worker backend, where data locality is the point.
+For in-memory tasks at the scale of this reproduction the pickling cost
+is small next to a model fit.
+"""
+
+import queue
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.tasks.task import task_cv_splits
+
+
+def _format_error(failure):
+    """The one canonical error string for a failed evaluation.
+
+    Every backend must produce byte-identical error strings for the same
+    failure (the cross-backend record-equivalence contract), so all error
+    formatting funnels through here.
+    """
+    return "{}: {}".format(type(failure).__name__, failure)
+
+
+class EvaluationCandidate:
+    """One proposed pipeline configuration awaiting evaluation.
+
+    This is the unit of work submitted to an :class:`ExecutionBackend`:
+    a template plus a concrete hyperparameter configuration, the task to
+    cross-validate on, and the bookkeeping the coordinator needs to file
+    the result (proposal iteration, default flag).
+    """
+
+    def __init__(self, iteration, template, hyperparameters, task, n_splits=3,
+                 random_state=None, template_name=None, is_default=False):
+        self.iteration = iteration
+        self.template = template
+        self.hyperparameters = dict(hyperparameters)
+        self.task = task
+        self.n_splits = n_splits
+        self.random_state = random_state
+        self.template_name = template_name or template.name
+        self.is_default = is_default
+
+    def __repr__(self):
+        return "EvaluationCandidate(iteration={}, template={!r})".format(
+            self.iteration, self.template_name
+        )
+
+
+class EvaluationOutcome:
+    """The result of evaluating one candidate: scores or an error, plus timing."""
+
+    def __init__(self, score, raw_score, error, elapsed):
+        self.score = score
+        self.raw_score = raw_score
+        self.error = error
+        self.elapsed = elapsed
+
+    @property
+    def failed(self):
+        return self.error is not None
+
+    def __repr__(self):
+        return "EvaluationOutcome(score={}, error={!r})".format(self.score, self.error)
+
+
+def evaluate_fold(template, hyperparameters, train_task, val_task):
+    """Evaluate one cross-validation fold; the unit of work-stealing dispatch.
+
+    Top-level (picklable) so it can be shipped to worker processes.  The
+    result is a plain dict rather than a raised exception so that worker
+    failures survive the trip back through pickling.
+    """
+    from repro.automl import search
+
+    started = time.time()
+    try:
+        normalized, raw, _ = search.evaluate_pipeline(
+            template, hyperparameters, train_task, val_task
+        )
+        return {
+            "score": normalized,
+            "raw_score": raw,
+            "error": None,
+            "elapsed": time.time() - started,
+        }
+    except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
+        return {
+            "score": None,
+            "raw_score": None,
+            "error": _format_error(failure),
+            "elapsed": time.time() - started,
+        }
+
+
+def _aggregate_folds(fold_results):
+    """Combine per-fold payloads into one outcome, in fold order.
+
+    Matches the serial ``cross_validate_template`` semantics exactly: the
+    first failing fold (in fold order) determines the error, otherwise the
+    score is the mean over folds.  ``elapsed`` is the summed compute time
+    of the folds — the candidate's evaluation *cost*, comparable to the
+    serial backend's sequential measurement — not the wall-clock wait
+    since submission, which would include queue time behind other
+    candidates in the batch.
+    """
+    elapsed = float(sum(payload.get("elapsed") or 0.0 for payload in fold_results))
+    for payload in fold_results:
+        if payload.get("error"):
+            return EvaluationOutcome(None, None, payload["error"], elapsed)
+    score = float(np.mean([payload["score"] for payload in fold_results]))
+    raw_score = float(np.mean([payload["raw_score"] for payload in fold_results]))
+    return EvaluationOutcome(score, raw_score, None, elapsed)
+
+
+class CandidateFuture:
+    """An already-completed future (used by the serial backend)."""
+
+    def __init__(self, candidate, outcome):
+        self.candidate = candidate
+        self._outcome = outcome
+
+    def done(self):
+        return True
+
+    def result(self):
+        return self._outcome
+
+
+class _PooledCandidateFuture:
+    """Aggregates the fold futures of one candidate on a worker pool.
+
+    Each fold future's done-callback files its payload here; when the last
+    fold lands the outcome is assembled and the future enqueues itself on
+    the backend's completion queue.
+    """
+
+    def __init__(self, candidate, n_folds, completion_queue):
+        self.candidate = candidate
+        self._fold_results = [None] * n_folds
+        self._fold_futures = []
+        self._remaining = n_folds
+        self._completion_queue = completion_queue
+        self._lock = threading.Lock()
+        self._outcome = None
+
+    def _fold_done(self, index, fold_future):
+        if fold_future.cancelled():
+            # cancelled because an earlier fold already failed; the real
+            # error sits earlier in fold order, so this never wins the
+            # first-failing-fold aggregation
+            payload = {
+                "score": None,
+                "raw_score": None,
+                "error": "CancelledError: an earlier fold of this candidate failed",
+                "elapsed": 0.0,
+            }
+        else:
+            exception = fold_future.exception()
+            if exception is not None:
+                # infrastructure failure (pickling error, broken pool, ...):
+                # recorded like any pipeline failure instead of killing the search
+                payload = {
+                    "score": None,
+                    "raw_score": None,
+                    "error": _format_error(exception),
+                }
+            else:
+                payload = fold_future.result()
+        self._record(index, payload)
+
+    def _fold_failed(self, index, message):
+        """File a fold that could not even be submitted (e.g. broken pool)."""
+        self._record(index, {
+            "score": None, "raw_score": None, "error": message, "elapsed": 0.0,
+        })
+
+    def _record(self, index, payload):
+        if payload.get("error"):
+            # a doomed candidate's queued work is wasted compute; cancel
+            # only *later* folds so the first failing fold in fold order —
+            # the error the serial backend would report — is never a
+            # cancellation
+            for later in self._fold_futures[index + 1:]:
+                if later is not None:
+                    later.cancel()
+        with self._lock:
+            self._fold_results[index] = payload
+            self._remaining -= 1
+            finished = self._remaining == 0
+        if finished:
+            self._outcome = _aggregate_folds(self._fold_results)
+            self._completion_queue.put(self)
+
+    def done(self):
+        return self._outcome is not None
+
+    def result(self):
+        if self._outcome is None:
+            raise RuntimeError("Candidate evaluation has not completed yet")
+        return self._outcome
+
+
+class ExecutionBackend:
+    """Where and how proposed pipelines are evaluated.
+
+    The coordinator interacts with a backend through three calls:
+    :meth:`submit` hands over an :class:`EvaluationCandidate` and returns a
+    future, :meth:`as_completed` yields the outstanding futures in
+    completion order, and :meth:`shutdown` releases any workers.
+    """
+
+    name = None
+
+    def submit(self, candidate):
+        """Start evaluating ``candidate``; returns a candidate future."""
+        raise NotImplementedError
+
+    def as_completed(self):
+        """Yield submitted-but-uncollected futures as they complete."""
+        raise NotImplementedError
+
+    def drain(self):
+        """Discard any uncollected futures left over from a previous use.
+
+        A search that aborted mid-collection (exception, interrupt) can
+        leave completed futures behind on a caller-owned backend; the next
+        search drains them so stale candidates never leak into its
+        records.  Blocks until in-flight work finishes.
+        """
+        for _ in self.as_completed():
+            pass
+
+    def shutdown(self):
+        """Release every worker resource held by the backend."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+        return False
+
+    def __repr__(self):
+        return "{}()".format(type(self).__name__)
+
+
+class SerialBackend(ExecutionBackend):
+    """Evaluate candidates synchronously in the calling process.
+
+    ``submit`` blocks until the evaluation finishes, so the search behaves
+    bit-identically to the historical serial loop: same evaluation calls,
+    same error strings, same random-number consumption.
+    """
+
+    name = "serial"
+
+    def __init__(self):
+        self._completed = []
+
+    def submit(self, candidate):
+        from repro.automl import search
+
+        started = time.time()
+        error = None
+        score = raw_score = None
+        try:
+            score, raw_score = search.cross_validate_template(
+                candidate.template, candidate.hyperparameters, candidate.task,
+                n_splits=candidate.n_splits, random_state=candidate.random_state,
+            )
+        except Exception as failure:  # noqa: BLE001 - failed pipelines are recorded, not fatal
+            error = _format_error(failure)
+        outcome = EvaluationOutcome(score, raw_score, error, time.time() - started)
+        future = CandidateFuture(candidate, outcome)
+        self._completed.append(future)
+        return future
+
+    def as_completed(self):
+        while self._completed:
+            yield self._completed.pop(0)
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared machinery for the executor-pool backends.
+
+    ``submit`` splits the candidate into its cross-validation folds and
+    pushes each fold into the shared executor queue (work-stealing
+    dispatch); ``as_completed`` drains the completion queue fed by the
+    fold-done callbacks.
+    """
+
+    def __init__(self, workers=None):
+        import os
+
+        self.workers = (os.cpu_count() or 1) if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._executor = self._make_executor()
+        self._completion_queue = queue.Queue()
+        self._outstanding = 0
+
+    def _make_executor(self):
+        raise NotImplementedError
+
+    def submit(self, candidate):
+        started = time.time()
+        try:
+            splits = task_cv_splits(
+                candidate.task, n_splits=candidate.n_splits,
+                random_state=candidate.random_state,
+            )
+        except Exception as failure:  # noqa: BLE001 - split failures are recorded like
+            # any pipeline failure, matching the serial backend's behaviour
+            outcome = EvaluationOutcome(
+                None, None,
+                _format_error(failure),
+                time.time() - started,
+            )
+            future = CandidateFuture(candidate, outcome)
+            self._outstanding += 1
+            self._completion_queue.put(future)
+            return future
+        future = _PooledCandidateFuture(candidate, len(splits), self._completion_queue)
+        self._outstanding += 1
+        # submit every fold before attaching callbacks: a fast-failing fold's
+        # callback cancels later siblings, which must all exist by then.  A
+        # fold that cannot even be submitted (broken/shut-down pool) becomes
+        # a failed payload, so the candidate future still completes and
+        # as_completed()/drain() never hang on it.
+        submit_error = None
+        for train_task, val_task in splits:
+            if submit_error is None:
+                try:
+                    future._fold_futures.append(self._executor.submit(
+                        evaluate_fold, candidate.template, candidate.hyperparameters,
+                        train_task, val_task,
+                    ))
+                    continue
+                except Exception as failure:  # noqa: BLE001 - executor failures are data
+                    submit_error = _format_error(failure)
+            future._fold_futures.append(None)
+        for index, fold_future in enumerate(future._fold_futures):
+            if fold_future is None:
+                future._fold_failed(index, submit_error)
+            else:
+                fold_future.add_done_callback(
+                    lambda fold, index=index, future=future: future._fold_done(index, fold)
+                )
+        return future
+
+    def as_completed(self):
+        while self._outstanding:
+            future = self._completion_queue.get()
+            self._outstanding -= 1
+            yield future
+
+    def shutdown(self):
+        # cancel_futures: on a normal exit nothing is queued; on an aborted
+        # search it stops queued folds from burning workers before release
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self):
+        return "{}(workers={})".format(type(self).__name__, self.workers)
+
+
+class ThreadBackend(_PoolBackend):
+    """Evaluate folds on a thread pool (shared memory, no pickling)."""
+
+    name = "thread"
+
+    def _make_executor(self):
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessBackend(_PoolBackend):
+    """Evaluate folds on a process pool (true multi-core parallelism).
+
+    Everything crossing the process boundary — ``evaluate_fold``, the
+    template, the hyperparameters and the fold tasks — is picklable; fold
+    payloads come back as plain dicts so even exotic worker exceptions
+    survive the return trip.
+    """
+
+    name = "process"
+
+    def _make_executor(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def get_backend(backend, workers=None):
+    """Resolve a backend instance from a name, class or instance.
+
+    ``workers`` is forwarded to the pool backends and ignored by the
+    serial backend.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, type) and issubclass(backend, ExecutionBackend):
+        # instantiate the class itself so user subclasses are honored
+        if issubclass(backend, _PoolBackend):
+            return backend(workers=workers)
+        return backend()
+    if backend is None:
+        backend = "serial"
+    try:
+        backend_class = BACKENDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            "Unknown backend {!r}; available backends: {}".format(backend, sorted(BACKENDS))
+        ) from None
+    if backend_class is SerialBackend:
+        return backend_class()
+    return backend_class(workers=workers)

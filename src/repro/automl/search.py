@@ -2,17 +2,27 @@
 
 Given an ML task and a computational budget, AutoBazaar loads the candidate
 templates for the task type, creates one tuner per template and a single
-selector over the templates, and iterates: select a template, propose
-hyperparameters, build and cross-validate the pipeline, and report the
-score back to the tuner and selector.  When the budget is exhausted, the
-best pipeline is refitted on the full training data and scored on the
-held-out test partition.
+selector over the templates, and iterates in four explicit phases:
+
+1. **propose** — select templates and draw up to ``n_pending``
+   hyperparameter configurations (batch proposals use the constant-liar
+   strategy, see :mod:`repro.tuning.tuners`),
+2. **dispatch** — submit every proposed candidate to the configured
+   :class:`~repro.automl.backends.ExecutionBackend`,
+3. **collect** — gather the evaluation outcomes in completion order,
+4. **report** — file the results back into the tuners, the selector and
+   the store *in proposal order*, so the record stream is deterministic
+   regardless of which worker finished first.
+
+When the budget is exhausted, the best pipeline is refitted on the full
+training data and scored on the held-out test partition.
 """
 
 import time
 
 import numpy as np
 
+from repro.automl.backends import EvaluationCandidate, get_backend
 from repro.automl.catalog import default_template_catalog
 from repro.tasks.task import split_task, task_cv_splits
 from repro.tuning.selectors import UCB1Selector
@@ -181,11 +191,35 @@ class AutoBazaarSearch:
         warm-started from the historical configurations of each template
         (the meta-learning extension anticipated in the paper's
         conclusion).
+    backend:
+        Execution backend evaluating the proposed pipelines: ``"serial"``
+        (default), ``"thread"`` or ``"process"``, or any
+        :class:`~repro.automl.backends.ExecutionBackend` instance.  The
+        serial backend reproduces the historical single-threaded loop
+        record-for-record; the pool backends dispatch individual
+        cross-validation folds to workers (work-stealing over folds, so
+        cheap pipelines do not wait behind expensive stragglers).
+    workers:
+        Worker count for the pool backends (default: the CPU count).
+    n_pending:
+        Maximum number of proposed candidates in flight at once (default
+        1).  With ``n_pending > 1`` the search proposes a whole batch per
+        round before any of its results return, using the constant-liar
+        strategy: each pending configuration is treated as if it had
+        scored the worst score observed so far, which pushes subsequent
+        proposals away from the pending ones, and the selector counts
+        pending evaluations toward each template's trial count.  Results
+        are always reported back in proposal order, so for a fixed
+        ``n_pending`` the produced records are identical across backends —
+        provided the pipelines themselves are deterministic: estimators
+        must be explicitly seeded (``random_state`` fixed via template
+        ``init_params``); catalog defaults leave it ``None``, which draws
+        from the process-global RNG and varies run-to-run on any backend.
     """
 
     def __init__(self, templates=None, tuner_class=GPEiTuner, selector_class=UCB1Selector,
                  n_splits=3, random_state=None, store=None, catalog=None,
-                 warm_start_store=None):
+                 warm_start_store=None, backend="serial", workers=None, n_pending=1):
         self.templates = templates
         self.tuner_class = tuner_class
         self.selector_class = selector_class
@@ -194,6 +228,9 @@ class AutoBazaarSearch:
         self.store = store
         self.catalog = catalog or default_template_catalog()
         self.warm_start_store = warm_start_store
+        self.backend = backend
+        self.workers = workers
+        self.n_pending = max(1, int(n_pending))
 
     # -- setup ----------------------------------------------------------------------
 
@@ -271,61 +308,134 @@ class AutoBazaarSearch:
         best_hyperparameters = None
         defaults_pending = [template.name for template in templates]
 
-        for iteration in range(int(budget)):
-            if max_seconds is not None and time.time() - start > max_seconds:
-                break
-            # the first several iterations score each template once with defaults
-            if defaults_pending:
-                template_name = defaults_pending.pop(0)
-                is_default = True
-            else:
-                template_name = selector.select(template_scores)
-                is_default = False
-            template = template_index[template_name]
-            tuner = tuners[template_name]
+        backend = get_backend(self.backend, workers=self.workers)
+        # a backend instance supplied by the caller outlives this search;
+        # one resolved from a name is owned here and shut down on exit
+        owns_backend = backend is not self.backend
+        if not owns_backend:
+            # a previous search on this backend may have aborted mid-collect
+            backend.drain()
+        budget = int(budget)
+        proposed = 0
+        try:
+            while proposed < budget:
+                # -- propose: draw up to n_pending candidates for this round.
+                # The first several proposals score each template once with
+                # defaults; afterwards the selector picks a template and its
+                # tuner proposes a configuration.  Pending bookkeeping (the
+                # constant liar) steers the later proposals of the same
+                # round away from the earlier ones.
+                batch = []
+                for _ in range(min(self.n_pending, budget - proposed)):
+                    # no batch starts past the deadline (dispatch re-checks
+                    # between submits, so the serial backend also stops
+                    # mid-batch; pool backends can overshoot by at most the
+                    # one batch already in flight)
+                    if max_seconds is not None and time.time() - start > max_seconds:
+                        break
+                    if defaults_pending:
+                        template_name = defaults_pending.pop(0)
+                        is_default = True
+                    else:
+                        template_name = selector.select(template_scores)
+                        is_default = False
+                    template = template_index[template_name]
+                    tuner = tuners[template_name]
 
-            if is_default or tuner is None:
-                hyperparameters = template.default_hyperparameters()
-            else:
-                hyperparameters = tuner.propose()
+                    if is_default or tuner is None:
+                        hyperparameters = template.default_hyperparameters()
+                    else:
+                        hyperparameters = tuner.propose()
+                    if tuner is not None:
+                        tuner.add_pending(hyperparameters)
+                    selector.note_pending(template_name)
 
-            iteration_start = time.time()
-            error = None
-            score = raw_score = None
-            try:
-                score, raw_score = cross_validate_template(
-                    template, hyperparameters, task,
-                    n_splits=self.n_splits, random_state=self.random_state,
-                )
-            except Exception as failure:  # noqa: BLE001 - failed pipelines are recorded, not fatal
-                error = "{}: {}".format(type(failure).__name__, failure)
-            elapsed = time.time() - iteration_start
+                    batch.append(EvaluationCandidate(
+                        iteration=proposed,
+                        template=template,
+                        hyperparameters=hyperparameters,
+                        task=task,
+                        n_splits=self.n_splits,
+                        random_state=self.random_state,
+                        template_name=template_name,
+                        is_default=is_default,
+                    ))
+                    proposed += 1
+                if not batch:
+                    break  # wall-clock budget exhausted
 
-            record = EvaluationRecord(
-                task_name=task.name,
-                template_name=template_name,
-                hyperparameters=hyperparameters,
-                score=score,
-                raw_score=raw_score,
-                iteration=iteration,
-                elapsed=elapsed,
-                error=error,
-                is_default=is_default,
-            )
-            records.append(record)
-            if self.store is not None:
-                self.store.add(record)
+                # -- dispatch: submit the batch to the backend; the pool
+                # backends fan each candidate out into its folds.  The
+                # serial backend evaluates inside submit, so the deadline is
+                # re-checked between submits and the untouched remainder of
+                # the batch is withdrawn — the overshoot stays at one
+                # evaluation, like the historical loop.
+                for position, candidate in enumerate(batch):
+                    if (position and max_seconds is not None
+                            and time.time() - start > max_seconds):
+                        for withdrawn in batch[position:]:
+                            tuner = tuners[withdrawn.template_name]
+                            if tuner is not None:
+                                tuner.resolve_pending(withdrawn.hyperparameters)
+                            selector.resolve_pending(withdrawn.template_name)
+                        break
+                    backend.submit(candidate)
 
-            if error is not None:
-                continue
+                # -- collect: gather outcomes in completion order, then
+                # restore proposal order so the record stream (and hence
+                # the tuner/selector state) is deterministic regardless of
+                # which worker finished first.
+                completed = list(backend.as_completed())
+                completed.sort(key=lambda future: future.candidate.iteration)
 
-            template_scores[template_name].append(score)
-            if tuner is not None:
-                tuner.record(hyperparameters, score)
-            if best_score is None or score > best_score:
-                best_score = score
-                best_template = template_name
-                best_hyperparameters = dict(hyperparameters)
+                # -- report: file every outcome back into the records, the
+                # store, the tuners and the selector, in proposal order.
+                for future in completed:
+                    candidate = future.candidate
+                    outcome = future.result()
+                    error = outcome.error
+                    score = outcome.score
+                    raw_score = outcome.raw_score
+                    if error is None and (score is None or not np.isfinite(score)):
+                        # degenerate folds (nan/inf metric values) are a
+                        # recorded failure, not a fatal tuner error
+                        error = "NonFiniteScore: cross-validation produced {!r}".format(score)
+                        score = None
+                        raw_score = None
+
+                    record = EvaluationRecord(
+                        task_name=task.name,
+                        template_name=candidate.template_name,
+                        hyperparameters=candidate.hyperparameters,
+                        score=score,
+                        raw_score=raw_score,
+                        iteration=candidate.iteration,
+                        elapsed=outcome.elapsed,
+                        error=error,
+                        is_default=candidate.is_default,
+                    )
+                    records.append(record)
+                    if self.store is not None:
+                        self.store.add(record)
+
+                    tuner = tuners[candidate.template_name]
+                    if tuner is not None:
+                        tuner.resolve_pending(candidate.hyperparameters)
+                    selector.resolve_pending(candidate.template_name)
+
+                    if error is not None:
+                        continue
+
+                    template_scores[candidate.template_name].append(score)
+                    if tuner is not None:
+                        tuner.record(candidate.hyperparameters, score)
+                    if best_score is None or score > best_score:
+                        best_score = score
+                        best_template = candidate.template_name
+                        best_hyperparameters = dict(candidate.hyperparameters)
+        finally:
+            if owns_backend:
+                backend.shutdown()
 
         # refit the best pipeline on the full training partition and score on test
         best_pipeline = None

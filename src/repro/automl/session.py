@@ -36,10 +36,31 @@ class AutoBazaarSession:
         own accumulated history (the meta-learning extension).
     max_seconds_per_task:
         Optional wall-clock cap per task.
+    backend:
+        Execution backend evaluating the proposed pipelines: ``"serial"``
+        (default, reproduces the historical single-threaded loop
+        record-for-record), ``"thread"`` or ``"process"``.  The pool
+        backends dispatch individual cross-validation folds to workers —
+        work-stealing over folds, so heterogeneous pipeline costs do not
+        serialize behind stragglers.
+    workers:
+        Worker count for the pool backends (default: the CPU count).
+    n_pending:
+        Maximum candidates in flight at once (default 1).  With
+        ``n_pending > 1`` each search round proposes a whole batch before
+        any result returns, using the constant-liar strategy: pending
+        configurations are scored with the worst observed score so the
+        tuner spreads the batch out, and the selector counts in-flight
+        evaluations toward each template's trial count.  Results are
+        reported in proposal order, so for a fixed ``n_pending`` the
+        record stream is identical across backends for deterministic
+        (explicitly seeded) pipelines; catalog default templates leave
+        estimator ``random_state`` unseeded and vary run-to-run.
     """
 
     def __init__(self, budget=20, tuner="gp_ei", selector="ucb1", n_splits=3,
-                 random_state=None, warm_start=False, max_seconds_per_task=None):
+                 random_state=None, warm_start=False, max_seconds_per_task=None,
+                 backend="serial", workers=None, n_pending=1):
         self.budget = budget
         self.tuner_class = get_tuner(tuner)
         self.selector_class = get_selector(selector)
@@ -47,6 +68,9 @@ class AutoBazaarSession:
         self.random_state = random_state
         self.warm_start = warm_start
         self.max_seconds_per_task = max_seconds_per_task
+        self.backend = backend
+        self.workers = workers
+        self.n_pending = n_pending
         self.store = PipelineStore()
         self.results = []
 
@@ -61,6 +85,9 @@ class AutoBazaarSession:
             random_state=self.random_state,
             store=self.store,
             warm_start_store=self.store if self.warm_start else None,
+            backend=self.backend,
+            workers=self.workers,
+            n_pending=self.n_pending,
         )
         result = searcher.search(
             task, budget=self.budget, test_task=test_task,
@@ -108,7 +135,8 @@ class AutoBazaarSession:
 
 
 def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1",
-                       n_splits=3, random_state=0, output=None):
+                       n_splits=3, random_state=0, output=None, backend="serial",
+                       workers=None, n_pending=1):
     """One-shot helper behind the command-line interface.
 
     Loads the task stored in ``task_directory``, runs a search, optionally
@@ -118,7 +146,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
         raise FileNotFoundError("Task directory {!r} does not exist".format(task_directory))
     session = AutoBazaarSession(
         budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
-        random_state=random_state,
+        random_state=random_state, backend=backend, workers=workers,
+        n_pending=n_pending,
     )
     session.solve_directory(task_directory)
     if output:

@@ -72,6 +72,7 @@ class MLPipeline:
             outputs = self.steps[-1].produce_outputs()[0]
         self.outputs = outputs
         self.fitted = False
+        self._fit_context_keys = None
 
     @staticmethod
     def _lookup(mapping, primitive_name, step_name):
@@ -98,6 +99,11 @@ class MLPipeline:
         self._fit_context_keys = sorted(context.keys())
         return self
 
+    @property
+    def fit_context_keys(self):
+        """Context keys that existed after the last ``fit``, or ``None`` if unfitted."""
+        return self._fit_context_keys
+
     def predict(self, **data):
         """Run the produce phase of every step and return the final output.
 
@@ -113,11 +119,12 @@ class MLPipeline:
             if outputs is not None:
                 context.record(step.name, outputs)
         if self.outputs not in context:
-            raise RuntimeError(
-                "Pipeline did not produce the expected output {!r}; context keys: {}".format(
-                    self.outputs, sorted(context.keys())
-                )
+            message = "Pipeline did not produce the expected output {!r}; context keys: {}".format(
+                self.outputs, sorted(context.keys())
             )
+            if self.fit_context_keys is not None:
+                message += "; keys available at fit time: {}".format(self.fit_context_keys)
+            raise RuntimeError(message)
         return context[self.outputs]
 
     def fit_predict(self, **data):

@@ -4,9 +4,19 @@ Stands in for the MongoDB store of the paper's distributed architecture:
 every pipeline scored by AutoBazaar is appended here with its template,
 hyperparameters, score and timing, and can later be queried for
 meta-analysis with :mod:`repro.explorer.analysis`.
+
+The store is safe for concurrent writers (the parallel execution backends
+complete candidates from worker callbacks) and maintains per-field indexes
+for the two hottest query fields — ``task_name`` and ``template_name`` —
+so the frequent per-task and per-template lookups do not re-scan the whole
+document list.
 """
 
 import json
+import threading
+
+#: Fields with a dedicated value -> [documents] index.
+_INDEXED_FIELDS = ("task_name", "template_name")
 
 
 class PipelineStore:
@@ -14,6 +24,15 @@ class PipelineStore:
 
     def __init__(self):
         self._documents = []
+        self._indexes = {field: {} for field in _INDEXED_FIELDS}
+        self._lock = threading.RLock()
+
+    def _insert(self, document):
+        with self._lock:
+            self._documents.append(document)
+            for field in _INDEXED_FIELDS:
+                self._indexes[field].setdefault(document.get(field), []).append(document)
+        return document
 
     def add(self, record):
         """Add an evaluation record (an ``EvaluationRecord`` or a plain dict)."""
@@ -22,8 +41,7 @@ class PipelineStore:
         missing = required - set(document)
         if missing:
             raise ValueError("Evaluation document is missing fields: {}".format(sorted(missing)))
-        self._documents.append(document)
-        return document
+        return self._insert(document)
 
     def add_result(self, search_result, tags=None):
         """Add every record of a :class:`~repro.automl.search.SearchResult`.
@@ -35,7 +53,7 @@ class PipelineStore:
         for record in search_result.records:
             document = record.to_dict()
             document.update(tags)
-            self._documents.append(document)
+            self._insert(document)
         return self
 
     def __len__(self):
@@ -47,20 +65,40 @@ class PipelineStore:
     # -- querying ----------------------------------------------------------------
 
     def find(self, **filters):
-        """Documents whose fields equal the given filter values."""
-        results = []
-        for document in self._documents:
-            if all(document.get(key) == value for key, value in filters.items()):
-                results.append(document)
-        return results
+        """Documents whose fields equal the given filter values.
+
+        Filters on indexed fields (``task_name``, ``template_name``) start
+        from the index bucket instead of scanning every document; any
+        remaining filters are applied to that bucket only.
+        """
+        indexed = [field for field in _INDEXED_FIELDS if field in filters]
+        with self._lock:
+            if indexed:
+                # start from the smallest matching index bucket
+                field = min(indexed, key=lambda f: len(self._indexes[f].get(filters[f], [])))
+                candidates = list(self._indexes[field].get(filters[field], []))
+                remaining = {key: value for key, value in filters.items() if key != field}
+            else:
+                candidates = list(self._documents)
+                remaining = filters
+        if not remaining:
+            return candidates
+        return [
+            document for document in candidates
+            if all(document.get(key) == value for key, value in remaining.items())
+        ]
 
     def tasks(self):
         """Sorted list of distinct task names in the store."""
-        return sorted({document["task_name"] for document in self._documents})
+        with self._lock:
+            return sorted(key for key, docs in self._indexes["task_name"].items()
+                          if docs and key is not None)
 
     def templates(self):
         """Sorted list of distinct template names in the store."""
-        return sorted({document["template_name"] for document in self._documents})
+        with self._lock:
+            return sorted(key for key, docs in self._indexes["template_name"].items()
+                          if docs and key is not None)
 
     def scores_for_task(self, task_name, include_failed=False, **filters):
         """All scores recorded for one task (successful evaluations only by default)."""
@@ -76,8 +114,10 @@ class PipelineStore:
 
     def dump_json(self, path):
         """Write every document to a JSON file."""
+        with self._lock:
+            documents = list(self._documents)
         with open(path, "w") as stream:
-            json.dump(self._documents, stream, indent=2, default=str)
+            json.dump(documents, stream, indent=2, default=str)
 
     @classmethod
     def load_json(cls, path):
@@ -85,7 +125,7 @@ class PipelineStore:
         store = cls()
         with open(path) as stream:
             for document in json.load(stream):
-                store._documents.append(document)
+                store._insert(document)
         return store
 
     def __repr__(self):

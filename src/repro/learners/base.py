@@ -107,9 +107,15 @@ class TransformerMixin:
 
 
 def check_random_state(seed):
-    """Turn ``seed`` into a ``numpy.random.RandomState`` instance."""
+    """Turn ``seed`` into a ``numpy.random.RandomState`` instance.
+
+    ``None`` returns the process-global RandomState singleton (the sklearn
+    convention), so unseeded components follow ``np.random.seed`` instead
+    of drawing a fresh OS-entropy seed per component — without this, no
+    ambient seeding can ever make an unseeded pipeline reproducible.
+    """
     if seed is None:
-        return np.random.RandomState()
+        return np.random.mtrand._rand
     if isinstance(seed, np.random.RandomState):
         return seed
     if isinstance(seed, (int, np.integer)):

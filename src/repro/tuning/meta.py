@@ -61,8 +61,8 @@ class WarmStartGPTuner(GPEiTuner):
         return len(self._warm_trials)
 
     def _fit_meta_model(self):
-        observed = [self.tunable.to_vector(trial) for trial in self.trials]
-        scores = list(self.scores)
+        trials, scores = self._training_data()
+        observed = [self.tunable.to_vector(trial) for trial in trials]
         if self._warm_trials and scores:
             # map warm-start ranks onto the observed score range so both live
             # on one comparable scale
@@ -77,13 +77,15 @@ class WarmStartGPTuner(GPEiTuner):
         model.fit(X, y)
         return model
 
-    def propose(self):
+    def _propose_one(self):
         # if history exists, the very first proposal exploits the best prior
-        # configuration instead of sampling at random
-        if not self.trials and self._warm_trials:
+        # configuration instead of sampling at random; pending in-flight
+        # proposals count as that first shot, otherwise a batch proposed
+        # before any score returns would duplicate the same configuration
+        if not self.trials and not self._pending and self._warm_trials:
             best = int(np.argmax(self._warm_scores))
             return dict(self._warm_trials[best])
-        return super().propose()
+        return super()._propose_one()
 
 
 def harvest_history(store, template_name, exclude_task=None, limit=200):

@@ -27,6 +27,7 @@ class BaseSelector:
             raise ValueError("A selector requires at least one candidate")
         self.candidates = candidates
         self._rng = check_random_state(random_state)
+        self._pending_counts = {}
 
     def compute_rewards(self, scores):
         """Convert a list of raw scores into rewards (default: identity)."""
@@ -36,8 +37,58 @@ class BaseSelector:
         """Select the next candidate given ``{candidate: [scores, ...]}``."""
         raise NotImplementedError
 
+    # -- pending bookkeeping (batch proposals) --------------------------------------
+
+    def note_pending(self, candidate):
+        """Count one in-flight (proposed but not yet scored) evaluation."""
+        self._pending_counts[candidate] = self._pending_counts.get(candidate, 0) + 1
+
+    def resolve_pending(self, candidate):
+        """Discount one in-flight evaluation once its result has arrived."""
+        count = self._pending_counts.get(candidate, 0)
+        if count <= 1:
+            self._pending_counts.pop(candidate, None)
+        else:
+            self._pending_counts[candidate] = count - 1
+
+    def pending_count(self, candidate):
+        """Number of in-flight evaluations of one candidate."""
+        return self._pending_counts.get(candidate, 0)
+
+    def _bandit_state(self, candidate_scores):
+        """Shared per-``select`` bookkeeping: ``(total, rewards_by_arm, liar)``.
+
+        ``total`` counts every recorded score plus every in-flight
+        evaluation.  Rewards are computed once per arm here and reused by
+        both the liar and the caller's scoring loop.  The liar — the
+        stand-in reward for an arm whose trials are all still in flight —
+        is the worst mean reward across the other arms, computed through
+        this selector's own ``compute_rewards`` so it lives on the same
+        scale as the real rewards (raw-score means for UCB1, top-K means
+        for best-K, velocities for best-K-velocity); an absolute constant
+        like 0.0 would be *optimistic* whenever rewards are negative
+        (e.g. -RMSE means) and a batch would flood the scoreless arm.
+        It is only computed when something is actually pending: without
+        pending work a scoreless arm never reaches a scoring loop
+        (``_unseen`` returns it first).
+        """
+        total = sum(len(scores) for scores in candidate_scores.values())
+        total += sum(self._pending_counts.values())
+        rewards_by_arm = {
+            candidate: self.compute_rewards(candidate_scores.get(candidate, []))
+            for candidate in self.candidates
+        }
+        liar = 0.0
+        if self._pending_counts:
+            means = [float(np.mean(rewards)) for rewards in rewards_by_arm.values() if rewards]
+            liar = min(means) if means else 0.0
+        return total, rewards_by_arm, liar
+
     def _unseen(self, candidate_scores):
-        return [c for c in self.candidates if not candidate_scores.get(c)]
+        return [
+            c for c in self.candidates
+            if not candidate_scores.get(c) and not self.pending_count(c)
+        ]
 
     def __repr__(self):
         return "{}(n_candidates={})".format(type(self).__name__, len(self.candidates))
@@ -58,6 +109,11 @@ class UCB1Selector(BaseSelector):
 
     The reward of a template is the mean of its scores, and the selected
     template maximizes ``z_j + sqrt(2 ln n / n_j)``.
+
+    In-flight evaluations (batch proposals whose results have not yet
+    returned) count toward both ``n`` and ``n_j``: a template with many
+    pending evaluations sees its confidence bonus shrink, which spreads a
+    proposal batch across templates instead of flooding one arm.
     """
 
     def compute_rewards(self, scores):
@@ -69,13 +125,15 @@ class UCB1Selector(BaseSelector):
         unseen = self._unseen(candidate_scores)
         if unseen:
             return unseen[0]
-        total = sum(len(scores) for scores in candidate_scores.values())
+        total, rewards_by_arm, liar = self._bandit_state(candidate_scores)
         best_candidate = None
         best_bound = -np.inf
         for candidate in self.candidates:
             scores = candidate_scores.get(candidate, [])
-            mean_reward = float(np.mean(self.compute_rewards(scores)))
-            bound = mean_reward + np.sqrt(2.0 * np.log(total) / len(scores))
+            trials = len(scores) + self.pending_count(candidate)
+            rewards = rewards_by_arm[candidate]
+            mean_reward = float(np.mean(rewards)) if rewards else liar
+            bound = mean_reward + np.sqrt(2.0 * np.log(total) / trials)
             if bound > best_bound:
                 best_bound = bound
                 best_candidate = candidate
@@ -105,13 +163,18 @@ class BestKRewardSelector(BaseSelector):
         unseen = self._unseen(candidate_scores)
         if unseen:
             return unseen[0]
-        total = sum(len(scores) for scores in candidate_scores.values())
+        total, rewards_by_arm, liar = self._bandit_state(candidate_scores)
         best_candidate = None
         best_bound = -np.inf
         for candidate in self.candidates:
             scores = candidate_scores.get(candidate, [])
-            reward = self.compute_rewards(scores)[0]
-            bound = reward + np.sqrt(2.0 * np.log(total) / len(scores))
+            # a candidate can reach this loop scoreless when all its trials
+            # are still in flight (n_pending > 1); its in-flight count keeps
+            # the bound finite and the liar reward keeps it pessimistic
+            trials = len(scores) + self.pending_count(candidate)
+            rewards = rewards_by_arm[candidate]
+            reward = rewards[0] if rewards else liar
+            bound = reward + np.sqrt(2.0 * np.log(total) / trials)
             if bound > best_bound:
                 best_bound = bound
                 best_candidate = candidate
@@ -155,13 +218,19 @@ class ThompsonSamplingSelector(BaseSelector):
         unseen = self._unseen(candidate_scores)
         if unseen:
             return unseen[0]
+        # the liar is reachable only with pending work (scoreless arms are
+        # otherwise returned by _unseen); skip the rewards pass without it
+        liar = self._bandit_state(candidate_scores)[2] if self._pending_counts else 0.0
         best_candidate = None
         best_draw = -np.inf
         for candidate in self.candidates:
             scores = np.asarray(candidate_scores.get(candidate, []), dtype=float)
-            mean = float(scores.mean())
+            # scoreless candidates (all trials still in flight) draw around
+            # the pessimistic liar; in-flight trials narrow the distribution
+            trials = len(scores) + self.pending_count(candidate)
+            mean = float(scores.mean()) if len(scores) else liar
             std = float(scores.std()) if len(scores) > 1 else self.prior_std
-            std = max(std, 1e-6) / np.sqrt(len(scores))
+            std = max(std, 1e-6) / np.sqrt(max(trials, 1))
             draw = float(self._rng.normal(mean, std))
             if draw > best_draw:
                 best_draw = draw

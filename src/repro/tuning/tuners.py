@@ -33,6 +33,7 @@ class BaseTuner:
         self._rng = check_random_state(random_state)
         self.trials = []
         self.scores = []
+        self._pending = []
 
     def record(self, params, score):
         """Record the observed score of a configuration."""
@@ -41,6 +42,32 @@ class BaseTuner:
             raise ValueError("Cannot record a non-finite score")
         self.trials.append(dict(params))
         self.scores.append(score)
+
+    # -- pending proposals (constant-liar batching) ---------------------------------
+
+    def add_pending(self, params):
+        """Mark a proposed configuration as in flight (not yet scored).
+
+        Pending configurations participate in the meta-model fit with a
+        *constant-liar* score — the worst score observed so far — so that
+        batch proposals spread out instead of piling onto the same
+        optimum of the acquisition function.
+        """
+        self._pending.append(dict(params))
+
+    def resolve_pending(self, params):
+        """Drop one pending entry matching ``params``; returns whether one was found."""
+        params = dict(params)
+        for index, pending in enumerate(self._pending):
+            if pending == params:
+                del self._pending[index]
+                return True
+        return False
+
+    @property
+    def pending(self):
+        """Snapshot of the configurations currently in flight."""
+        return [dict(params) for params in self._pending]
 
     @property
     def best_score(self):
@@ -54,8 +81,41 @@ class BaseTuner:
             return None
         return dict(self.trials[int(np.argmax(self.scores))])
 
-    def propose(self):
-        """Propose the next configuration to evaluate."""
+    def propose(self, n=1):
+        """Propose the next configuration(s) to evaluate.
+
+        With ``n == 1`` (the default) a single configuration dict is
+        returned.  With ``n > 1`` a *batch* of ``n`` configurations is
+        returned as a list: each proposal is temporarily registered as
+        pending with the constant-liar score before the next one is
+        drawn, so the batch covers distinct regions of the space even
+        though no real scores arrive in between.
+
+        The AutoBazaar search loop drives the same pending primitives
+        (:meth:`add_pending` / :meth:`resolve_pending`) directly instead
+        of calling ``propose(n)``, because its template selection
+        interleaves with proposing — a round's batch may span several
+        tuners.  Keep the two paths in sync when changing the liar
+        semantics.
+        """
+        n = int(n)
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        if n == 1:
+            return self._propose_one()
+        proposals = []
+        try:
+            for _ in range(n):
+                params = self._propose_one()
+                proposals.append(params)
+                self.add_pending(params)
+        finally:
+            for params in proposals:
+                self.resolve_pending(params)
+        return proposals
+
+    def _propose_one(self):
+        """Propose a single configuration (implemented by subclasses)."""
         raise NotImplementedError
 
     def __repr__(self):
@@ -65,7 +125,7 @@ class BaseTuner:
 class UniformTuner(BaseTuner):
     """Propose uniformly random configurations (random-search baseline)."""
 
-    def propose(self):
+    def _propose_one(self):
         return self.tunable.sample(self._rng)
 
 
@@ -101,9 +161,27 @@ class GPTuner(BaseTuner):
         self.n_candidates = n_candidates
         self.min_trials = min_trials
 
+    def _training_data(self):
+        """Observed trials plus pending ones under the constant-liar score.
+
+        Each in-flight configuration is assigned the worst score observed
+        so far (the pessimistic liar), which deflates the acquisition
+        function around pending proposals without biasing the model
+        upwards.
+        """
+        trials = list(self.trials)
+        scores = list(self.scores)
+        if self._pending and scores:
+            lie = min(scores)
+            for pending in self._pending:
+                trials.append(pending)
+                scores.append(lie)
+        return trials, scores
+
     def _fit_meta_model(self):
-        X = np.vstack([self.tunable.to_vector(trial) for trial in self.trials])
-        y = np.asarray(self.scores, dtype=float)
+        trials, scores = self._training_data()
+        X = np.vstack([self.tunable.to_vector(trial) for trial in trials])
+        y = np.asarray(scores, dtype=float)
         model = self.meta_model_class(kernel=self.kernel)
         model.fit(X, y)
         return model
@@ -116,7 +194,7 @@ class GPTuner(BaseTuner):
             return acquisition_fn(mean, std)
         return acquisition_fn(mean, std, best=max(self.scores))
 
-    def propose(self):
+    def _propose_one(self):
         if len(self.trials) < self.min_trials:
             return self.tunable.sample(self._rng)
         try:
@@ -158,11 +236,16 @@ class GCPEiTuner(GPTuner):
         vectors = np.vstack([self.tunable.to_vector(candidate) for candidate in candidates])
         mean, std = model.predict_latent(vectors)
         # expected improvement computed in the latent normal-score space, where
-        # the best observed score maps to its own normal score
+        # the best observed score maps to its own normal score; the ranks use
+        # the same training scores the copula was fitted on (real trials plus
+        # pending constant-liar points) so the EI threshold and the model
+        # share one latent scale — the lies equal the observed minimum, so
+        # the maximum rank still belongs to the best real score
         from scipy import stats
 
-        ranks = stats.rankdata(self.scores, method="average")
-        best_latent = stats.norm.ppf(ranks.max() / (len(self.scores) + 1.0))
+        _, training_scores = self._training_data()
+        ranks = stats.rankdata(training_scores, method="average")
+        best_latent = stats.norm.ppf(ranks.max() / (len(training_scores) + 1.0))
         acquisition_fn = ACQUISITIONS["ei"]
         return acquisition_fn(mean, std, best=best_latent)
 

@@ -96,6 +96,31 @@ class TestCLI:
         arguments = build_parser().parse_args(["some/dir"])
         assert arguments.budget == 20
         assert arguments.tuner == "gp_ei"
+        assert arguments.backend == "serial"
+        assert arguments.workers is None
+        assert arguments.pending == 1
+
+    def test_parser_backend_options(self):
+        arguments = build_parser().parse_args(
+            ["some/dir", "--backend", "process", "--workers", "4", "--pending", "2"]
+        )
+        assert arguments.backend == "process"
+        assert arguments.workers == 4
+        assert arguments.pending == 2
+
+    def test_parser_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["some/dir", "--backend", "cluster"])
+
+    def test_main_with_thread_backend(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        exit_code = main([
+            str(tmp_path / "task"), "--budget", "3", "--splits", "2", "--seed", "0",
+            "--backend", "thread", "--workers", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "best template" in captured.out
 
     def test_main_happy_path(self, task, tmp_path, capsys):
         save_task(task, tmp_path / "task")

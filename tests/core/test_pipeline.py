@@ -112,8 +112,19 @@ class TestPipelineExecution:
         X, y = classification_data
         pipeline = MLPipeline(["mlprimitives.custom.preprocessing.ClassEncoder"])
         pipeline.fit(X=X, y=y)
-        with pytest.raises(RuntimeError, match="did not produce"):
+        with pytest.raises(RuntimeError, match="keys available at fit time"):
             pipeline.predict(X=X)
+
+    def test_fit_context_keys_exposed(self, fitted_pipeline):
+        pipeline, X, labels = fitted_pipeline
+        assert pipeline.fit_context_keys is not None
+        assert "X" in pipeline.fit_context_keys
+        assert "y" in pipeline.fit_context_keys
+        assert pipeline.fit_context_keys == sorted(pipeline.fit_context_keys)
+
+    def test_fit_context_keys_none_before_fit(self):
+        pipeline = MLPipeline(["mlprimitives.custom.preprocessing.ClassEncoder"])
+        assert pipeline.fit_context_keys is None
 
     def test_unsupervised_pipeline_creates_target_on_the_fly(self, rng):
         # the ORION-style property highlighted in the paper: y is created
