@@ -65,6 +65,23 @@ def suite_search(task_suite):
 
 
 @pytest.fixture(scope="session")
+def schedule_throughput():
+    """Collects sliding-window vs barrier wall-clock from the skew benchmarks.
+
+    The printed summary tracks the scheduler's skew resistance: the
+    speedup of the sliding-window loop over the historical round barrier
+    on an identical skewed candidate stream.
+    """
+    numbers = {}
+    yield numbers
+    if numbers:
+        print("\n\n-- search scheduler on skewed workload (wall-clock seconds) --")
+        for label, entry in sorted(numbers.items()):
+            print("  {:12s} barrier {:7.3f}s   window {:7.3f}s   ({:.2f}x)".format(
+                label, entry["barrier"], entry["window"], entry["speedup"]))
+
+
+@pytest.fixture(scope="session")
 def backend_throughput():
     """Collects ``{label: pipelines_per_second}`` from the backend benchmarks.
 

@@ -8,8 +8,6 @@ intervals where the forecast error exceeds a dynamic threshold.
 Run with:  python examples/orion_anomaly_detection.py
 """
 
-import numpy as np
-
 from repro import MLPipeline
 from repro.learners.metrics import anomaly_f1_score
 from repro.tasks.synth import make_anomaly_signal

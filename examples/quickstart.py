@@ -17,10 +17,13 @@ an on-disk task folder::
 
 ``--backend serial`` (the default) reproduces the classic single-threaded
 loop record-for-record; ``thread`` and ``process`` dispatch the
-cross-validation folds of each candidate pipeline to a worker pool.
-Record-for-record reproducibility across backends additionally requires
-deterministic pipelines (estimator ``random_state`` seeded via template
-``init_params``).
+cross-validation folds of each candidate pipeline to a worker pool, with
+``--pending N`` evaluations kept in flight by the sliding-window
+scheduler (``--schedule barrier`` restores the historical round-based
+loop) and ``--worker-cache`` controlling the process backend's
+worker-resident dataset cache.  Record-for-record reproducibility across
+backends additionally requires deterministic pipelines (estimator
+``random_state`` seeded via template ``init_params``).
 """
 
 import numpy as np

@@ -8,8 +8,6 @@ AutoBazaar pick and tune one automatically.
 Run with:  python examples/wind_turbine_failures.py
 """
 
-import numpy as np
-
 from repro.automl import AutoBazaarSearch, get_templates
 from repro.learners.metrics import f1_score
 from repro.tasks.synth import make_timeseries_classification

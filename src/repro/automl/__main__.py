@@ -37,6 +37,14 @@ def build_parser():
     parser.add_argument("--pending", type=int, default=1,
                         help="candidates in flight at once; values > 1 enable "
                              "constant-liar batch proposals (default: 1)")
+    parser.add_argument("--schedule", default="window", choices=("window", "barrier"),
+                        help="search scheduler: 'window' keeps --pending evaluations "
+                             "in flight and replaces each completion immediately; "
+                             "'barrier' is the historical round-based loop "
+                             "(default: window)")
+    parser.add_argument("--worker-cache", type=int, default=None, metavar="TASKS",
+                        help="tasks kept resident per process-backend worker; 0 ships "
+                             "every fold's data instead (default: backend default)")
     parser.add_argument("--output", default=None,
                         help="optional path for the JSON dump of every scored pipeline")
     return parser
@@ -57,6 +65,8 @@ def main(argv=None):
             backend=arguments.backend,
             workers=arguments.workers,
             n_pending=arguments.pending,
+            schedule=arguments.schedule,
+            task_cache_size=arguments.worker_cache,
         )
     except (FileNotFoundError, ValueError) as error:
         print("error: {}".format(error), file=sys.stderr)

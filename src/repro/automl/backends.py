@@ -29,23 +29,32 @@ All backends aggregate fold results in fold order, so a candidate's score
 (the mean over folds) and its error message (the first failing fold) are
 identical across backends.
 
-Known trade-off: fold-level dispatch ships each fold's train/val subset
-to the worker (``budget * n_splits`` transfers per search for the process
-backend).  ``concurrent.futures`` offers no worker-resident state, so
-caching the task on the workers needs worker affinity — that belongs to
-the future distributed-worker backend, where data locality is the point.
-For in-memory tasks at the scale of this reproduction the pickling cost
-is small next to a model fit.
+Fold submissions ship *index arrays*, not materialized task subsets: the
+coordinator computes the cross-validation fold indices once per candidate
+and each worker rebuilds its fold locally from a **worker-resident task
+cache**.  The process backend parks the pickled task on disk once per
+task (a :class:`TaskPayload` handle), and every worker that first touches
+the task loads it into a per-process LRU keyed by the payload's task id —
+so the dataset crosses the process boundary once per worker instead of
+once per fold (``budget * n_splits`` transfers before).  The thread
+backend shares the coordinator's memory and passes the task by reference.
+Setting ``task_cache_size=0`` on the process backend restores the
+ship-every-fold behaviour.
 """
 
+import os
+import pickle
 import queue
+import tempfile
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from itertools import count
 
 import numpy as np
 
-from repro.tasks.task import task_cv_splits
+from repro.tasks.task import materialize_cv_fold, task_cv_indices
 
 
 def _format_error(failure):
@@ -112,6 +121,93 @@ def evaluate_fold(template, hyperparameters, train_task, val_task):
 
     started = time.time()
     try:
+        normalized, raw, _ = search.evaluate_pipeline(
+            template, hyperparameters, train_task, val_task
+        )
+        return {
+            "score": normalized,
+            "raw_score": raw,
+            "error": None,
+            "elapsed": time.time() - started,
+        }
+    except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
+        return {
+            "score": None,
+            "raw_score": None,
+            "error": _format_error(failure),
+            "elapsed": time.time() - started,
+        }
+
+
+# -- worker-resident task cache -----------------------------------------------------
+
+#: Per-worker-process LRU of tasks rebuilt from :class:`TaskPayload` handles.
+_WORKER_TASK_CACHE = OrderedDict()
+
+#: Maximum tasks kept resident per worker (set by the pool initializer).
+_WORKER_TASK_CACHE_SIZE = 8
+
+
+def _configure_worker_cache(cache_size):
+    """Process-pool initializer: size (and reset) the worker-resident cache."""
+    global _WORKER_TASK_CACHE_SIZE
+    _WORKER_TASK_CACHE_SIZE = int(cache_size)
+    _WORKER_TASK_CACHE.clear()
+
+
+class TaskPayload:
+    """Picklable handle to a task parked on disk for the worker cache.
+
+    Shipping this handle instead of the task itself costs a few bytes per
+    fold; a worker seeing the ``key`` for the first time loads the pickled
+    task from ``path`` into its resident LRU and serves every later fold
+    of the same task from memory.
+    """
+
+    __slots__ = ("key", "path")
+
+    def __init__(self, key, path):
+        self.key = key
+        self.path = path
+
+    def __repr__(self):
+        return "TaskPayload(key={!r}, path={!r})".format(self.key, self.path)
+
+
+def _resolve_task(task_ref):
+    """Materialize a submitted task reference inside the worker.
+
+    Accepts either the task object itself (serial/thread backends, which
+    share the coordinator's memory) or a :class:`TaskPayload` pointing at
+    the on-disk pickle (process backend).
+    """
+    if not isinstance(task_ref, TaskPayload):
+        return task_ref
+    task = _WORKER_TASK_CACHE.get(task_ref.key)
+    if task is None:
+        with open(task_ref.path, "rb") as stream:
+            task = pickle.load(stream)
+        _WORKER_TASK_CACHE[task_ref.key] = task
+        while len(_WORKER_TASK_CACHE) > _WORKER_TASK_CACHE_SIZE > 0:
+            _WORKER_TASK_CACHE.popitem(last=False)
+    else:
+        _WORKER_TASK_CACHE.move_to_end(task_ref.key)
+    return task
+
+
+def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, val_indices):
+    """Evaluate one cross-validation fold specified by its sample indices.
+
+    The index-level twin of :func:`evaluate_fold`: the fold's train/val
+    subsets are rebuilt inside the worker from the resident task, so only
+    the index arrays travel per submission.
+    """
+    from repro.automl import search
+
+    started = time.time()
+    try:
+        task = _resolve_task(task_ref)
+        train_task, val_task = materialize_cv_fold(task, train_indices, val_indices)
         normalized, raw, _ = search.evaluate_pipeline(
             template, hyperparameters, train_task, val_task
         )
@@ -243,8 +339,10 @@ class ExecutionBackend:
 
     The coordinator interacts with a backend through three calls:
     :meth:`submit` hands over an :class:`EvaluationCandidate` and returns a
-    future, :meth:`as_completed` yields the outstanding futures in
-    completion order, and :meth:`shutdown` releases any workers.
+    future, :meth:`collect_one` blocks for the next completed future (the
+    primitive behind the sliding-window search loop; :meth:`as_completed`
+    is the drain-everything convenience built on it), and :meth:`shutdown`
+    releases any workers.
     """
 
     name = None
@@ -253,9 +351,24 @@ class ExecutionBackend:
         """Start evaluating ``candidate``; returns a candidate future."""
         raise NotImplementedError
 
+    def collect_one(self):
+        """Block until one submitted-but-uncollected future completes.
+
+        Returns the completed future, or ``None`` when nothing is
+        outstanding — the signal that lets the sliding-window loop keep
+        exactly ``n_pending`` evaluations in flight, collecting a single
+        completion and immediately proposing its replacement instead of
+        draining a whole round.
+        """
+        raise NotImplementedError
+
     def as_completed(self):
         """Yield submitted-but-uncollected futures as they complete."""
-        raise NotImplementedError
+        while True:
+            future = self.collect_one()
+            if future is None:
+                return
+            yield future
 
     def drain(self):
         """Discard any uncollected futures left over from a previous use.
@@ -313,9 +426,10 @@ class SerialBackend(ExecutionBackend):
         self._completed.append(future)
         return future
 
-    def as_completed(self):
-        while self._completed:
-            yield self._completed.pop(0)
+    def collect_one(self):
+        if not self._completed:
+            return None
+        return self._completed.pop(0)
 
 
 class _PoolBackend(ExecutionBackend):
@@ -343,7 +457,7 @@ class _PoolBackend(ExecutionBackend):
     def submit(self, candidate):
         started = time.time()
         try:
-            splits = task_cv_splits(
+            folds = task_cv_indices(
                 candidate.task, n_splits=candidate.n_splits,
                 random_state=candidate.random_state,
             )
@@ -358,7 +472,7 @@ class _PoolBackend(ExecutionBackend):
             self._outstanding += 1
             self._completion_queue.put(future)
             return future
-        future = _PooledCandidateFuture(candidate, len(splits), self._completion_queue)
+        future = _PooledCandidateFuture(candidate, len(folds), self._completion_queue)
         self._outstanding += 1
         # submit every fold before attaching callbacks: a fast-failing fold's
         # callback cancels later siblings, which must all exist by then.  A
@@ -366,13 +480,12 @@ class _PoolBackend(ExecutionBackend):
         # a failed payload, so the candidate future still completes and
         # as_completed()/drain() never hang on it.
         submit_error = None
-        for train_task, val_task in splits:
+        for train_indices, val_indices in folds:
             if submit_error is None:
                 try:
-                    future._fold_futures.append(self._executor.submit(
-                        evaluate_fold, candidate.template, candidate.hyperparameters,
-                        train_task, val_task,
-                    ))
+                    future._fold_futures.append(
+                        self._submit_fold(candidate, train_indices, val_indices)
+                    )
                     continue
                 except Exception as failure:  # noqa: BLE001 - executor failures are data
                     submit_error = _format_error(failure)
@@ -386,11 +499,19 @@ class _PoolBackend(ExecutionBackend):
                 )
         return future
 
-    def as_completed(self):
-        while self._outstanding:
-            future = self._completion_queue.get()
-            self._outstanding -= 1
-            yield future
+    def _submit_fold(self, candidate, train_indices, val_indices):
+        """Push one fold into the executor; the task travels by reference."""
+        return self._executor.submit(
+            evaluate_fold_indices, candidate.template, candidate.hyperparameters,
+            candidate.task, train_indices, val_indices,
+        )
+
+    def collect_one(self):
+        if not self._outstanding:
+            return None
+        future = self._completion_queue.get()
+        self._outstanding -= 1
+        return future
 
     def shutdown(self):
         # cancel_futures: on a normal exit nothing is queued; on an aborted
@@ -413,16 +534,104 @@ class ThreadBackend(_PoolBackend):
 class ProcessBackend(_PoolBackend):
     """Evaluate folds on a process pool (true multi-core parallelism).
 
-    Everything crossing the process boundary — ``evaluate_fold``, the
-    template, the hyperparameters and the fold tasks — is picklable; fold
-    payloads come back as plain dicts so even exotic worker exceptions
-    survive the return trip.
+    Everything crossing the process boundary — the worker function, the
+    template, the hyperparameters and the fold indices — is picklable;
+    fold payloads come back as plain dicts so even exotic worker
+    exceptions survive the return trip.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: the CPU count).
+    task_cache_size:
+        Tasks kept resident per worker (default 8).  The first fold of a
+        task ships it once to each worker through an on-disk pickle (a
+        :class:`TaskPayload`); later folds reuse the worker's cached copy,
+        so the dataset is not re-pickled into every fold submission.
+        ``0`` disables the cache and restores the historical behaviour of
+        materializing and shipping the train/val subsets of every fold.
+        Keep the size at or above the number of distinct tasks with folds
+        in flight at once (a search evaluates one task at a time, so the
+        default has ample headroom for suite runs).
     """
 
     name = "process"
 
+    def __init__(self, workers=None, task_cache_size=8):
+        self.task_cache_size = int(task_cache_size)
+        if self.task_cache_size < 0:
+            raise ValueError("task_cache_size must be non-negative")
+        self._payloads = OrderedDict()  # id(task) -> (task, TaskPayload)
+        self._payload_ids = count()
+        super().__init__(workers=workers)
+
     def _make_executor(self):
-        return ProcessPoolExecutor(max_workers=self.workers)
+        if not self.task_cache_size:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_configure_worker_cache,
+            initargs=(self.task_cache_size,),
+        )
+
+    def _task_payload(self, task):
+        """The on-disk payload handle for ``task``, written on first use.
+
+        Holding a reference to the task itself keeps its ``id`` stable for
+        the lifetime of the cache entry; the payload key carries a
+        monotonic counter so a recycled ``id`` after eviction can never
+        alias a stale entry in a worker's cache.
+        """
+        entry = self._payloads.get(id(task))
+        if entry is not None:
+            self._payloads.move_to_end(id(task))
+            return entry[1]
+        descriptor, path = tempfile.mkstemp(prefix="repro-task-", suffix=".pkl")
+        try:
+            with os.fdopen(descriptor, "wb") as stream:
+                pickle.dump(task, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            os.unlink(path)
+            raise
+        payload = TaskPayload("task-{}".format(next(self._payload_ids)), path)
+        self._payloads[id(task)] = (task, payload)
+        while len(self._payloads) > self.task_cache_size:
+            _, (_, stale) = self._payloads.popitem(last=False)
+            _unlink_quietly(stale.path)
+        return payload
+
+    def _submit_fold(self, candidate, train_indices, val_indices):
+        if not self.task_cache_size:
+            # cache disabled: ship the materialized fold subsets (historical path)
+            train_task, val_task = materialize_cv_fold(
+                candidate.task, train_indices, val_indices
+            )
+            return self._executor.submit(
+                evaluate_fold, candidate.template, candidate.hyperparameters,
+                train_task, val_task,
+            )
+        return self._executor.submit(
+            evaluate_fold_indices, candidate.template, candidate.hyperparameters,
+            self._task_payload(candidate.task), train_indices, val_indices,
+        )
+
+    def shutdown(self):
+        super().shutdown()
+        while self._payloads:
+            _, (_, payload) = self._payloads.popitem(last=False)
+            _unlink_quietly(payload.path)
+
+    def __repr__(self):
+        return "{}(workers={}, task_cache_size={})".format(
+            type(self).__name__, self.workers, self.task_cache_size
+        )
+
+
+def _unlink_quietly(path):
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 BACKENDS = {
@@ -432,27 +641,45 @@ BACKENDS = {
 }
 
 
-def get_backend(backend, workers=None):
+def get_backend(backend, workers=None, task_cache_size=None):
     """Resolve a backend instance from a name, class or instance.
 
     ``workers`` is forwarded to the pool backends and ignored by the
-    serial backend.
+    serial backend; ``task_cache_size`` (the worker-resident dataset cache
+    knob) applies only to the process backend and keeps the backend's own
+    default when ``None``.  Setting it for anything that cannot honor it —
+    an already-constructed instance, or a backend without a worker cache —
+    is rejected rather than silently ignored.
     """
     if isinstance(backend, ExecutionBackend):
+        if task_cache_size is not None:
+            raise ValueError(
+                "task_cache_size cannot be applied to an existing backend "
+                "instance; configure it on the backend directly"
+            )
         return backend
     if isinstance(backend, type) and issubclass(backend, ExecutionBackend):
         # instantiate the class itself so user subclasses are honored
-        if issubclass(backend, _PoolBackend):
-            return backend(workers=workers)
-        return backend()
-    if backend is None:
-        backend = "serial"
-    try:
-        backend_class = BACKENDS[backend]
-    except (KeyError, TypeError):
+        backend_class = backend
+    else:
+        if backend is None:
+            backend = "serial"
+        try:
+            backend_class = BACKENDS[backend]
+        except (KeyError, TypeError):
+            raise ValueError(
+                "Unknown backend {!r}; available backends: {}".format(backend, sorted(BACKENDS))
+            ) from None
+    if issubclass(backend_class, ProcessBackend):
+        if task_cache_size is not None:
+            return backend_class(workers=workers, task_cache_size=task_cache_size)
+        return backend_class(workers=workers)
+    if task_cache_size is not None:
         raise ValueError(
-            "Unknown backend {!r}; available backends: {}".format(backend, sorted(BACKENDS))
-        ) from None
-    if backend_class is SerialBackend:
-        return backend_class()
-    return backend_class(workers=workers)
+            "task_cache_size only applies to the process backend, not {!r}".format(
+                getattr(backend_class, "name", backend_class.__name__)
+            )
+        )
+    if issubclass(backend_class, _PoolBackend):
+        return backend_class(workers=workers)
+    return backend_class()

@@ -2,17 +2,29 @@
 
 Given an ML task and a computational budget, AutoBazaar loads the candidate
 templates for the task type, creates one tuner per template and a single
-selector over the templates, and iterates in four explicit phases:
+selector over the templates, and runs an asynchronous **sliding-window**
+scheduler over the configured
+:class:`~repro.automl.backends.ExecutionBackend`:
 
-1. **propose** — select templates and draw up to ``n_pending``
-   hyperparameter configurations (batch proposals use the constant-liar
-   strategy, see :mod:`repro.tuning.tuners`),
-2. **dispatch** — submit every proposed candidate to the configured
-   :class:`~repro.automl.backends.ExecutionBackend`,
-3. **collect** — gather the evaluation outcomes in completion order,
-4. **report** — file the results back into the tuners, the selector and
-   the store *in proposal order*, so the record stream is deterministic
-   regardless of which worker finished first.
+* **propose & dispatch** — keep exactly ``n_pending`` evaluations in
+  flight: whenever the window has a free slot, select a template, draw one
+  hyperparameter configuration (pending proposals use the constant-liar
+  strategy, see :mod:`repro.tuning.tuners`) and submit it immediately,
+* **collect** — block for *one* completed evaluation at a time
+  (``backend.collect_one()``) and park it in a reorder buffer,
+* **report** — file buffered results back into the tuners, the selector
+  and the store strictly *in proposal order*; every reported result frees
+  a window slot, so its replacement is proposed with the constant-liar
+  bookkeeping updated incrementally per completion rather than per round.
+
+Reporting in proposal order makes the record stream deterministic
+regardless of which worker finished first, with one scheduling corollary:
+the proposal of candidate ``k`` may only consume the reported results of
+candidates ``0 .. k - n_pending``, so a straggler blocks the window only
+after ``n_pending - 1`` newer evaluations have been proposed past it —
+unlike the historical round-barrier loop (kept as ``schedule="barrier"``
+for comparison benchmarks), which idled every worker while a round
+drained behind its slowest member.
 
 When the budget is exhausted, the best pipeline is refitted on the full
 training data and scored on the held-out test partition.
@@ -202,24 +214,42 @@ class AutoBazaarSearch:
     workers:
         Worker count for the pool backends (default: the CPU count).
     n_pending:
-        Maximum number of proposed candidates in flight at once (default
-        1).  With ``n_pending > 1`` the search proposes a whole batch per
-        round before any of its results return, using the constant-liar
-        strategy: each pending configuration is treated as if it had
-        scored the worst score observed so far, which pushes subsequent
-        proposals away from the pending ones, and the selector counts
-        pending evaluations toward each template's trial count.  Results
-        are always reported back in proposal order, so for a fixed
+        Number of proposed candidates kept in flight at once (default 1).
+        With ``n_pending > 1`` the sliding-window scheduler refills the
+        window on every completion, using the constant-liar strategy:
+        each pending configuration is treated as if it had scored the
+        worst score observed so far, which pushes subsequent proposals
+        away from the pending ones, and the selector counts pending
+        evaluations toward each template's trial count.  Results are
+        always reported back in proposal order, so for a fixed
         ``n_pending`` the produced records are identical across backends —
         provided the pipelines themselves are deterministic: estimators
         must be explicitly seeded (``random_state`` fixed via template
         ``init_params``); catalog defaults leave it ``None``, which draws
         from the process-global RNG and varies run-to-run on any backend.
+    schedule:
+        ``"window"`` (default) runs the sliding-window scheduler: one
+        completion is collected at a time and its replacement proposed
+        immediately, so a straggling evaluation only stalls the search
+        once the window has fully slid past it.  ``"barrier"`` restores
+        the historical round-based loop — propose ``n_pending``, drain
+        them all, repeat — kept for A/B benchmarks of the skew problem.
+        Both schedules produce deterministic (but different) record
+        streams; the cross-backend equivalence guarantee holds for each.
+    task_cache_size:
+        Worker-resident dataset cache knob, forwarded to the process
+        backend (see :class:`~repro.automl.backends.ProcessBackend`);
+        ``None`` keeps the backend default, ``0`` disables the cache.
     """
 
     def __init__(self, templates=None, tuner_class=GPEiTuner, selector_class=UCB1Selector,
                  n_splits=3, random_state=None, store=None, catalog=None,
-                 warm_start_store=None, backend="serial", workers=None, n_pending=1):
+                 warm_start_store=None, backend="serial", workers=None, n_pending=1,
+                 schedule="window", task_cache_size=None):
+        if schedule not in ("window", "barrier"):
+            raise ValueError(
+                "Unknown schedule {!r}; expected 'window' or 'barrier'".format(schedule)
+            )
         self.templates = templates
         self.tuner_class = tuner_class
         self.selector_class = selector_class
@@ -231,6 +261,8 @@ class AutoBazaarSearch:
         self.backend = backend
         self.workers = workers
         self.n_pending = max(1, int(n_pending))
+        self.schedule = schedule
+        self.task_cache_size = task_cache_size
 
     # -- setup ----------------------------------------------------------------------
 
@@ -308,7 +340,9 @@ class AutoBazaarSearch:
         best_hyperparameters = None
         defaults_pending = [template.name for template in templates]
 
-        backend = get_backend(self.backend, workers=self.workers)
+        backend = get_backend(
+            self.backend, workers=self.workers, task_cache_size=self.task_cache_size
+        )
         # a backend instance supplied by the caller outlives this search;
         # one resolved from a name is owned here and shut down on exit
         owns_backend = backend is not self.backend
@@ -317,122 +351,158 @@ class AutoBazaarSearch:
             backend.drain()
         budget = int(budget)
         proposed = 0
+        next_report = 0
+        reorder = {}  # iteration -> completed future, awaiting in-order reporting
+
+        def deadline_passed():
+            # checked before every proposal, so the serial backend stops
+            # mid-window like the historical loop; pool backends overshoot
+            # by at most the work already in flight
+            return max_seconds is not None and time.time() - start > max_seconds
+
+        def propose_and_submit():
+            # The first several proposals score each template once with
+            # defaults; afterwards the selector picks a template and its
+            # tuner proposes a configuration.  Pending bookkeeping (the
+            # constant liar) steers later proposals away from the ones
+            # still in flight.
+            nonlocal proposed
+            if defaults_pending:
+                template_name = defaults_pending.pop(0)
+                is_default = True
+            else:
+                template_name = selector.select(template_scores)
+                is_default = False
+            template = template_index[template_name]
+            tuner = tuners[template_name]
+
+            if is_default or tuner is None:
+                hyperparameters = template.default_hyperparameters()
+            else:
+                hyperparameters = tuner.propose()
+            if tuner is not None:
+                tuner.add_pending(hyperparameters)
+            selector.note_pending(template_name)
+
+            candidate = EvaluationCandidate(
+                iteration=proposed,
+                template=template,
+                hyperparameters=hyperparameters,
+                task=task,
+                n_splits=self.n_splits,
+                random_state=self.random_state,
+                template_name=template_name,
+                is_default=is_default,
+            )
+            proposed += 1
+            backend.submit(candidate)
+
+        def report(future):
+            # file one outcome back into the records, the store, the tuner
+            # and the selector; called strictly in proposal order, so the
+            # record stream (and hence the tuner/selector state feeding the
+            # next proposal) is deterministic regardless of which worker
+            # finished first
+            nonlocal next_report, best_score, best_template, best_hyperparameters
+            candidate = future.candidate
+            outcome = future.result()
+            error = outcome.error
+            score = outcome.score
+            raw_score = outcome.raw_score
+            if error is None and (score is None or not np.isfinite(score)):
+                # degenerate folds (nan/inf metric values) are a
+                # recorded failure, not a fatal tuner error
+                error = "NonFiniteScore: cross-validation produced {!r}".format(score)
+                score = None
+                raw_score = None
+
+            record = EvaluationRecord(
+                task_name=task.name,
+                template_name=candidate.template_name,
+                hyperparameters=candidate.hyperparameters,
+                score=score,
+                raw_score=raw_score,
+                iteration=candidate.iteration,
+                elapsed=outcome.elapsed,
+                error=error,
+                is_default=candidate.is_default,
+            )
+            records.append(record)
+            next_report += 1
+            if self.store is not None:
+                self.store.add(record)
+
+            tuner = tuners[candidate.template_name]
+            if tuner is not None:
+                tuner.resolve_pending(candidate.hyperparameters)
+            selector.resolve_pending(candidate.template_name)
+
+            if error is not None:
+                # a failed evaluation consumed budget: count it as a spent
+                # bandit trial and a known-bad tuner region so neither the
+                # selector nor the tuner keeps re-drawing a crashing
+                # configuration family
+                selector.record_failure(candidate.template_name)
+                if tuner is not None:
+                    tuner.record_failure(candidate.hyperparameters)
+                return
+
+            template_scores[candidate.template_name].append(score)
+            if tuner is not None:
+                tuner.record(candidate.hyperparameters, score)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_template = candidate.template_name
+                best_hyperparameters = dict(candidate.hyperparameters)
+
         try:
-            while proposed < budget:
-                # -- propose: draw up to n_pending candidates for this round.
-                # The first several proposals score each template once with
-                # defaults; afterwards the selector picks a template and its
-                # tuner proposes a configuration.  Pending bookkeeping (the
-                # constant liar) steers the later proposals of the same
-                # round away from the earlier ones.
-                batch = []
-                for _ in range(min(self.n_pending, budget - proposed)):
-                    # no batch starts past the deadline (dispatch re-checks
-                    # between submits, so the serial backend also stops
-                    # mid-batch; pool backends can overshoot by at most the
-                    # one batch already in flight)
-                    if max_seconds is not None and time.time() - start > max_seconds:
-                        break
-                    if defaults_pending:
-                        template_name = defaults_pending.pop(0)
-                        is_default = True
-                    else:
-                        template_name = selector.select(template_scores)
-                        is_default = False
-                    template = template_index[template_name]
-                    tuner = tuners[template_name]
+            if self.schedule == "barrier":
+                # historical round-barrier loop: propose a whole round, then
+                # drain every outcome before proposing again — every worker
+                # idles behind the round's slowest evaluation
+                while proposed < budget and not deadline_passed():
+                    round_end = min(budget, proposed + self.n_pending)
+                    while proposed < round_end and not deadline_passed():
+                        propose_and_submit()
+                    completed = list(backend.as_completed())
+                    completed.sort(key=lambda future: future.candidate.iteration)
+                    for future in completed:
+                        report(future)
+            else:
+                # sliding window: keep n_pending evaluations in flight,
+                # collect one completion at a time and propose its
+                # replacement immediately.  Determinism bounds the slide:
+                # proposal k may only use the reported results of
+                # candidates 0..k-n_pending, so proposals stay at most
+                # n_pending ahead of the reported prefix and a straggler
+                # only stalls the window once it is the oldest outstanding
+                # result and n_pending-1 newer evaluations sit buffered
+                # behind it.
+                def refill():
+                    while (proposed < budget
+                           and proposed - next_report < self.n_pending
+                           and not deadline_passed()):
+                        propose_and_submit()
 
-                    if is_default or tuner is None:
-                        hyperparameters = template.default_hyperparameters()
-                    else:
-                        hyperparameters = tuner.propose()
-                    if tuner is not None:
-                        tuner.add_pending(hyperparameters)
-                    selector.note_pending(template_name)
-
-                    batch.append(EvaluationCandidate(
-                        iteration=proposed,
-                        template=template,
-                        hyperparameters=hyperparameters,
-                        task=task,
-                        n_splits=self.n_splits,
-                        random_state=self.random_state,
-                        template_name=template_name,
-                        is_default=is_default,
-                    ))
-                    proposed += 1
-                if not batch:
-                    break  # wall-clock budget exhausted
-
-                # -- dispatch: submit the batch to the backend; the pool
-                # backends fan each candidate out into its folds.  The
-                # serial backend evaluates inside submit, so the deadline is
-                # re-checked between submits and the untouched remainder of
-                # the batch is withdrawn — the overshoot stays at one
-                # evaluation, like the historical loop.
-                for position, candidate in enumerate(batch):
-                    if (position and max_seconds is not None
-                            and time.time() - start > max_seconds):
-                        for withdrawn in batch[position:]:
-                            tuner = tuners[withdrawn.template_name]
-                            if tuner is not None:
-                                tuner.resolve_pending(withdrawn.hyperparameters)
-                            selector.resolve_pending(withdrawn.template_name)
-                        break
-                    backend.submit(candidate)
-
-                # -- collect: gather outcomes in completion order, then
-                # restore proposal order so the record stream (and hence
-                # the tuner/selector state) is deterministic regardless of
-                # which worker finished first.
-                completed = list(backend.as_completed())
-                completed.sort(key=lambda future: future.candidate.iteration)
-
-                # -- report: file every outcome back into the records, the
-                # store, the tuners and the selector, in proposal order.
-                for future in completed:
-                    candidate = future.candidate
-                    outcome = future.result()
-                    error = outcome.error
-                    score = outcome.score
-                    raw_score = outcome.raw_score
-                    if error is None and (score is None or not np.isfinite(score)):
-                        # degenerate folds (nan/inf metric values) are a
-                        # recorded failure, not a fatal tuner error
-                        error = "NonFiniteScore: cross-validation produced {!r}".format(score)
-                        score = None
-                        raw_score = None
-
-                    record = EvaluationRecord(
-                        task_name=task.name,
-                        template_name=candidate.template_name,
-                        hyperparameters=candidate.hyperparameters,
-                        score=score,
-                        raw_score=raw_score,
-                        iteration=candidate.iteration,
-                        elapsed=outcome.elapsed,
-                        error=error,
-                        is_default=candidate.is_default,
-                    )
-                    records.append(record)
-                    if self.store is not None:
-                        self.store.add(record)
-
-                    tuner = tuners[candidate.template_name]
-                    if tuner is not None:
-                        tuner.resolve_pending(candidate.hyperparameters)
-                    selector.resolve_pending(candidate.template_name)
-
-                    if error is not None:
-                        continue
-
-                    template_scores[candidate.template_name].append(score)
-                    if tuner is not None:
-                        tuner.record(candidate.hyperparameters, score)
-                    if best_score is None or score > best_score:
-                        best_score = score
-                        best_template = candidate.template_name
-                        best_hyperparameters = dict(candidate.hyperparameters)
+                while True:
+                    refill()
+                    if next_report == proposed:
+                        break  # nothing in flight and no proposal allowed
+                    future = backend.collect_one()
+                    if future is None:
+                        break  # backend lost outstanding work; keep records
+                    reorder[future.candidate.iteration] = future
+                    while next_report in reorder:
+                        report(reorder.pop(next_report))
+                        # propose the freed slot's replacement *before*
+                        # reporting the next buffered record: a burst of
+                        # out-of-order completions must not advance the
+                        # reported prefix by more than one report per
+                        # proposal, or proposal k would see a different
+                        # prefix than the serial interleave (report k-n,
+                        # propose k, report k-n+1, ...) and the
+                        # cross-backend record streams would diverge
+                        refill()
         finally:
             if owns_backend:
                 backend.shutdown()

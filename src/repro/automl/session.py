@@ -46,21 +46,31 @@ class AutoBazaarSession:
     workers:
         Worker count for the pool backends (default: the CPU count).
     n_pending:
-        Maximum candidates in flight at once (default 1).  With
-        ``n_pending > 1`` each search round proposes a whole batch before
-        any result returns, using the constant-liar strategy: pending
-        configurations are scored with the worst observed score so the
-        tuner spreads the batch out, and the selector counts in-flight
-        evaluations toward each template's trial count.  Results are
-        reported in proposal order, so for a fixed ``n_pending`` the
-        record stream is identical across backends for deterministic
-        (explicitly seeded) pipelines; catalog default templates leave
-        estimator ``random_state`` unseeded and vary run-to-run.
+        Candidates kept in flight at once (default 1).  With
+        ``n_pending > 1`` the sliding-window scheduler proposes a
+        replacement for every completed evaluation, using the
+        constant-liar strategy: pending configurations are scored with
+        the worst observed score so the tuner spreads the window out, and
+        the selector counts in-flight evaluations toward each template's
+        trial count.  Results are reported in proposal order, so for a
+        fixed ``n_pending`` the record stream is identical across
+        backends for deterministic (explicitly seeded) pipelines; catalog
+        default templates leave estimator ``random_state`` unseeded and
+        vary run-to-run.
+    schedule:
+        ``"window"`` (default) for the sliding-window scheduler,
+        ``"barrier"`` for the historical round-based loop (see
+        :class:`~repro.automl.search.AutoBazaarSearch`).
+    task_cache_size:
+        Worker-resident dataset cache knob of the process backend:
+        tasks kept resident per worker; ``0`` ships every fold's data,
+        ``None`` keeps the backend default.
     """
 
     def __init__(self, budget=20, tuner="gp_ei", selector="ucb1", n_splits=3,
                  random_state=None, warm_start=False, max_seconds_per_task=None,
-                 backend="serial", workers=None, n_pending=1):
+                 backend="serial", workers=None, n_pending=1, schedule="window",
+                 task_cache_size=None):
         self.budget = budget
         self.tuner_class = get_tuner(tuner)
         self.selector_class = get_selector(selector)
@@ -71,6 +81,8 @@ class AutoBazaarSession:
         self.backend = backend
         self.workers = workers
         self.n_pending = n_pending
+        self.schedule = schedule
+        self.task_cache_size = task_cache_size
         self.store = PipelineStore()
         self.results = []
 
@@ -88,6 +100,8 @@ class AutoBazaarSession:
             backend=self.backend,
             workers=self.workers,
             n_pending=self.n_pending,
+            schedule=self.schedule,
+            task_cache_size=self.task_cache_size,
         )
         result = searcher.search(
             task, budget=self.budget, test_task=test_task,
@@ -136,7 +150,7 @@ class AutoBazaarSession:
 
 def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1",
                        n_splits=3, random_state=0, output=None, backend="serial",
-                       workers=None, n_pending=1):
+                       workers=None, n_pending=1, schedule="window", task_cache_size=None):
     """One-shot helper behind the command-line interface.
 
     Loads the task stored in ``task_directory``, runs a search, optionally
@@ -147,7 +161,7 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
     session = AutoBazaarSession(
         budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
         random_state=random_state, backend=backend, workers=workers,
-        n_pending=n_pending,
+        n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
     )
     session.solve_directory(task_directory)
     if output:

@@ -9,6 +9,7 @@ encoders/decoders that bracket most Table II templates.
 from repro.core.annotations import PrimitiveAnnotation
 from repro.core.catalog._helpers import (
     arg,
+    estimator,
     function_primitive,
     hp_cat,
     hp_float,
@@ -17,6 +18,7 @@ from repro.core.catalog._helpers import (
     transformer,
 )
 from repro.learners.preprocessing import CategoricalEncoder, ClassDecoder, ClassEncoder
+from repro.learners.synthetic import TimedDummyClassifier
 from repro.learners.text import SequencePadder, StringVectorizer, TextCleaner, UniqueCounter, VocabularyCounter
 from repro.learners.timeseries import (
     find_anomalies,
@@ -139,6 +141,14 @@ def register(registry):
             tunable=[hp_int("window_size", 50, 10, 200)],
             fixed={"target_size": 1, "step_size": 1, "target_column": 0},
             description="Create rolling window input/target pairs from a series.",
+        ),
+        # -- synthetic cost simulation (scheduler/backend benchmarks) ---------------------
+        estimator(
+            "mlprimitives.custom.synthetic.TimedDummyClassifier",
+            TimedDummyClassifier, SOURCE,
+            fixed={"fit_seconds": 0.0, "predict_seconds": 0.0},
+            description="Majority-class classifier with a configurable artificial "
+                        "fit/predict cost, for scheduler-skew benchmarks.",
         ),
         # -- anomaly detection postprocessing (ORION pipeline) ----------------------------
         function_primitive(

@@ -19,8 +19,6 @@ from repro.learners.validation import check_X_y, check_array
 from repro.learners.linear import LogisticRegression, Ridge
 from repro.learners.naive_bayes import GaussianNB
 from repro.learners.tree import (
-    DecisionTreeClassifier,
-    DecisionTreeRegressor,
     GradientBoostingClassifier,
     GradientBoostingRegressor,
     RandomForestClassifier,
@@ -125,8 +123,6 @@ class StackingClassifier(BaseEstimator, ClassifierMixin):
             for member_index, member in enumerate(members):
                 model = clone(member)
                 model.fit(X[train_mask], y[train_mask])
-                block = slice(member_index * len(self.classes_),
-                              (member_index + 1) * len(self.classes_))
                 if hasattr(model, "predict_proba"):
                     proba = model.predict_proba(X[fold])
                     for j, label in enumerate(model.classes_):
@@ -136,7 +132,6 @@ class StackingClassifier(BaseEstimator, ClassifierMixin):
                     for row, label in zip(fold, model.predict(X[fold])):
                         meta_features[row, member_index * len(self.classes_)
                                       + class_index[label]] = 1.0
-                del block
 
         self.estimators_ = []
         for member in members:

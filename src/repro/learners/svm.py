@@ -7,7 +7,7 @@ one-vs-rest scheme.
 
 import numpy as np
 
-from repro.learners.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_random_state
+from repro.learners.base import BaseEstimator, ClassifierMixin, RegressorMixin
 from repro.learners.validation import check_X_y, check_array
 
 
@@ -27,7 +27,6 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         self.classes_ = np.unique(y)
         if len(self.classes_) < 2:
             raise ValueError("LinearSVC requires at least 2 classes")
-        rng = check_random_state(self.random_state)
         n_samples, n_features = X.shape
         self.coef_ = np.zeros((len(self.classes_), n_features))
         self.intercept_ = np.zeros(len(self.classes_))
@@ -46,7 +45,6 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
                 bias -= step * gradient_b
             self.coef_[class_index] = weights
             self.intercept_[class_index] = bias
-        del rng
         return self
 
     def decision_function(self, X):

@@ -7,7 +7,7 @@ own extra-trees importance estimates.
 
 import numpy as np
 
-from repro.learners.base import BaseEstimator, TransformerMixin, check_random_state
+from repro.learners.base import BaseEstimator, TransformerMixin
 from repro.learners.validation import check_X_y, check_array
 from repro.learners.tree.decision_tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.learners.tree.random_forest import RandomForestClassifier, RandomForestRegressor

@@ -5,8 +5,6 @@
 mirrors those proportions at a laptop-friendly scale.
 """
 
-import numpy as np
-
 from repro.learners.base import check_random_state
 from repro.tasks import synth
 from repro.tasks.types import TaskType

@@ -160,8 +160,13 @@ def split_task(task, test_size=0.25, random_state=None):
     return task.subset(train_indices, "train"), task.subset(test_indices, "test")
 
 
-def task_cv_splits(task, n_splits=3, random_state=None):
-    """Cross-validation splits of a task as ``(train_task, val_task)`` pairs.
+def task_cv_indices(task, n_splits=3, random_state=None):
+    """Cross-validation folds of a task as ``(train_indices, val_indices)`` pairs.
+
+    This is the index-level view behind :func:`task_cv_splits`.  The
+    execution backends ship these index arrays (a few kilobytes) to the
+    workers instead of materialized task subsets, so a worker holding the
+    full task in its resident cache can rebuild any fold locally.
 
     Ordered tasks use expanding-window splits; unordered tasks use shuffled
     K-fold splits.
@@ -172,7 +177,7 @@ def task_cv_splits(task, n_splits=3, random_state=None):
     if n_samples < 2 * n_splits:
         n_splits = max(2, n_samples // 2)
 
-    splits = []
+    folds = []
     if task.ordered:
         # expanding window: train on [0, cut), validate on [cut, next_cut)
         fold_edges = np.linspace(n_samples // 2, n_samples, n_splits + 1, dtype=int)
@@ -181,17 +186,34 @@ def task_cv_splits(task, n_splits=3, random_state=None):
             val_indices = np.arange(fold_edges[i], fold_edges[i + 1])
             if len(val_indices) == 0 or len(train_indices) == 0:
                 continue
-            splits.append((task.subset(train_indices, "cv-train"),
-                           task.subset(val_indices, "cv-val")))
+            folds.append((train_indices, val_indices))
     else:
         rng = check_random_state(random_state)
         indices = rng.permutation(n_samples)
-        folds = np.array_split(indices, n_splits)
+        chunks = np.array_split(indices, n_splits)
         for i in range(n_splits):
-            val_indices = np.sort(folds[i])
-            train_indices = np.sort(np.concatenate([folds[j] for j in range(n_splits) if j != i]))
-            splits.append((task.subset(train_indices, "cv-train"),
-                           task.subset(val_indices, "cv-val")))
-    if not splits:
+            val_indices = np.sort(chunks[i])
+            train_indices = np.sort(np.concatenate([chunks[j] for j in range(n_splits) if j != i]))
+            folds.append((train_indices, val_indices))
+    if not folds:
         raise ValueError("Could not build any cross-validation split for task {!r}".format(task.name))
-    return splits
+    return folds
+
+
+def materialize_cv_fold(task, train_indices, val_indices):
+    """Build the ``(train_task, val_task)`` pair of one cross-validation fold."""
+    return task.subset(train_indices, "cv-train"), task.subset(val_indices, "cv-val")
+
+
+def task_cv_splits(task, n_splits=3, random_state=None):
+    """Cross-validation splits of a task as ``(train_task, val_task)`` pairs.
+
+    Ordered tasks use expanding-window splits; unordered tasks use shuffled
+    K-fold splits.
+    """
+    return [
+        materialize_cv_fold(task, train_indices, val_indices)
+        for train_indices, val_indices in task_cv_indices(
+            task, n_splits=n_splits, random_state=random_state
+        )
+    ]

@@ -34,6 +34,7 @@ class BaseTuner:
         self.trials = []
         self.scores = []
         self._pending = []
+        self.failed_trials = []
 
     def record(self, params, score):
         """Record the observed score of a configuration."""
@@ -42,6 +43,19 @@ class BaseTuner:
             raise ValueError("Cannot record a non-finite score")
         self.trials.append(dict(params))
         self.scores.append(score)
+
+    def record_failure(self, params):
+        """Record a configuration whose evaluation failed (crash or non-finite score).
+
+        Failed configurations produce no usable score, so they never enter
+        the real trial history — but pretending they never happened makes
+        the meta-model re-propose the same crashing region over and over.
+        They are kept in a separate list and participate in the meta-model
+        fit at the constant-liar score (the worst score observed so far),
+        which deflates the acquisition function around known-bad regions
+        the same way pending proposals are deflated.
+        """
+        self.failed_trials.append(dict(params))
 
     # -- pending proposals (constant-liar batching) ---------------------------------
 
@@ -162,19 +176,20 @@ class GPTuner(BaseTuner):
         self.min_trials = min_trials
 
     def _training_data(self):
-        """Observed trials plus pending ones under the constant-liar score.
+        """Observed trials plus pending and failed ones under the constant liar.
 
-        Each in-flight configuration is assigned the worst score observed
-        so far (the pessimistic liar), which deflates the acquisition
-        function around pending proposals without biasing the model
-        upwards.
+        Each in-flight configuration — and each configuration whose
+        evaluation failed — is assigned the worst score observed so far
+        (the pessimistic liar), which deflates the acquisition function
+        around pending proposals and known-bad regions without biasing
+        the model upwards.
         """
         trials = list(self.trials)
         scores = list(self.scores)
-        if self._pending and scores:
+        if scores and (self._pending or self.failed_trials):
             lie = min(scores)
-            for pending in self._pending:
-                trials.append(pending)
+            for extra in self._pending + self.failed_trials:
+                trials.append(extra)
                 scores.append(lie)
         return trials, scores
 

@@ -1,6 +1,5 @@
 """Tests for the AutoBazaar search engine (paper Algorithm 2)."""
 
-import numpy as np
 import pytest
 
 from repro.automl import AutoBazaarSearch, evaluate_pipeline, get_templates

@@ -1,6 +1,5 @@
 """Tests for search extensions: wall-clock budgets, checkpoints and warm-starting."""
 
-import numpy as np
 import pytest
 
 from repro.automl import AutoBazaarSearch

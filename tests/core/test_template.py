@@ -1,6 +1,5 @@
 """Tests for templates and hypertemplates (paper Section IV-A, Figure 4)."""
 
-import numpy as np
 import pytest
 
 from repro.core.annotations import HyperparamSpec

@@ -1,6 +1,5 @@
 """Tests for the pipeline store and meta-analysis (piex)."""
 
-import numpy as np
 import pytest
 
 from repro.explorer import (

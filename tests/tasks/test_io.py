@@ -3,7 +3,6 @@
 import os
 
 import numpy as np
-import pytest
 
 from repro.tasks import build_task_suite, load_suite, load_task, save_suite, save_task, synth
 from repro.tasks.types import TaskType

@@ -1,0 +1,61 @@
+"""Structural validation of the CI workflow (a dry-run stand-in for actionlint).
+
+The pipeline is part of the contract: lint, tier-1 tests and the
+benchmark smoke run must stay distinct jobs, the test job must cover the
+supported interpreter matrix, and every job must keep pip caching on.
+"""
+
+import os
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = os.path.join(os.path.dirname(__file__), "..", ".github", "workflows", "ci.yml")
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(WORKFLOW) as stream:
+        return yaml.safe_load(stream)
+
+
+def test_workflow_parses_and_triggers(workflow):
+    assert workflow["name"] == "CI"
+    # PyYAML parses the bare `on:` key as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert "push" in triggers
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+
+
+def test_lint_tests_and_bench_smoke_are_distinct_jobs(workflow):
+    jobs = workflow["jobs"]
+    assert set(jobs) == {"lint", "tests", "bench-smoke"}
+    assert any("ruff check" in step.get("run", "") for step in jobs["lint"]["steps"])
+    assert any("python -m pytest -x -q" in step.get("run", "")
+               for step in jobs["tests"]["steps"])
+    assert any('-k "pipeline_engine"' in step.get("run", "")
+               for step in jobs["bench-smoke"]["steps"])
+
+
+def test_tier1_matrix_covers_supported_interpreters(workflow):
+    matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
+    assert matrix == ["3.10", "3.11", "3.12"]
+
+
+def test_every_job_is_well_formed_with_pip_caching(workflow):
+    for name, job in workflow["jobs"].items():
+        assert job["runs-on"] == "ubuntu-latest", name
+        steps = job["steps"]
+        assert isinstance(steps, list) and steps, name
+        for step in steps:
+            # exactly one of uses/run per step, and actions are pinned
+            assert ("uses" in step) != ("run" in step), (name, step)
+            if "uses" in step:
+                action, _, version = step["uses"].partition("@")
+                assert version, step["uses"]
+        setup_steps = [step for step in steps
+                       if step.get("uses", "").startswith("actions/setup-python")]
+        assert setup_steps, name
+        assert all(step["with"].get("cache") == "pip" for step in setup_steps), name

@@ -1,0 +1,160 @@
+"""Failed evaluations count as bandit trials (selectors) and liar points (tuners).
+
+Before this accounting existed, a template whose configurations crash
+deterministically kept an empty score list forever, so ``_unseen``
+returned it on every ``select`` call and the search burned its whole
+budget re-proposing a known-bad arm.
+"""
+
+import pytest
+
+from repro.automl import AutoBazaarSearch
+from repro.core.template import Template
+from repro.tasks import synth
+from repro.tuning.selectors import (
+    BestKRewardSelector,
+    ThompsonSamplingSelector,
+    UCB1Selector,
+    get_selector,
+)
+from repro.tuning.tuners import GPEiTuner, UniformTuner
+
+
+def tunable_space():
+    return Template(
+        "failure_space",
+        ["mlprimitives.custom.preprocessing.ClassEncoder",
+         "sklearn.impute.SimpleImputer",
+         "sklearn.ensemble.RandomForestClassifier",
+         "mlprimitives.custom.preprocessing.ClassDecoder"],
+    ).get_tunable_hyperparameters()
+
+
+class TestSelectorFailureTrials:
+    def test_failed_arm_is_no_longer_unseen(self):
+        selector = UCB1Selector(["bad", "good"], random_state=0)
+        assert selector._unseen({}) == ["bad", "good"]
+        selector.record_failure("bad")
+        assert selector._unseen({}) == ["good"]
+        assert selector.failure_count("bad") == 1
+
+    def test_one_transient_failure_earns_a_retry_two_quarantine(self):
+        # the first failure may be transient (killed worker, flaky I/O):
+        # the arm stays selectable for exactly one retry, then a second
+        # scoreless failure quarantines it while other arms remain
+        selector = UCB1Selector(["bad", "good"], random_state=0)
+        scores = {"bad": [], "good": [0.6]}
+        selector.record_failure("bad")
+        assert "bad" in selector._selectable(scores)
+        selector.record_failure("bad")
+        assert selector._selectable(scores) == ["good"]
+        # with every arm quarantined, the least-failed ones stay in play
+        selector.record_failure("good")
+        selector.record_failure("good")
+        selector.record_failure("good")
+        assert selector._selectable({"bad": [], "good": []}) == ["bad"]
+
+    def test_failures_shrink_selection_frequency(self):
+        # "bad" crashed three times, "good" has one mediocre score; the
+        # spent trials plus the pessimistic liar must steer selection to
+        # the arm that actually produces scores
+        selector = UCB1Selector(["bad", "good"], random_state=0)
+        for _ in range(3):
+            selector.record_failure("bad")
+        scores = {"bad": [], "good": [0.6]}
+        assert selector.select(scores) == "good"
+
+    def test_failures_count_toward_total_trials(self):
+        selector = UCB1Selector(["a", "b"], random_state=0)
+        selector.record_failure("a")
+        selector.record_failure("a")
+        total, _, liar = selector._bandit_state({"a": [], "b": [0.5]})
+        assert total == 3  # one score + two failures
+        assert liar == pytest.approx(0.5)  # worst mean across scored arms
+
+    @pytest.mark.parametrize("selector_name", ["ucb1", "best_k", "best_k_velocity", "thompson"])
+    def test_all_failed_arm_still_selectable_without_crash(self, selector_name):
+        selector = get_selector(selector_name)(["a", "b"], random_state=0)
+        selector.record_failure("a")
+        chosen = selector.select({"a": [], "b": [0.5, 0.6]})
+        assert chosen in ("a", "b")
+
+    def test_best_k_failures_decay_exploration_bonus(self):
+        selector = BestKRewardSelector(["bad", "good"], k=2, random_state=0)
+        scores = {"bad": [], "good": [0.7, 0.8]}
+        selector.record_failure("bad")
+        first = selector.select(scores)
+        for _ in range(6):
+            selector.record_failure("bad")
+        later = selector.select(scores)
+        assert later == "good"
+        assert (first, later).count("bad") <= 1
+
+    def test_thompson_failed_trials_narrow_the_draw(self):
+        selector = ThompsonSamplingSelector(["bad", "good"], random_state=0)
+        for _ in range(10):
+            selector.record_failure("bad")
+        picks = {selector.select({"bad": [], "good": [0.5, 0.55]}) for _ in range(10)}
+        assert "good" in picks
+
+
+class TestTunerFailureTrials:
+    def test_record_failure_kept_out_of_real_history(self):
+        tuner = UniformTuner(tunable_space(), random_state=0)
+        params = tuner.propose()
+        tuner.record_failure(params)
+        assert tuner.failed_trials == [params]
+        assert tuner.trials == []
+        assert tuner.scores == []
+
+    def test_failed_trials_join_training_data_at_liar_score(self):
+        tuner = GPEiTuner(tunable_space(), random_state=0)
+        for score in (0.4, 0.7):
+            tuner.record(tuner.propose(), score)
+        crashed = tuner.propose()
+        tuner.record_failure(crashed)
+        trials, scores = tuner._training_data()
+        assert len(trials) == 3
+        assert scores == [0.4, 0.7, 0.4]  # the lie is the observed minimum
+        assert trials[-1] == crashed
+
+    def test_failed_trials_ignored_until_a_real_score_exists(self):
+        tuner = GPEiTuner(tunable_space(), random_state=0)
+        tuner.record_failure(tuner.propose())
+        trials, scores = tuner._training_data()
+        assert trials == [] and scores == []
+
+    def test_propose_still_works_with_failures_recorded(self):
+        tuner = GPEiTuner(tunable_space(), min_trials=2, random_state=0)
+        for score in (0.3, 0.6, 0.5):
+            tuner.record(tuner.propose(), score)
+        tuner.record_failure(tuner.propose())
+        assert isinstance(tuner.propose(), dict)
+
+
+class TestSearchStopsRedrawingCrashingTemplates:
+    def test_broken_template_draws_decay(self):
+        broken = Template(
+            "always_broken",
+            ["sklearn.decomposition.PCA", "xgboost.XGBClassifier"],
+            init_params={"sklearn.decomposition.PCA": {"n_components": 0}},
+        )
+        working = Template(
+            "works",
+            ["mlprimitives.custom.preprocessing.ClassEncoder",
+             "sklearn.impute.SimpleImputer",
+             "sklearn.ensemble.RandomForestClassifier",
+             "mlprimitives.custom.preprocessing.ClassDecoder"],
+            init_params={"sklearn.ensemble.RandomForestClassifier": {"random_state": 0}},
+        )
+        task = synth.make_single_table_classification(n_samples=60, random_state=0)
+        searcher = AutoBazaarSearch(
+            templates=[broken, working], n_splits=2, random_state=0,
+        )
+        result = searcher.search(task, budget=8)
+        broken_draws = sum(1 for r in result.records if r.template_name == "always_broken")
+        # one mandatory default evaluation plus at most one exploratory
+        # re-draw; without failure accounting the broken arm stayed
+        # "unseen" forever and won every post-default selection
+        assert broken_draws <= 2
+        assert result.best_score is not None

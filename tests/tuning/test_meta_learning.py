@@ -1,7 +1,6 @@
 """Tests for the meta-learning (warm-start) tuner extension."""
 
 import numpy as np
-import pytest
 
 from repro.explorer import PipelineStore
 from repro.tuning.hyperparams import FloatHyperparam, IntHyperparam, Tunable
