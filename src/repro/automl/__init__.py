@@ -15,7 +15,19 @@ from repro.automl.backends import (
     get_backend,
 )
 from repro.automl.catalog import TemplateCatalog, default_template_catalog, get_templates
-from repro.automl.search import AutoBazaarSearch, EvaluationRecord, SearchResult, evaluate_pipeline
+from repro.automl.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    ExperimentRun,
+    resume_run,
+)
+from repro.automl.search import (
+    AutoBazaarSearch,
+    EvaluationRecord,
+    ReplayMismatchError,
+    SearchResult,
+    evaluate_pipeline,
+)
 from repro.automl.session import AutoBazaarSession, run_from_directory
 
 __all__ = [
@@ -28,6 +40,11 @@ __all__ = [
     "evaluate_pipeline",
     "AutoBazaarSession",
     "run_from_directory",
+    "CheckpointError",
+    "CheckpointManager",
+    "ExperimentRun",
+    "resume_run",
+    "ReplayMismatchError",
     "BACKENDS",
     "ExecutionBackend",
     "EvaluationCandidate",

@@ -3,11 +3,18 @@
 Solves one on-disk task (a folder written by :func:`repro.tasks.io.save_task`)
 with AutoBazaar and prints the best pipeline, its scores and the session
 report.
+
+Durable runs::
+
+    python -m repro.automl <task_dir> --store-path <dir>   # persistent store + auto warm start
+    python -m repro.automl <task_dir> --run-dir <dir>      # checkpointed, resumable run
+    python -m repro.automl resume <run_dir>                # continue a killed run
 """
 
 import argparse
 import sys
 
+from repro.automl.checkpoint import CheckpointError
 from repro.automl.session import run_from_directory
 
 
@@ -15,7 +22,9 @@ def build_parser():
     """Build the argument parser for the AutoBazaar CLI."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.automl",
-        description="Run an AutoBazaar pipeline search on a task stored on disk.",
+        description="Run an AutoBazaar pipeline search on a task stored on disk. "
+                    "(Use `python -m repro.automl resume <run_dir>` to continue a "
+                    "killed checkpointed run.)",
     )
     parser.add_argument("task_dir", help="directory written by repro.tasks.io.save_task")
     parser.add_argument("--budget", type=int, default=20,
@@ -45,13 +54,93 @@ def build_parser():
     parser.add_argument("--worker-cache", type=int, default=None, metavar="TASKS",
                         help="tasks kept resident per process-backend worker; 0 ships "
                              "every fold's data instead (default: backend default)")
+    parser.add_argument("--store-path", default=None, metavar="DIR",
+                        help="directory of a persistent (crash-safe JSONL) pipeline "
+                             "store; records are durably appended as they are "
+                             "reported, and history already in the store warm-starts "
+                             "the tuners automatically")
+    parser.add_argument("--warm-start", dest="warm_start", action="store_true",
+                        help="force warm-starting tuners from the store history "
+                             "(default: automatic when --store-path holds records)")
+    parser.add_argument("--no-warm-start", dest="warm_start", action="store_false",
+                        help="disable warm-starting even when the store holds history")
+    parser.set_defaults(warm_start="auto")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="run as a checkpointed, resumable experiment in DIR "
+                             "(record log + periodic state snapshots); a killed run "
+                             "continues with `python -m repro.automl resume DIR`")
+    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                        help="snapshot the resumable search state every N reported "
+                             "records (default: 1; the record log itself is always "
+                             "written per record)")
     parser.add_argument("--output", default=None,
                         help="optional path for the JSON dump of every scored pipeline")
     return parser
 
 
+def build_resume_parser():
+    """Build the argument parser for ``python -m repro.automl resume``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.automl resume",
+        description="Resume a killed checkpointed run from its run directory. The "
+                    "durable record prefix is replayed to reconstruct the exact "
+                    "search state, then the search continues; the final record "
+                    "stream is identical to an uninterrupted run.",
+    )
+    parser.add_argument("run_dir", help="run directory created with --run-dir")
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process"),
+                        help="execution backend for the remaining evaluations; may "
+                             "differ from the original run (the record stream is "
+                             "backend-independent)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for the thread/process backends")
+    parser.add_argument("--worker-cache", type=int, default=None, metavar="TASKS",
+                        help="worker-resident task cache of the process backend")
+    return parser
+
+
+def _print_result(result):
+    print()
+    print("best template        : {}".format(result.best_template))
+    print("cross-validation     : {}".format(result.best_score))
+    print("held-out test score  : {}".format(result.test_score))
+
+
+def _resume_main(argv):
+    from repro.automl.checkpoint import resume_run
+    from repro.automl.search import ReplayMismatchError
+    from repro.explorer import StoreCorruptionError, report
+
+    arguments = build_resume_parser().parse_args(argv)
+    try:
+        run = resume_run(
+            arguments.run_dir,
+            backend=arguments.backend,
+            workers=arguments.workers,
+            task_cache_size=arguments.worker_cache,
+        )
+    except (FileNotFoundError, ValueError, CheckpointError,
+            ReplayMismatchError, StoreCorruptionError) as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+    print(report(run.store, title="AutoBazaar run {}".format(run.manifest["task_name"])))
+    print()
+    print("run directory        : {}".format(run.run_dir))
+    print("records in store     : {}".format(len(run.store)))
+    _print_result(run.result)
+    run.close()
+    return 0
+
+
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "resume":
+        return _resume_main(argv[1:])
+
     arguments = build_parser().parse_args(argv)
     try:
         session = run_from_directory(
@@ -67,19 +156,25 @@ def main(argv=None):
             n_pending=arguments.pending,
             schedule=arguments.schedule,
             task_cache_size=arguments.worker_cache,
+            store_path=arguments.store_path,
+            warm_start=arguments.warm_start,
+            run_dir=arguments.run_dir,
+            checkpoint_every=arguments.checkpoint_every,
         )
-    except (FileNotFoundError, ValueError) as error:
+    except (FileNotFoundError, ValueError, CheckpointError) as error:
         print("error: {}".format(error), file=sys.stderr)
         return 1
 
     result = session.results[-1]
     print(session.report())
-    print()
-    print("best template        : {}".format(result.best_template))
-    print("cross-validation     : {}".format(result.best_score))
-    print("held-out test score  : {}".format(result.test_score))
+    _print_result(result)
     if arguments.output:
         print("evaluation store     : {}".format(arguments.output))
+    if arguments.store_path:
+        print("persistent store     : {}".format(arguments.store_path))
+    if arguments.run_dir:
+        print("run directory        : {} (resume with `python -m repro.automl "
+              "resume {}`)".format(arguments.run_dir, arguments.run_dir))
     return 0
 
 

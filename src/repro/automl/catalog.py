@@ -333,3 +333,52 @@ def default_template_catalog():
 def get_templates(data_modality, problem_type, variant=None):
     """Convenience accessor over the default template catalog."""
     return default_template_catalog().get(data_modality, problem_type, variant=variant)
+
+
+def seed_templates(templates, random_state):
+    """Clone templates with every stochastic primitive explicitly seeded.
+
+    The catalog defaults leave estimator ``random_state`` unset, which
+    draws from the process-global RNG and makes pipeline scores vary
+    run-to-run — fine for exploration, fatal for the determinism and
+    resume guarantees.  This helper returns copies of ``templates`` whose
+    ``init_params`` pin ``random_state=random_state`` for every primitive
+    whose implementation accepts that keyword (already-pinned values are
+    left alone), making the evaluation of any proposed configuration a
+    pure function of the configuration.  Used by checkpointed runs
+    (:class:`~repro.automl.checkpoint.ExperimentRun`), where a resumed
+    search must reproduce the uninterrupted run's scores exactly.
+    """
+    import inspect
+
+    seeded = []
+    for template in templates:
+        init_params = {key: dict(value) for key, value in template.init_params.items()}
+        changed = False
+        for primitive_name in dict.fromkeys(template.primitives):
+            try:
+                annotation = template._registry.get(primitive_name)
+                parameters = inspect.signature(annotation.primitive).parameters
+            except (KeyError, TypeError, ValueError):
+                continue
+            if "random_state" not in parameters:
+                continue
+            step_params = init_params.setdefault(primitive_name, {})
+            if "random_state" not in step_params:
+                step_params["random_state"] = random_state
+                changed = True
+        if not changed:
+            seeded.append(template)
+            continue
+        seeded.append(Template(
+            name=template.name,
+            primitives=template.primitives,
+            init_params=init_params,
+            input_names=template.input_names,
+            output_names=template.output_names,
+            outputs=template.outputs,
+            tunable=template._tunable_override,
+            task_types=template.task_types,
+            registry=template._registry,
+        ))
+    return seeded

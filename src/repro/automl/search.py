@@ -31,14 +31,59 @@ training data and scored on the held-out test partition.
 """
 
 import time
+from collections import deque
 
 import numpy as np
 
-from repro.automl.backends import EvaluationCandidate, get_backend
+from repro.automl.backends import (
+    CandidateFuture,
+    EvaluationCandidate,
+    EvaluationOutcome,
+    get_backend,
+)
 from repro.automl.catalog import default_template_catalog
+from repro.explorer.store import normalize_value
 from repro.tasks.task import split_task, task_cv_splits
 from repro.tuning.selectors import UCB1Selector
 from repro.tuning.tuners import GPEiTuner, UniformTuner
+
+
+class ReplayMismatchError(RuntimeError):
+    """A resumed search diverged from the recorded stream it is replaying.
+
+    Raised when the candidate regenerated at some iteration does not match
+    the record persisted for that iteration — the store was produced under
+    a different configuration/seed, the run directory was tampered with,
+    or a nondeterministic component leaked into the proposal path.
+    """
+
+
+def _verify_replay_candidate(candidate, recorded):
+    """Check a regenerated candidate against its persisted record."""
+    problems = []
+    iteration = recorded.get("iteration")
+    if iteration is not None and int(iteration) != candidate.iteration:
+        problems.append("iteration {} != recorded {}".format(candidate.iteration, iteration))
+    if recorded.get("template_name") != candidate.template_name:
+        problems.append("template {!r} != recorded {!r}".format(
+            candidate.template_name, recorded.get("template_name")))
+    if bool(recorded.get("is_default", False)) != candidate.is_default:
+        problems.append("is_default {} != recorded {}".format(
+            candidate.is_default, recorded.get("is_default")))
+    recorded_params = recorded.get("hyperparameters")
+    if recorded_params is not None:
+        proposed = normalize_value(
+            {str(key): value for key, value in candidate.hyperparameters.items()}
+        )
+        if proposed != recorded_params:
+            problems.append("hyperparameters {!r} != recorded {!r}".format(
+                proposed, recorded_params))
+    if problems:
+        raise ReplayMismatchError(
+            "Resumed search diverged from the stored record stream at iteration {}: {}. "
+            "The store was written under a different configuration or seed, or was "
+            "modified since.".format(candidate.iteration, "; ".join(problems))
+        )
 
 
 class EvaluationRecord:
@@ -240,12 +285,20 @@ class AutoBazaarSearch:
         Worker-resident dataset cache knob, forwarded to the process
         backend (see :class:`~repro.automl.backends.ProcessBackend`);
         ``None`` keeps the backend default, ``0`` disables the cache.
+    estimator_seed:
+        When set, every loaded template is cloned with this value pinned
+        as the ``random_state`` of each stochastic primitive (see
+        :func:`~repro.automl.catalog.seed_templates`), making pipeline
+        evaluation a pure function of the configuration.  Checkpointed
+        runs set it so that a resumed search reproduces the uninterrupted
+        run's scores exactly; the default ``None`` keeps the catalog's
+        unseeded behaviour.
     """
 
     def __init__(self, templates=None, tuner_class=GPEiTuner, selector_class=UCB1Selector,
                  n_splits=3, random_state=None, store=None, catalog=None,
                  warm_start_store=None, backend="serial", workers=None, n_pending=1,
-                 schedule="window", task_cache_size=None):
+                 schedule="window", task_cache_size=None, estimator_seed=None):
         if schedule not in ("window", "barrier"):
             raise ValueError(
                 "Unknown schedule {!r}; expected 'window' or 'barrier'".format(schedule)
@@ -263,10 +316,12 @@ class AutoBazaarSearch:
         self.n_pending = max(1, int(n_pending))
         self.schedule = schedule
         self.task_cache_size = task_cache_size
+        self.estimator_seed = estimator_seed
 
     # -- setup ----------------------------------------------------------------------
 
     def _load_templates(self, task):
+        from repro.automl.catalog import seed_templates
         from repro.core.template import Hypertemplate
 
         if self.templates is not None:
@@ -281,6 +336,8 @@ class AutoBazaarSearch:
                 templates.extend(candidate.derive_templates())
             else:
                 templates.append(candidate)
+        if self.estimator_seed is not None:
+            templates = seed_templates(templates, self.estimator_seed)
         return templates
 
     def _build_tuners(self, templates, task):
@@ -305,7 +362,8 @@ class AutoBazaarSearch:
 
     # -- main loop ------------------------------------------------------------------
 
-    def search(self, task, budget=20, test_task=None, holdout=0.25, max_seconds=None):
+    def search(self, task, budget=20, test_task=None, holdout=0.25, max_seconds=None,
+               checkpoint=None, replay=None, elapsed_offset=0.0):
         """Search for the best pipeline for ``task`` within ``budget`` evaluations.
 
         Parameters
@@ -319,8 +377,29 @@ class AutoBazaarSearch:
             Optional wall-clock limit (the paper's per-task budget is a
             2-hour wall-clock limit); the loop stops at whichever of the
             two budgets is exhausted first.
+        checkpoint:
+            Optional observer with an ``after_report(state)`` method (see
+            :class:`~repro.automl.checkpoint.CheckpointManager`), called
+            after every reported record — strictly after the record was
+            filed into the store/tuners/selector and strictly before the
+            next proposal — with a snapshot-able view of the search state.
+        replay:
+            Optional sequence of previously recorded evaluation documents
+            (:meth:`EvaluationRecord.to_dict` dicts), one per iteration
+            from 0.  Iterations below ``len(replay)`` re-run the *proposal*
+            path (consuming the RNG and updating tuner/selector pending
+            state exactly as the original run did) but skip evaluation,
+            substituting the recorded outcome — so a resumed search
+            reconstructs the exact tuner/selector/RNG state and then
+            continues with live evaluations, emitting the identical
+            remaining record stream.  Replayed records are not re-added to
+            the store.
+        elapsed_offset:
+            Seconds already spent by a previous incarnation of this search
+            (resume); counted against ``max_seconds`` and included in the
+            result's ``elapsed``.
         """
-        start = time.time()
+        start = time.time() - float(elapsed_offset)
         if test_task is None:
             task, test_task = split_task(task, test_size=holdout, random_state=self.random_state)
 
@@ -353,11 +432,20 @@ class AutoBazaarSearch:
         proposed = 0
         next_report = 0
         reorder = {}  # iteration -> completed future, awaiting in-order reporting
+        replay = list(replay or ())
+        replay_count = len(replay)
+        replayed_queue = deque()  # completed-instantly futures for replayed iterations
 
         def deadline_passed():
             # checked before every proposal, so the serial backend stops
             # mid-window like the historical loop; pool backends overshoot
-            # by at most the work already in flight
+            # by at most the work already in flight.  Replay proposals are
+            # exempt: they cost no evaluation time and must all run, or a
+            # resumed run whose elapsed_offset already reached max_seconds
+            # would reconstruct nothing and return an empty result instead
+            # of the records it durably holds.
+            if proposed < replay_count:
+                return False
             return max_seconds is not None and time.time() - start > max_seconds
 
         def propose_and_submit():
@@ -395,7 +483,23 @@ class AutoBazaarSearch:
                 is_default=is_default,
             )
             proposed += 1
-            backend.submit(candidate)
+            if candidate.iteration < replay_count:
+                # resume replay: the proposal above consumed the RNG and
+                # registered its pending bookkeeping exactly like the
+                # original run; substitute the recorded outcome instead of
+                # re-evaluating.  Replayed futures complete instantly and
+                # are collected FIFO — the same semantics as the serial
+                # backend — so the propose/report interleave (and with it
+                # every subsequent RNG draw) is identical to the original.
+                recorded = replay[candidate.iteration]
+                _verify_replay_candidate(candidate, recorded)
+                outcome = EvaluationOutcome(
+                    recorded.get("score"), recorded.get("raw_score"),
+                    recorded.get("error"), recorded.get("elapsed") or 0.0,
+                )
+                replayed_queue.append(CandidateFuture(candidate, outcome))
+            else:
+                backend.submit(candidate)
 
         def report(future):
             # file one outcome back into the records, the store, the tuner
@@ -429,7 +533,9 @@ class AutoBazaarSearch:
             )
             records.append(record)
             next_report += 1
-            if self.store is not None:
+            if self.store is not None and candidate.iteration >= replay_count:
+                # replayed records are already durable in the store; only
+                # newly evaluated ones are appended (no duplicate lines)
                 self.store.add(record)
 
             tuner = tuners[candidate.template_name]
@@ -445,15 +551,33 @@ class AutoBazaarSearch:
                 selector.record_failure(candidate.template_name)
                 if tuner is not None:
                     tuner.record_failure(candidate.hyperparameters)
-                return
+            else:
+                template_scores[candidate.template_name].append(score)
+                if tuner is not None:
+                    tuner.record(candidate.hyperparameters, score)
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best_template = candidate.template_name
+                    best_hyperparameters = dict(candidate.hyperparameters)
 
-            template_scores[candidate.template_name].append(score)
-            if tuner is not None:
-                tuner.record(candidate.hyperparameters, score)
-            if best_score is None or score > best_score:
-                best_score = score
-                best_template = candidate.template_name
-                best_hyperparameters = dict(candidate.hyperparameters)
+            if checkpoint is not None:
+                # called after the record is fully filed and before the
+                # next proposal, so a snapshot taken here captures a
+                # consistent (report-boundary) view of the search state
+                checkpoint.after_report({
+                    "n_reported": next_report,
+                    "proposed": proposed,
+                    "budget": budget,
+                    "max_seconds": max_seconds,
+                    "elapsed": time.time() - start,
+                    "records": records,
+                    "replay_count": replay_count,
+                    "defaults_pending": list(defaults_pending),
+                    "task_name": task.name,
+                    "selector": selector,
+                    "tuners": tuners,
+                    "template_scores": template_scores,
+                })
 
         try:
             if self.schedule == "barrier":
@@ -464,7 +588,8 @@ class AutoBazaarSearch:
                     round_end = min(budget, proposed + self.n_pending)
                     while proposed < round_end and not deadline_passed():
                         propose_and_submit()
-                    completed = list(backend.as_completed())
+                    completed = list(replayed_queue) + list(backend.as_completed())
+                    replayed_queue.clear()
                     completed.sort(key=lambda future: future.candidate.iteration)
                     for future in completed:
                         report(future)
@@ -488,9 +613,12 @@ class AutoBazaarSearch:
                     refill()
                     if next_report == proposed:
                         break  # nothing in flight and no proposal allowed
-                    future = backend.collect_one()
-                    if future is None:
-                        break  # backend lost outstanding work; keep records
+                    if replayed_queue:
+                        future = replayed_queue.popleft()
+                    else:
+                        future = backend.collect_one()
+                        if future is None:
+                            break  # backend lost outstanding work; keep records
                     reorder[future.candidate.iteration] = future
                     while next_report in reorder:
                         report(reorder.pop(next_report))

@@ -13,7 +13,7 @@ store, and renders reports.
 import os
 
 from repro.automl.search import AutoBazaarSearch
-from repro.explorer import PipelineStore, report, summarize_store
+from repro.explorer import PersistentPipelineStore, PipelineStore, report, summarize_store
 from repro.tasks.io import load_task
 from repro.tuning.selectors import get_selector
 from repro.tuning.tuners import get_tuner
@@ -33,7 +33,18 @@ class AutoBazaarSession:
         Cross-validation folds for candidate scoring.
     warm_start:
         If True, each new task's tuners are warm-started from the session's
-        own accumulated history (the meta-learning extension).
+        accumulated history (the meta-learning extension).  The default
+        ``"auto"`` enables warm-starting exactly when ``store_path`` opened
+        a store that already holds prior evaluations — a session pointed at
+        yesterday's store automatically seeds its tuners from it, while
+        fresh in-memory sessions keep the historical cold-start behaviour.
+    store_path:
+        Optional directory of a :class:`~repro.explorer.persistence.PersistentPipelineStore`.
+        When given, every evaluation record is durably appended to the
+        crash-safe JSONL segment log at that path as it is reported (a
+        killed run keeps everything already evaluated), and re-opening the
+        same path in a later session makes its history available for
+        automatic cross-run warm-starting.
     max_seconds_per_task:
         Optional wall-clock cap per task.
     backend:
@@ -68,22 +79,31 @@ class AutoBazaarSession:
     """
 
     def __init__(self, budget=20, tuner="gp_ei", selector="ucb1", n_splits=3,
-                 random_state=None, warm_start=False, max_seconds_per_task=None,
+                 random_state=None, warm_start="auto", max_seconds_per_task=None,
                  backend="serial", workers=None, n_pending=1, schedule="window",
-                 task_cache_size=None):
+                 task_cache_size=None, store_path=None):
         self.budget = budget
         self.tuner_class = get_tuner(tuner)
         self.selector_class = get_selector(selector)
         self.n_splits = n_splits
         self.random_state = random_state
-        self.warm_start = warm_start
         self.max_seconds_per_task = max_seconds_per_task
         self.backend = backend
         self.workers = workers
         self.n_pending = n_pending
         self.schedule = schedule
         self.task_cache_size = task_cache_size
-        self.store = PipelineStore()
+        self.store_path = store_path
+        if store_path is not None:
+            self.store = PersistentPipelineStore(store_path)
+        else:
+            self.store = PipelineStore()
+        if warm_start == "auto":
+            # harvest automatically when an opened persistent store already
+            # holds history from previous runs; an in-memory session keeps
+            # the historical (cold-start) default
+            warm_start = store_path is not None and len(self.store) > 0
+        self.warm_start = bool(warm_start)
         self.results = []
 
     # -- solving ------------------------------------------------------------------
@@ -142,6 +162,24 @@ class AutoBazaarSession:
         self.store.dump_json(path)
         return path
 
+    def close(self):
+        """Release the session's store handle (and its cross-process locks).
+
+        Long-lived processes creating many persistent sessions should
+        close (or ``with``-manage) each one: an open handle holds file
+        descriptors and a shared lock that keeps later opens of the same
+        store in the conservative shared mode (no repair/compaction).
+        No-op for in-memory sessions.
+        """
+        self.store.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
     def __repr__(self):
         return "AutoBazaarSession(budget={}, solved={}, evaluated={})".format(
             self.budget, len(self.results), len(self.store)
@@ -150,20 +188,78 @@ class AutoBazaarSession:
 
 def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1",
                        n_splits=3, random_state=0, output=None, backend="serial",
-                       workers=None, n_pending=1, schedule="window", task_cache_size=None):
+                       workers=None, n_pending=1, schedule="window", task_cache_size=None,
+                       store_path=None, warm_start="auto", run_dir=None, checkpoint_every=1):
     """One-shot helper behind the command-line interface.
 
     Loads the task stored in ``task_directory``, runs a search, optionally
     writes the evaluation store to ``output``, and returns the session.
+
+    With ``store_path`` the records are durably appended to a persistent
+    store (and automatically warm-start from any history already in it);
+    with ``run_dir`` the search runs as a resumable checkpointed
+    :class:`~repro.automl.checkpoint.ExperimentRun` whose record log and
+    snapshots live inside ``run_dir`` — a killed run is continued with
+    ``python -m repro.automl resume <run_dir>``.  When both are given, the
+    store at ``store_path`` serves as the (frozen) warm-start history and
+    the run's own records land in ``run_dir``.
     """
     if not os.path.isdir(task_directory):
         raise FileNotFoundError("Task directory {!r} does not exist".format(task_directory))
-    session = AutoBazaarSession(
-        budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
-        random_state=random_state, backend=backend, workers=workers,
-        n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
-    )
-    session.solve_directory(task_directory)
+    if run_dir is not None:
+        from repro.automl.checkpoint import ExperimentRun
+
+        warm_source = None
+        if warm_start is True and store_path is None:
+            raise ValueError(
+                "warm_start=True with run_dir requires store_path: a checkpointed "
+                "run freezes its warm-start history from the shared store, and "
+                "there is no store to harvest from"
+            )
+        if warm_start is not False and store_path is not None:
+            candidate = PersistentPipelineStore(store_path)
+            if len(candidate) > 0 or warm_start is True:
+                warm_source = candidate
+            else:
+                # empty store under "auto": cold start -- release the
+                # handle (and its shared lock) instead of holding it for
+                # the whole search
+                candidate.close()
+        try:
+            run = ExperimentRun.create(
+                run_dir, task_directory=task_directory, budget=budget, tuner=tuner,
+                selector=selector, n_splits=n_splits, random_state=random_state,
+                schedule=schedule, n_pending=n_pending,
+                checkpoint_every=checkpoint_every, warm_start_source=warm_source,
+            )
+        finally:
+            # on success the history is frozen inside the run directory; on
+            # failure the handle must not outlive the call either
+            if warm_source is not None:
+                warm_source.close()
+        result = run.execute(backend=backend, workers=workers,
+                             task_cache_size=task_cache_size)
+        # hand back the familiar session surface (report/summary/save_store)
+        # wrapped around the run's durable store and result.  The store is
+        # the run's own record log: query and close() it, but solving more
+        # tasks into it would push the log past the run's budget and make
+        # the run unresumable.
+        session = AutoBazaarSession(
+            budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
+            random_state=random_state, warm_start=False, backend=backend,
+            workers=workers, n_pending=n_pending, schedule=schedule,
+            task_cache_size=task_cache_size,
+        )
+        session.store = run.store
+        session.results.append(result)
+    else:
+        session = AutoBazaarSession(
+            budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
+            random_state=random_state, backend=backend, workers=workers,
+            n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
+            store_path=store_path, warm_start=warm_start,
+        )
+        session.solve_directory(task_directory)
     if output:
         session.save_store(output)
     return session

@@ -7,7 +7,12 @@ meta-analysis surface used by the paper's experiments (Figures 5-6 and the
 two case studies of Section VI).
 """
 
-from repro.explorer.store import PipelineStore
+from repro.explorer.store import PipelineStore, normalize_document, normalize_value
+from repro.explorer.persistence import (
+    PersistentPipelineStore,
+    SegmentLog,
+    StoreCorruptionError,
+)
 from repro.explorer.analysis import (
     best_score_per_task,
     improvement_sigmas_per_task,
@@ -18,6 +23,11 @@ from repro.explorer.report import format_report, report, summarize_store
 
 __all__ = [
     "PipelineStore",
+    "PersistentPipelineStore",
+    "SegmentLog",
+    "StoreCorruptionError",
+    "normalize_document",
+    "normalize_value",
     "best_score_per_task",
     "improvement_sigmas_per_task",
     "summarize_improvements",

@@ -15,8 +15,45 @@ document list.
 import json
 import threading
 
+import numpy as np
+
 #: Fields with a dedicated value -> [documents] index.
 _INDEXED_FIELDS = ("task_name", "template_name")
+
+
+def normalize_value(value):
+    """Convert a document value into plain JSON-serializable Python types.
+
+    Numpy scalars become native ``int``/``float``/``bool`` and arrays become
+    nested lists, so a dump -> load round-trip preserves numeric types
+    instead of degrading them to strings (the old ``default=str`` escape
+    hatch turned ``np.float64`` scores into strings on reload).  Dict keys
+    are stringified (JSON object keys must be strings) and genuinely
+    non-serializable values fall back to ``str`` as before.
+    """
+    if isinstance(value, dict):
+        return {
+            key if isinstance(key, str) else str(key): normalize_value(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [normalize_value(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return normalize_value(value.tolist())
+    if isinstance(value, np.generic):
+        return normalize_value(value.item())
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def normalize_document(document):
+    """Normalize one evaluation document (must be a mapping)."""
+    if not isinstance(document, dict):
+        raise TypeError(
+            "Evaluation documents must be mappings, got {}".format(type(document).__name__)
+        )
+    return normalize_value(document)
 
 
 class PipelineStore:
@@ -28,11 +65,26 @@ class PipelineStore:
         self._lock = threading.RLock()
 
     def _insert(self, document):
+        document = normalize_document(document)
         with self._lock:
-            self._documents.append(document)
-            for field in _INDEXED_FIELDS:
-                self._indexes[field].setdefault(document.get(field), []).append(document)
+            self._persist(document)
+            self._index(document)
         return document
+
+    def _persist(self, document):
+        """Durability hook: called (under the lock) before a document is indexed.
+
+        The in-memory store does nothing here;
+        :class:`~repro.explorer.persistence.PersistentPipelineStore` appends
+        the document to its segment log, so the on-disk line order always
+        matches the in-memory document order even under concurrent writers.
+        """
+
+    def _index(self, document):
+        """File an already-normalized document into the list and indexes."""
+        self._documents.append(document)
+        for field in _INDEXED_FIELDS:
+            self._indexes[field].setdefault(document.get(field), []).append(document)
 
     def add(self, record):
         """Add an evaluation record (an ``EvaluationRecord`` or a plain dict)."""
@@ -105,27 +157,62 @@ class PipelineStore:
         documents = self.find(task_name=task_name, **filters)
         scores = []
         for document in documents:
-            if document.get("score") is None and not include_failed:
+            # tolerate documents with no "score" key at all (legacy or
+            # externally produced stores), not just an explicit None
+            score = document.get("score")
+            if score is None and not include_failed:
                 continue
-            scores.append(document["score"])
+            scores.append(score)
         return scores
 
     # -- persistence ---------------------------------------------------------------
 
+    def close(self):
+        """Release any durable resources (no-op for the in-memory store).
+
+        Exists so callers can treat in-memory and persistent stores
+        uniformly; :class:`~repro.explorer.persistence.PersistentPipelineStore`
+        overrides it to flush and release its segment-log handle and
+        cross-process locks.
+        """
+
     def dump_json(self, path):
-        """Write every document to a JSON file."""
+        """Write every document to a JSON file.
+
+        Documents are normalized at insert time (numpy scalars to native
+        types), so the dump needs no lossy ``default=str`` escape hatch and
+        a dump -> load round trip preserves score dtypes.
+        """
         with self._lock:
             documents = list(self._documents)
         with open(path, "w") as stream:
-            json.dump(documents, stream, indent=2, default=str)
+            json.dump(documents, stream, indent=2)
 
     @classmethod
     def load_json(cls, path):
-        """Load a store previously written by :meth:`dump_json`."""
+        """Load a store previously written by :meth:`dump_json`.
+
+        Every document goes through :meth:`add` validation, so a corrupt or
+        partial dump (wrong top-level type, non-dict entries, documents
+        missing the core fields) is rejected with an error naming the
+        offending document instead of silently populating a broken store.
+        """
         store = cls()
         with open(path) as stream:
-            for document in json.load(stream):
-                store._insert(document)
+            documents = json.load(stream)
+        if not isinstance(documents, list):
+            raise ValueError(
+                "{!s}: expected a JSON list of documents, got {}".format(
+                    path, type(documents).__name__
+                )
+            )
+        for position, document in enumerate(documents):
+            try:
+                store.add(document)
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    "{!s}: invalid document #{}: {}".format(path, position, error)
+                ) from None
         return store
 
     def __repr__(self):

@@ -10,7 +10,7 @@ the same 15 task types and the same modality/problem-type composition
 from repro.tasks.types import DATA_MODALITIES, PROBLEM_TYPES, TASK_TYPES, TaskType
 from repro.tasks.task import MLTask, split_task, task_cv_splits
 from repro.tasks.suite import TABLE_II_COUNTS, TaskSuite, build_task_suite
-from repro.tasks.io import load_suite, load_task, save_suite, save_task
+from repro.tasks.io import load_suite, load_task, save_suite, save_task, task_fingerprint
 from repro.tasks import synth
 
 __all__ = [
@@ -28,5 +28,6 @@ __all__ = [
     "load_task",
     "save_suite",
     "load_suite",
+    "task_fingerprint",
     "synth",
 ]

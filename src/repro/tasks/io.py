@@ -16,6 +16,7 @@ This module reproduces that layout:
     Tables, indexes and relationships, for relational tasks.
 """
 
+import hashlib
 import json
 import os
 
@@ -125,6 +126,29 @@ def load_task(directory):
         ordered=description.get("ordered", False),
         metadata=description.get("metadata"),
     )
+
+
+def task_fingerprint(directory):
+    """Stable content hash of a saved task folder.
+
+    Hashes every regular file (name plus bytes) in sorted order.  A
+    checkpointed run records the fingerprint of its saved task copy in the
+    run manifest, so a resume can detect that the task payload was swapped
+    or corrupted since the run started — resuming against different data
+    would silently diverge from the recorded stream.
+    """
+    hasher = hashlib.sha256()
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        hasher.update(name.encode("utf-8"))
+        hasher.update(b"\0")
+        with open(path, "rb") as stream:
+            for chunk in iter(lambda: stream.read(1 << 16), b""):
+                hasher.update(chunk)
+        hasher.update(b"\0")
+    return hasher.hexdigest()
 
 
 def save_suite(suite, directory):

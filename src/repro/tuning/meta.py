@@ -106,6 +106,9 @@ def harvest_history(store, template_name, exclude_task=None, limit=200):
         document for document in store.find(template_name=template_name)
         if document.get("score") is not None and document.get("task_name") != exclude_task
     ]
+    # stable sort: equal-scoring documents keep their store (insertion)
+    # order, so harvesting from a reloaded persistent store seeds the
+    # same history as harvesting from the live one
     documents.sort(key=lambda document: document["score"], reverse=True)
     history = []
     for document in documents[:limit]:

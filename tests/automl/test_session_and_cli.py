@@ -75,6 +75,44 @@ class TestAutoBazaarSession:
     def test_default_selector_is_ucb1(self):
         assert AutoBazaarSession().selector_class is UCB1Selector
 
+    def test_in_memory_session_defaults_to_cold_start(self):
+        assert AutoBazaarSession().warm_start is False
+
+
+class TestPersistentSession:
+    def test_store_path_persists_across_sessions(self, task, tmp_path):
+        first = AutoBazaarSession(budget=3, n_splits=2, random_state=0,
+                                  store_path=tmp_path / "store")
+        first.solve(task)
+        assert len(first.store) == 3
+
+        second = AutoBazaarSession(budget=3, n_splits=2, random_state=0,
+                                   store_path=tmp_path / "store")
+        assert len(second.store) == 3  # yesterday's records are back
+
+    def test_existing_store_enables_automatic_warm_start(self, task, tmp_path):
+        from repro.tasks import synth
+
+        first = AutoBazaarSession(budget=3, n_splits=2, random_state=0,
+                                  store_path=tmp_path / "store")
+        assert first.warm_start is False  # empty store: cold start
+        first.solve(synth.make_single_table_classification(n_samples=90, random_state=3))
+
+        second = AutoBazaarSession(budget=3, n_splits=2, random_state=0,
+                                   store_path=tmp_path / "store")
+        assert second.warm_start is True  # history found: harvest it
+        result = second.solve(task)
+        assert result.best_score is not None
+        assert len(second.store) == 6
+
+    def test_warm_start_false_overrides_auto(self, task, tmp_path):
+        first = AutoBazaarSession(budget=3, n_splits=2, random_state=0,
+                                  store_path=tmp_path / "store")
+        first.solve(task)
+        second = AutoBazaarSession(budget=3, n_splits=2, random_state=0,
+                                   store_path=tmp_path / "store", warm_start=False)
+        assert second.warm_start is False
+
 
 class TestRunFromDirectory:
     def test_runs_saved_task(self, task, tmp_path):
@@ -143,3 +181,71 @@ class TestCLI:
         save_task(task, tmp_path / "task")
         exit_code = main([str(tmp_path / "task"), "--tuner", "banana"])
         assert exit_code == 1
+
+
+class TestDurableCLI:
+    def test_parser_durability_defaults(self):
+        arguments = build_parser().parse_args(["some/dir"])
+        assert arguments.store_path is None
+        assert arguments.run_dir is None
+        assert arguments.checkpoint_every == 1
+        assert arguments.warm_start == "auto"
+
+    def test_parser_warm_start_flags(self):
+        assert build_parser().parse_args(["d", "--warm-start"]).warm_start is True
+        assert build_parser().parse_args(["d", "--no-warm-start"]).warm_start is False
+
+    def test_main_with_store_path(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        exit_code = main([
+            str(tmp_path / "task"), "--budget", "3", "--splits", "2", "--seed", "0",
+            "--store-path", str(tmp_path / "store"),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "persistent store" in captured.out
+        from repro.explorer import PersistentPipelineStore
+        assert len(PersistentPipelineStore(tmp_path / "store")) == 3
+
+    def test_main_run_dir_then_resume(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        exit_code = main([
+            str(tmp_path / "task"), "--budget", "3", "--splits", "2", "--seed", "0",
+            "--run-dir", str(tmp_path / "run"),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "resume with" in captured.out
+
+        exit_code = main(["resume", str(tmp_path / "run")])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "best template" in captured.out
+        assert "records in store     : 3" in captured.out
+
+    def test_main_run_dir_rejects_reuse(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        assert main([str(tmp_path / "task"), "--budget", "2", "--splits", "2",
+                     "--run-dir", str(tmp_path / "run")]) == 0
+        capsys.readouterr()
+        exit_code = main([str(tmp_path / "task"), "--budget", "2", "--splits", "2",
+                          "--run-dir", str(tmp_path / "run")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "resume" in captured.err
+
+    def test_resume_missing_directory(self, tmp_path, capsys):
+        exit_code = main(["resume", str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
+
+    def test_forced_warm_start_with_run_dir_requires_store_path(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        exit_code = main([
+            str(tmp_path / "task"), "--budget", "2", "--splits", "2",
+            "--run-dir", str(tmp_path / "run"), "--warm-start",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "store" in captured.err.lower()

@@ -1,5 +1,8 @@
 """Tests for the pipeline store and meta-analysis (piex)."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.explorer import (
@@ -60,6 +63,59 @@ class TestPipelineStore:
         loaded = PipelineStore.load_json(path)
         assert len(loaded) == 1
         assert loaded.scores_for_task("task_a") == [0.7]
+
+    def test_json_round_trip_preserves_numpy_score_dtypes(self, tmp_path):
+        """Satellite: np.float64 scores must come back as floats, not strings."""
+        store = PipelineStore()
+        store.add(_document(
+            score=np.float64(0.625),
+            hyperparameters={"('step', 'depth')": np.int64(4), "flag": np.bool_(True),
+                             "weights": np.asarray([0.5, 1.5])},
+        ))
+        path = tmp_path / "store.json"
+        store.dump_json(path)
+        loaded = PipelineStore.load_json(path)
+        document = next(iter(loaded))
+        assert document["score"] == 0.625 and type(document["score"]) is float
+        hyperparameters = document["hyperparameters"]
+        assert hyperparameters["('step', 'depth')"] == 4
+        assert type(hyperparameters["('step', 'depth')"]) is int
+        assert hyperparameters["flag"] is True
+        assert hyperparameters["weights"] == [0.5, 1.5]
+        # normalization happens at insert time, so the live store already
+        # holds native types (queries never see numpy scalars)
+        live = next(iter(store))
+        assert type(live["score"]) is float
+
+    def test_load_json_rejects_partial_documents(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps([
+            {"task_name": "t", "template_name": "x", "score": 0.5},
+            {"task_name": "t"},  # missing core fields
+        ]))
+        with pytest.raises(ValueError, match="document #1"):
+            PipelineStore.load_json(path)
+
+    def test_load_json_rejects_non_dict_entries(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps([["not", "a", "document"]]))
+        with pytest.raises(ValueError, match="document #0"):
+            PipelineStore.load_json(path)
+
+    def test_load_json_rejects_wrong_top_level_type(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps({"task_name": "t"}))
+        with pytest.raises(ValueError, match="JSON list"):
+            PipelineStore.load_json(path)
+
+    def test_scores_for_task_tolerates_absent_score_key(self):
+        store = PipelineStore()
+        store.add(_document(score=0.4))
+        # documents without a "score" key can enter through internal
+        # insertion paths (tagged documents, legacy stores)
+        store._insert({"task_name": "task_a", "template_name": "xgb"})
+        assert store.scores_for_task("task_a") == [0.4]
+        assert store.scores_for_task("task_a", include_failed=True) == [0.4, None]
 
     def test_add_result_tags_documents(self):
         from repro.automl.search import EvaluationRecord, SearchResult

@@ -1,8 +1,9 @@
 """Structural validation of the CI workflow (a dry-run stand-in for actionlint).
 
-The pipeline is part of the contract: lint, tier-1 tests and the
-benchmark smoke run must stay distinct jobs, the test job must cover the
-supported interpreter matrix, and every job must keep pip caching on.
+The pipeline is part of the contract: lint, tier-1 tests, the benchmark
+smoke run and the crash/resume durability smoke must stay distinct jobs,
+the test job must cover the supported interpreter matrix, and every job
+must keep pip caching on.
 """
 
 import os
@@ -29,14 +30,26 @@ def test_workflow_parses_and_triggers(workflow):
     assert triggers["push"]["branches"] == ["main"]
 
 
-def test_lint_tests_and_bench_smoke_are_distinct_jobs(workflow):
+def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) == {"lint", "tests", "bench-smoke"}
+    assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume"}
     assert any("ruff check" in step.get("run", "") for step in jobs["lint"]["steps"])
     assert any("python -m pytest -x -q" in step.get("run", "")
                for step in jobs["tests"]["steps"])
     assert any('-k "pipeline_engine"' in step.get("run", "")
                for step in jobs["bench-smoke"]["steps"])
+
+
+def test_crash_resume_smoke_runs_the_kill_and_resume_gate(workflow):
+    """The durability guarantee is CI-enforced: kill a run, resume, compare."""
+    steps = workflow["jobs"]["crash-resume"]["steps"]
+    smoke = [step for step in steps
+             if "scripts/crash_resume_smoke.py" in step.get("run", "")]
+    assert smoke, "the crash-resume job must run scripts/crash_resume_smoke.py"
+    # the script exists and is the same file the job references
+    script = os.path.join(os.path.dirname(__file__), "..", "scripts",
+                          "crash_resume_smoke.py")
+    assert os.path.exists(script)
 
 
 def test_tier1_matrix_covers_supported_interpreters(workflow):
