@@ -1,0 +1,168 @@
+"""Prefix-cache throughput benchmark, recorded to ``BENCH_prefix_cache.json``.
+
+The workload is the cache's home turf, shaped like a real tuning session:
+every candidate shares an expensive preprocessing prefix (a
+``TimedIdentityTransformer`` standing in for a costly imputer/encoder
+chain) and differs only in estimator hyperparameters.  Without the cache,
+the prefix is refit for every fold of every candidate; with the
+disk-tier cache, process-pool workers fit each (prefix, fold) combination
+once and share the artifacts through the content-addressed store.
+
+The script runs the search cache-off and cache-on (process backend, 4
+workers), asserts
+
+* >= ``THRESHOLD``x candidate throughput with the cache enabled, and
+* bit-identical scores between the two runs (pruning stays off),
+
+then writes the measurements to ``BENCH_prefix_cache.json`` so the perf
+trajectory is tracked in the repository.  CI runs this script as the
+``prefix-cache`` job; a cache regression fails the build here.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_bench.py [--output BENCH_prefix_cache.json]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+#: Acceptance bar: cache-on candidate throughput vs cache-off.
+THRESHOLD = 1.5
+
+#: Artificial fit cost of the shared preprocessing prefix, per fold.
+PREFIX_SECONDS = 0.3
+
+#: Pipeline evaluations per run.
+BUDGET = 12
+
+#: Worker processes evaluating folds.
+WORKERS = 4
+
+ENCODER = "mlprimitives.custom.preprocessing.ClassEncoder"
+DECODER = "mlprimitives.custom.preprocessing.ClassDecoder"
+TIMED_IDENTITY = "mlprimitives.custom.synthetic.TimedIdentityTransformer"
+LOGISTIC = "sklearn.linear_model.LogisticRegression"
+
+
+def shared_prefix_templates(prefix_seconds=PREFIX_SECONDS):
+    """One template whose candidates differ only in estimator hyperparameters."""
+    from repro.core.template import Template
+
+    return [
+        Template(
+            "prefix_cache_bench",
+            [ENCODER, TIMED_IDENTITY, LOGISTIC, DECODER],
+            init_params={TIMED_IDENTITY: {"fit_seconds": prefix_seconds}},
+        ),
+    ]
+
+
+def _run_search(prefix_cache, cache_dir, workers, budget, prefix_seconds):
+    from repro.automl import AutoBazaarSearch
+    from repro.tasks import synth
+
+    task = synth.make_single_table_classification(n_samples=120, random_state=0)
+    searcher = AutoBazaarSearch(
+        templates=shared_prefix_templates(prefix_seconds), n_splits=2, random_state=0,
+        backend="process", workers=workers, n_pending=workers,
+        prefix_cache=prefix_cache, cache_dir=cache_dir,
+    )
+    started = time.time()
+    result = searcher.search(task, budget=budget)
+    elapsed = time.time() - started
+    return result, elapsed
+
+
+def run_prefix_cache_benchmark(workers=WORKERS, budget=BUDGET,
+                               prefix_seconds=PREFIX_SECONDS):
+    """Measure cache-off vs cache-on throughput; returns the result payload.
+
+    Raises ``AssertionError`` when the cached scores diverge from the
+    uncached ones or the workload never hits the cache.  The speedup
+    itself is *returned*, not asserted — the two gates (``main`` for CI,
+    the benchmark test for pytest) compare ``payload["speedup"]``
+    against ``THRESHOLD`` so each can report the miss in its own format.
+    """
+    off_result, off_elapsed = _run_search("off", None, workers, budget, prefix_seconds)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-prefix-cache-")
+    try:
+        on_result, on_elapsed = _run_search("disk", cache_dir, workers, budget,
+                                            prefix_seconds)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    off_scores = [record.score for record in off_result.records]
+    on_scores = [record.score for record in on_result.records]
+    assert len(off_scores) == budget and len(on_scores) == budget
+    assert on_scores == off_scores, (
+        "prefix cache changed the scores: {} != {}".format(on_scores, off_scores)
+    )
+    assert on_result.cache_stats["hits"] > 0, "the shared-prefix workload never hit"
+
+    speedup = off_elapsed / on_elapsed
+    off_throughput = budget / off_elapsed
+    on_throughput = budget / on_elapsed
+    payload = {
+        "benchmark": "prefix_cache_throughput",
+        "workload": {
+            "budget": budget,
+            "workers": workers,
+            "n_splits": 2,
+            "prefix_fit_seconds": prefix_seconds,
+            "backend": "process",
+            "template": "encoder -> timed-identity prefix -> logistic -> decoder",
+        },
+        "cache_off": {
+            "elapsed_seconds": round(off_elapsed, 3),
+            "candidates_per_second": round(off_throughput, 3),
+        },
+        "cache_on": {
+            "elapsed_seconds": round(on_elapsed, 3),
+            "candidates_per_second": round(on_throughput, 3),
+            "stats": on_result.cache_stats,
+        },
+        "speedup": round(speedup, 3),
+        "threshold": THRESHOLD,
+        "scores_identical": True,
+    }
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_prefix_cache.json",
+                        help="where to write the benchmark record "
+                             "(default: BENCH_prefix_cache.json)")
+    arguments = parser.parse_args(argv)
+
+    payload = run_prefix_cache_benchmark()
+    print("cache off : {:.2f}s  ({:.2f} candidates/sec)".format(
+        payload["cache_off"]["elapsed_seconds"],
+        payload["cache_off"]["candidates_per_second"]))
+    print("cache on  : {:.2f}s  ({:.2f} candidates/sec)  stats={}".format(
+        payload["cache_on"]["elapsed_seconds"],
+        payload["cache_on"]["candidates_per_second"],
+        payload["cache_on"]["stats"]))
+    print("speedup   : {:.2f}x (threshold {:.2f}x)".format(
+        payload["speedup"], payload["threshold"]))
+
+    if payload["speedup"] < THRESHOLD:
+        print("FAIL: cache-on speedup {:.2f}x is below the {:.2f}x threshold".format(
+            payload["speedup"], THRESHOLD), file=sys.stderr)
+        return 1
+    with open(arguments.output, "w") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print("recorded  : {}".format(arguments.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

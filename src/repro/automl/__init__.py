@@ -10,6 +10,8 @@ from repro.automl.backends import (
     EvaluationCandidate,
     ExecutionBackend,
     ProcessBackend,
+    PruneController,
+    PrunedEvaluation,
     SerialBackend,
     ThreadBackend,
     get_backend,
@@ -20,6 +22,12 @@ from repro.automl.checkpoint import (
     CheckpointManager,
     ExperimentRun,
     resume_run,
+)
+from repro.automl.prefix_cache import (
+    FittedPrefixCache,
+    fold_data_key,
+    make_prefix_cache_config,
+    task_content_digest,
 )
 from repro.automl.search import (
     AutoBazaarSearch,
@@ -52,4 +60,10 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "get_backend",
+    "PruneController",
+    "PrunedEvaluation",
+    "FittedPrefixCache",
+    "make_prefix_cache_config",
+    "task_content_digest",
+    "fold_data_key",
 ]

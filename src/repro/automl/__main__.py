@@ -54,6 +54,22 @@ def build_parser():
     parser.add_argument("--worker-cache", type=int, default=None, metavar="TASKS",
                         help="tasks kept resident per process-backend worker; 0 ships "
                              "every fold's data instead (default: backend default)")
+    parser.add_argument("--prefix-cache", default="off", choices=("off", "mem", "disk"),
+                        help="fitted-prefix cache: memoize fitted preprocessing "
+                             "prefixes shared by candidates (same fold, same "
+                             "configured prefix). 'mem' keeps a per-process LRU; "
+                             "'disk' additionally shares fitted prefixes across "
+                             "process-backend workers through a content-addressed "
+                             "store (default: off)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="directory of the disk-tier prefix store (default: a "
+                             "temporary per-search directory)")
+    parser.add_argument("--prune-margin", type=float, default=None, metavar="MARGIN",
+                        help="enable fold-level early-discard pruning: cancel a "
+                             "candidate's remaining folds once its optimistic bound "
+                             "cannot reach the task best minus MARGIN (>= 0). "
+                             "Trades the bit-identical record stream for throughput "
+                             "(default: off)")
     parser.add_argument("--store-path", default=None, metavar="DIR",
                         help="directory of a persistent (crash-safe JSONL) pipeline "
                              "store; records are durably appended as they are "
@@ -97,6 +113,11 @@ def build_resume_parser():
                         help="worker count for the thread/process backends")
     parser.add_argument("--worker-cache", type=int, default=None, metavar="TASKS",
                         help="worker-resident task cache of the process backend")
+    parser.add_argument("--prefix-cache", default="off", choices=("off", "mem", "disk"),
+                        help="fitted-prefix cache for the remaining evaluations "
+                             "(content-addressed, score-preserving; default: off)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="directory of the disk-tier prefix store")
     return parser
 
 
@@ -105,6 +126,12 @@ def _print_result(result):
     print("best template        : {}".format(result.best_template))
     print("cross-validation     : {}".format(result.best_score))
     print("held-out test score  : {}".format(result.test_score))
+    cache_stats = getattr(result, "cache_stats", None)
+    if cache_stats:
+        print("prefix cache         : {mode} ({hits} hits / {misses} misses, "
+              "{bytes_written} bytes written)".format(**cache_stats))
+    if getattr(result, "n_pruned", 0):
+        print("pruned candidates    : {} of {}".format(result.n_pruned, result.n_evaluated))
 
 
 def _resume_main(argv):
@@ -119,6 +146,8 @@ def _resume_main(argv):
             backend=arguments.backend,
             workers=arguments.workers,
             task_cache_size=arguments.worker_cache,
+            prefix_cache=arguments.prefix_cache,
+            cache_dir=arguments.cache_dir,
         )
     except (FileNotFoundError, ValueError, CheckpointError,
             ReplayMismatchError, StoreCorruptionError) as error:
@@ -160,6 +189,9 @@ def main(argv=None):
             warm_start=arguments.warm_start,
             run_dir=arguments.run_dir,
             checkpoint_every=arguments.checkpoint_every,
+            prefix_cache=arguments.prefix_cache,
+            cache_dir=arguments.cache_dir,
+            prune_margin=arguments.prune_margin,
         )
     except (FileNotFoundError, ValueError, CheckpointError) as error:
         print("error: {}".format(error), file=sys.stderr)

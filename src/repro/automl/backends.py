@@ -54,6 +54,11 @@ from itertools import count
 
 import numpy as np
 
+from repro.automl.prefix_cache import (
+    fold_data_key,
+    resolve_prefix_cache,
+    task_content_digest,
+)
 from repro.tasks.task import materialize_cv_fold, task_cv_indices
 
 
@@ -74,10 +79,16 @@ class EvaluationCandidate:
     a template plus a concrete hyperparameter configuration, the task to
     cross-validate on, and the bookkeeping the coordinator needs to file
     the result (proposal iteration, default flag).
+
+    ``cache_config`` is the fitted-prefix cache configuration shipped
+    with every fold (see :mod:`repro.automl.prefix_cache`); ``pruner``
+    is the search's shared :class:`PruneController` enabling fold-level
+    early discard, or ``None`` for exhaustive evaluation.
     """
 
     def __init__(self, iteration, template, hyperparameters, task, n_splits=3,
-                 random_state=None, template_name=None, is_default=False):
+                 random_state=None, template_name=None, is_default=False,
+                 cache_config=None, pruner=None):
         self.iteration = iteration
         self.template = template
         self.hyperparameters = dict(hyperparameters)
@@ -86,6 +97,8 @@ class EvaluationCandidate:
         self.random_state = random_state
         self.template_name = template_name or template.name
         self.is_default = is_default
+        self.cache_config = cache_config
+        self.pruner = pruner
 
     def __repr__(self):
         return "EvaluationCandidate(iteration={}, template={!r})".format(
@@ -94,13 +107,23 @@ class EvaluationCandidate:
 
 
 class EvaluationOutcome:
-    """The result of evaluating one candidate: scores or an error, plus timing."""
+    """The result of evaluating one candidate: scores or an error, plus timing.
 
-    def __init__(self, score, raw_score, error, elapsed):
+    ``pruned`` marks a candidate stopped by fold-level early discard (its
+    ``error`` carries the pruning reason); the ``cache_*`` counters are
+    the candidate's summed fitted-prefix cache activity across folds.
+    """
+
+    def __init__(self, score, raw_score, error, elapsed, pruned=False,
+                 cache_hits=0, cache_misses=0, cache_bytes=0):
         self.score = score
         self.raw_score = raw_score
         self.error = error
         self.elapsed = elapsed
+        self.pruned = bool(pruned)
+        self.cache_hits = int(cache_hits)
+        self.cache_misses = int(cache_misses)
+        self.cache_bytes = int(cache_bytes)
 
     @property
     def failed(self):
@@ -110,26 +133,138 @@ class EvaluationOutcome:
         return "EvaluationOutcome(score={}, error={!r})".format(self.score, self.error)
 
 
-def evaluate_fold(template, hyperparameters, train_task, val_task):
+class PrunedEvaluation(RuntimeError):
+    """A candidate was discarded mid-evaluation by the early-discard bound."""
+
+
+class PruneController:
+    """Shared early-discard state for one search on one task.
+
+    After each completed fold of a candidate, the optimistic estimate of
+    its aggregate is computed: completed fold scores plus the highest
+    single-fold score observed anywhere in the search standing in for
+    every remaining fold.  When even that estimate falls short of the
+    best candidate aggregate seen so far minus ``margin``, the
+    candidate's remaining folds are treated as wasted compute and
+    cancelled.
+
+    The per-fold cap is *empirical* (the best fold score seen so far),
+    so this is a successive-halving-style heuristic, not a sound upper
+    bound: a candidate whose remaining folds would have outscored
+    everything observed can still be discarded — the margin is the guard
+    against exactly that, and ``margin=0`` prunes most aggressively.
+
+    The controller is shared by every candidate of a search (and consulted
+    from worker callbacks), so all state is lock-protected.  Pruning
+    decisions depend on completion *timing*, which is why the search's
+    bit-identical cross-backend record guarantee only holds with pruning
+    off.
+    """
+
+    def __init__(self, margin):
+        self.margin = float(margin)
+        if not np.isfinite(self.margin) or self.margin < 0:
+            raise ValueError("prune margin must be a non-negative finite number")
+        self._lock = threading.Lock()
+        self._task_best = None
+        self._fold_cap = None
+
+    def update_task_best(self, score):
+        """Raise the pruning threshold to a newly reported candidate aggregate."""
+        score = float(score)
+        with self._lock:
+            if self._task_best is None or score > self._task_best:
+                self._task_best = score
+
+    def observe_fold(self, score):
+        """Track the highest single-fold score (the optimistic per-fold cap)."""
+        score = float(score)
+        with self._lock:
+            if self._fold_cap is None or score > self._fold_cap:
+                self._fold_cap = score
+
+    @property
+    def task_best(self):
+        with self._lock:
+            return self._task_best
+
+    def assess(self, fold_scores, n_folds):
+        """The reason to discard a partially evaluated candidate, or ``None``.
+
+        ``fold_scores`` are the candidate's completed fold scores so far;
+        with no task best or no observed fold cap yet there is nothing to
+        compare against and the candidate always continues.
+        """
+        with self._lock:
+            task_best = self._task_best
+            fold_cap = self._fold_cap
+        if task_best is None or fold_cap is None:
+            return None
+        completed = [float(score) for score in fold_scores if score is not None]
+        remaining = int(n_folds) - len(completed)
+        if remaining <= 0 or not completed:
+            return None
+        cap = max([fold_cap] + completed)
+        bound = (sum(completed) + remaining * cap) / float(n_folds)
+        threshold = task_best - self.margin
+        if bound < threshold:
+            return (
+                "optimistic estimate {:.6g} after {} of {} folds falls short of "
+                "task best {:.6g} - margin {:.6g}".format(
+                    bound, len(completed), n_folds, task_best, self.margin
+                )
+            )
+        return None
+
+    def __repr__(self):
+        return "PruneController(margin={}, task_best={})".format(self.margin, self.task_best)
+
+
+def _cache_info_fields(pipeline):
+    """Per-fold cache counters for the fold payload (zeroes when uncached)."""
+    info = getattr(pipeline, "prefix_cache_info", None) or {}
+    return {
+        "cache_hits": info.get("hits", 0),
+        "cache_misses": info.get("misses", 0),
+        "cache_bytes": info.get("bytes_written", 0),
+    }
+
+
+def evaluate_fold(template, hyperparameters, train_task, val_task, cache_config=None,
+                  data_key=None):
     """Evaluate one cross-validation fold; the unit of work-stealing dispatch.
 
     Top-level (picklable) so it can be shipped to worker processes.  The
     result is a plain dict rather than a raised exception so that worker
     failures survive the trip back through pickling.
+
+    ``data_key`` is the fold's cache key, computed by the coordinator
+    (``fold_data_key`` over the parent task) so the ship-every-fold path
+    shares cache entries with the index path and the serial backend
+    instead of re-hashing the materialized subset per submission; it
+    falls back to digesting ``train_task`` when omitted.
     """
     from repro.automl import search
 
     started = time.time()
     try:
-        normalized, raw, _ = search.evaluate_pipeline(
-            template, hyperparameters, train_task, val_task
+        prefix_cache = resolve_prefix_cache(cache_config)
+        extra = {}
+        if prefix_cache is not None:
+            if data_key is None:
+                data_key = task_content_digest(train_task)
+            extra.update(prefix_cache=prefix_cache, data_key=data_key)
+        normalized, raw, pipeline = search.evaluate_pipeline(
+            template, hyperparameters, train_task, val_task, **extra
         )
-        return {
+        payload = {
             "score": normalized,
             "raw_score": raw,
             "error": None,
             "elapsed": time.time() - started,
         }
+        payload.update(_cache_info_fields(pipeline))
+        return payload
     except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
         return {
             "score": None,
@@ -195,12 +330,16 @@ def _resolve_task(task_ref):
     return task
 
 
-def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, val_indices):
+def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, val_indices,
+                          cache_config=None):
     """Evaluate one cross-validation fold specified by its sample indices.
 
     The index-level twin of :func:`evaluate_fold`: the fold's train/val
     subsets are rebuilt inside the worker from the resident task, so only
-    the index arrays travel per submission.
+    the index arrays travel per submission.  With a ``cache_config`` the
+    fold's data key is derived from the resident task's memoized content
+    digest plus the train-index array, so every candidate sharing the
+    fold shares the key without re-hashing the dataset.
     """
     from repro.automl import search
 
@@ -208,15 +347,22 @@ def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, va
     try:
         task = _resolve_task(task_ref)
         train_task, val_task = materialize_cv_fold(task, train_indices, val_indices)
-        normalized, raw, _ = search.evaluate_pipeline(
-            template, hyperparameters, train_task, val_task
+        prefix_cache = resolve_prefix_cache(cache_config)
+        extra = {}
+        if prefix_cache is not None:
+            extra.update(prefix_cache=prefix_cache,
+                         data_key=fold_data_key(task, train_indices))
+        normalized, raw, pipeline = search.evaluate_pipeline(
+            template, hyperparameters, train_task, val_task, **extra
         )
-        return {
+        payload = {
             "score": normalized,
             "raw_score": raw,
             "error": None,
             "elapsed": time.time() - started,
         }
+        payload.update(_cache_info_fields(pipeline))
+        return payload
     except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
         return {
             "score": None,
@@ -226,7 +372,7 @@ def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, va
         }
 
 
-def _aggregate_folds(fold_results):
+def _aggregate_folds(fold_results, pruned_reason=None):
     """Combine per-fold payloads into one outcome, in fold order.
 
     Matches the serial ``cross_validate_template`` semantics exactly: the
@@ -236,14 +382,27 @@ def _aggregate_folds(fold_results):
     serial backend's sequential measurement — not the wall-clock wait
     since submission, which would include queue time behind other
     candidates in the batch.
+
+    A ``pruned_reason`` overrides the per-fold errors: the candidate was
+    deliberately discarded mid-evaluation, so its outcome is the pruning
+    reason regardless of what its cancelled folds report.
     """
     elapsed = float(sum(payload.get("elapsed") or 0.0 for payload in fold_results))
+    cache = {
+        field: int(sum(payload.get(field) or 0 for payload in fold_results))
+        for field in ("cache_hits", "cache_misses", "cache_bytes")
+    }
+    if pruned_reason is not None:
+        return EvaluationOutcome(
+            None, None, "PrunedEvaluation: {}".format(pruned_reason), elapsed,
+            pruned=True, **cache,
+        )
     for payload in fold_results:
         if payload.get("error"):
-            return EvaluationOutcome(None, None, payload["error"], elapsed)
+            return EvaluationOutcome(None, None, payload["error"], elapsed, **cache)
     score = float(np.mean([payload["score"] for payload in fold_results]))
     raw_score = float(np.mean([payload["raw_score"] for payload in fold_results]))
-    return EvaluationOutcome(score, raw_score, None, elapsed)
+    return EvaluationOutcome(score, raw_score, None, elapsed, **cache)
 
 
 class CandidateFuture:
@@ -276,6 +435,7 @@ class _PooledCandidateFuture:
         self._completion_queue = completion_queue
         self._lock = threading.Lock()
         self._outcome = None
+        self._pruned_reason = None
 
     def _fold_done(self, index, fold_future):
         if fold_future.cancelled():
@@ -321,9 +481,46 @@ class _PooledCandidateFuture:
             self._fold_results[index] = payload
             self._remaining -= 1
             finished = self._remaining == 0
+        pruner = getattr(self.candidate, "pruner", None)
+        if pruner is not None and not payload.get("error"):
+            # every successful fold — including a candidate's last one —
+            # feeds the shared optimistic per-fold cap, exactly like the
+            # serial path; only the discard *decision* needs folds left
+            pruner.observe_fold(payload["score"])
+            if not finished:
+                self._maybe_prune(pruner)
         if finished:
-            self._outcome = _aggregate_folds(self._fold_results)
+            self._outcome = _aggregate_folds(self._fold_results, self._pruned_reason)
             self._completion_queue.put(self)
+
+    def _maybe_prune(self, pruner):
+        """Early-discard check after one successful fold.
+
+        Consults the search's shared :class:`PruneController`: when even
+        the optimistic bound over the remaining folds cannot beat the
+        task best minus the margin, every not-yet-running fold of this
+        candidate is cancelled (the running ones finish and are simply
+        ignored by the pruned aggregation).  Reuses the same
+        fold-cancellation machinery as fold failures.
+        """
+        with self._lock:
+            if self._pruned_reason is not None:
+                return
+            scores = [
+                fold["score"] for fold in self._fold_results
+                if fold is not None and not fold.get("error")
+            ]
+            n_folds = len(self._fold_results)
+        reason = pruner.assess(scores, n_folds)
+        if reason is None:
+            return
+        with self._lock:
+            if self._pruned_reason is not None:
+                return
+            self._pruned_reason = reason
+        for fold_future in self._fold_futures:
+            if fold_future is not None:
+                fold_future.cancel()
 
     def done(self):
         return self._outcome is not None
@@ -413,15 +610,35 @@ class SerialBackend(ExecutionBackend):
 
         started = time.time()
         error = None
+        pruned = False
         score = raw_score = None
+        collect = {}
+        # the new knobs are only passed when enabled, so the historical
+        # call signature — which tests and instrumentation rely on — is
+        # preserved for the default configuration
+        extra = {}
+        prefix_cache = resolve_prefix_cache(candidate.cache_config)
+        if prefix_cache is not None:
+            extra.update(prefix_cache=prefix_cache, collect=collect)
+        if candidate.pruner is not None:
+            extra["pruner"] = candidate.pruner
         try:
             score, raw_score = search.cross_validate_template(
                 candidate.template, candidate.hyperparameters, candidate.task,
                 n_splits=candidate.n_splits, random_state=candidate.random_state,
+                **extra,
             )
+        except PrunedEvaluation as discarded:
+            error = _format_error(discarded)
+            pruned = True
         except Exception as failure:  # noqa: BLE001 - failed pipelines are recorded, not fatal
             error = _format_error(failure)
-        outcome = EvaluationOutcome(score, raw_score, error, time.time() - started)
+        outcome = EvaluationOutcome(
+            score, raw_score, error, time.time() - started, pruned=pruned,
+            cache_hits=collect.get("cache_hits", 0),
+            cache_misses=collect.get("cache_misses", 0),
+            cache_bytes=collect.get("cache_bytes", 0),
+        )
         future = CandidateFuture(candidate, outcome)
         self._completed.append(future)
         return future
@@ -504,6 +721,7 @@ class _PoolBackend(ExecutionBackend):
         return self._executor.submit(
             evaluate_fold_indices, candidate.template, candidate.hyperparameters,
             candidate.task, train_indices, val_indices,
+            cache_config=candidate.cache_config,
         )
 
     def collect_one(self):
@@ -602,17 +820,26 @@ class ProcessBackend(_PoolBackend):
 
     def _submit_fold(self, candidate, train_indices, val_indices):
         if not self.task_cache_size:
-            # cache disabled: ship the materialized fold subsets (historical path)
+            # cache disabled: ship the materialized fold subsets (historical
+            # path).  The prefix-cache key is still derived from the parent
+            # task + indices here in the coordinator (one memoized parent
+            # digest), so this path shares cache entries with the index
+            # path instead of re-hashing the shipped subset per fold.
             train_task, val_task = materialize_cv_fold(
                 candidate.task, train_indices, val_indices
             )
+            data_key = None
+            if candidate.cache_config is not None:
+                data_key = fold_data_key(candidate.task, train_indices)
             return self._executor.submit(
                 evaluate_fold, candidate.template, candidate.hyperparameters,
-                train_task, val_task,
+                train_task, val_task, cache_config=candidate.cache_config,
+                data_key=data_key,
             )
         return self._executor.submit(
             evaluate_fold_indices, candidate.template, candidate.hyperparameters,
             self._task_payload(candidate.task), train_indices, val_indices,
+            cache_config=candidate.cache_config,
         )
 
     def shutdown(self):

@@ -387,24 +387,31 @@ class ExperimentRun:
         return descriptor
 
     def execute(self, backend="serial", workers=None, task_cache_size=None,
-                on_report=None):
+                on_report=None, prefix_cache="off", cache_dir=None):
         """Run — or resume — the search; returns the ``SearchResult``.
 
-        Execution knobs (``backend``/``workers``/``task_cache_size``) may
+        Execution knobs (``backend``/``workers``/``task_cache_size``, and
+        the fitted-prefix cache ``prefix_cache``/``cache_dir``) may
         differ between run and resume: the determinism guarantee makes the
-        record stream identical across backends, so they are not part of
-        the manifest.  Everything that shapes the stream (budget, seed,
+        record stream identical across backends — and prefix caching
+        preserves scores exactly, since entries are content-addressed by
+        fold data and configured prefix — so they are not part of the
+        manifest.  Everything that shapes the stream (budget, seed,
         tuner, selector, schedule, ``n_pending``) is fixed at creation.
+        Early-discard pruning, by contrast, *does* change the stream and
+        is deliberately not available on checkpointed runs.
         """
         run_lock = self._acquire_run_lock()
         try:
             return self._execute(backend=backend, workers=workers,
-                                 task_cache_size=task_cache_size, on_report=on_report)
+                                 task_cache_size=task_cache_size, on_report=on_report,
+                                 prefix_cache=prefix_cache, cache_dir=cache_dir)
         finally:
             if run_lock is not None:
                 os.close(run_lock)
 
-    def _execute(self, backend, workers, task_cache_size, on_report):
+    def _execute(self, backend, workers, task_cache_size, on_report,
+                 prefix_cache="off", cache_dir=None):
         manifest = self.manifest
         task_dir = os.path.join(self.run_dir, TASK_DIRNAME)
         fingerprint = task_fingerprint(task_dir)
@@ -462,6 +469,8 @@ class ExperimentRun:
             schedule=manifest["schedule"],
             task_cache_size=task_cache_size,
             estimator_seed=manifest.get("estimator_seed", manifest["random_state"]),
+            prefix_cache=prefix_cache,
+            cache_dir=cache_dir,
         )
         if snapshot is not None:
             elapsed_offset = float(snapshot.get("elapsed") or 0.0)
@@ -517,15 +526,19 @@ class ExperimentRun:
         )
 
 
-def resume_run(run_dir, backend="serial", workers=None, task_cache_size=None):
+def resume_run(run_dir, backend="serial", workers=None, task_cache_size=None,
+               prefix_cache="off", cache_dir=None):
     """Resume a killed (or completed) checkpointed run; returns the run.
 
     Replays the durable record prefix to reconstruct the exact search
     state, verifies it against the latest snapshot, then continues with
     live evaluations — the remaining record stream is identical to the one
     an uninterrupted run would have produced, and the store ends up with
-    no duplicated or lost records.
+    no duplicated or lost records.  The fitted-prefix cache may be enabled
+    on resume even if the original run had it off (and vice versa): cached
+    artifacts are content-addressed, so the scores are unchanged.
     """
     run = ExperimentRun.open(run_dir)
-    run.execute(backend=backend, workers=workers, task_cache_size=task_cache_size)
+    run.execute(backend=backend, workers=workers, task_cache_size=task_cache_size,
+                prefix_cache=prefix_cache, cache_dir=cache_dir)
     return run

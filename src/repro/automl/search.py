@@ -30,6 +30,8 @@ When the budget is exhausted, the best pipeline is refitted on the full
 training data and scored on the held-out test partition.
 """
 
+import shutil
+import tempfile
 import time
 from collections import deque
 
@@ -39,11 +41,20 @@ from repro.automl.backends import (
     CandidateFuture,
     EvaluationCandidate,
     EvaluationOutcome,
+    PruneController,
+    PrunedEvaluation,
+    _cache_info_fields,
     get_backend,
 )
 from repro.automl.catalog import default_template_catalog
+from repro.automl.prefix_cache import (
+    PREFIX_CACHE_MODES,
+    fold_data_key,
+    make_prefix_cache_config,
+    task_content_digest,
+)
 from repro.explorer.store import normalize_value
-from repro.tasks.task import split_task, task_cv_splits
+from repro.tasks.task import materialize_cv_fold, split_task, task_cv_indices
 from repro.tuning.selectors import UCB1Selector
 from repro.tuning.tuners import GPEiTuner, UniformTuner
 
@@ -90,7 +101,7 @@ class EvaluationRecord:
     """One scored pipeline (one row of the paper's 2.5-million-pipeline dataset)."""
 
     def __init__(self, task_name, template_name, hyperparameters, score, raw_score,
-                 iteration, elapsed, error=None, is_default=False):
+                 iteration, elapsed, error=None, is_default=False, pruned=False):
         self.task_name = task_name
         self.template_name = template_name
         self.hyperparameters = dict(hyperparameters)
@@ -100,10 +111,11 @@ class EvaluationRecord:
         self.elapsed = elapsed
         self.error = error
         self.is_default = is_default
+        self.pruned = bool(pruned)
 
     @property
     def failed(self):
-        """Whether the pipeline failed to evaluate."""
+        """Whether the pipeline failed to evaluate (including pruned candidates)."""
         return self.error is not None
 
     def to_dict(self):
@@ -118,6 +130,7 @@ class EvaluationRecord:
             "elapsed": self.elapsed,
             "error": self.error,
             "is_default": self.is_default,
+            "pruned": self.pruned,
         }
 
     def __repr__(self):
@@ -130,7 +143,7 @@ class SearchResult:
     """Outcome of one AutoBazaar search run on one task."""
 
     def __init__(self, task_name, best_template, best_hyperparameters, best_score,
-                 best_pipeline, records, test_score=None, elapsed=0.0):
+                 best_pipeline, records, test_score=None, elapsed=0.0, cache_stats=None):
         self.task_name = task_name
         self.best_template = best_template
         self.best_hyperparameters = best_hyperparameters
@@ -139,6 +152,7 @@ class SearchResult:
         self.records = list(records)
         self.test_score = test_score
         self.elapsed = elapsed
+        self.cache_stats = cache_stats
 
     @property
     def n_evaluated(self):
@@ -149,6 +163,11 @@ class SearchResult:
     def n_failed(self):
         """Number of pipelines that failed to evaluate."""
         return sum(1 for record in self.records if record.failed)
+
+    @property
+    def n_pruned(self):
+        """Number of candidates discarded mid-evaluation by early-discard pruning."""
+        return sum(1 for record in self.records if getattr(record, "pruned", False))
 
     @property
     def default_score(self):
@@ -199,13 +218,24 @@ class SearchResult:
                                          self.best_score, self.n_evaluated))
 
 
-def evaluate_pipeline(template, hyperparameters, train_task, test_task):
+def evaluate_pipeline(template, hyperparameters, train_task, test_task,
+                      prefix_cache=None, data_key=None):
     """Fit a template's pipeline on one task and score it on another.
 
-    Returns the normalized (higher-is-better) score and the raw metric value.
+    Returns the normalized (higher-is-better) score and the raw metric
+    value.  With a ``prefix_cache``, fitted preprocessing prefixes are
+    looked up by content address instead of refit (see
+    :mod:`repro.automl.prefix_cache`); ``data_key`` identifies the
+    training data and defaults to its content digest.
     """
     pipeline = template.build_pipeline(hyperparameters)
-    pipeline.fit(**train_task.pipeline_data())
+    if prefix_cache is not None:
+        if data_key is None:
+            data_key = task_content_digest(train_task)
+        pipeline.fit(prefix_cache=prefix_cache, data_key=data_key,
+                     **train_task.pipeline_data())
+    else:
+        pipeline.fit(**train_task.pipeline_data())
     predictions = pipeline.predict(**test_task.pipeline_data(include_target=False))
     y_true = test_task.context["y"]
     raw = test_task.score(y_true, predictions)
@@ -213,15 +243,45 @@ def evaluate_pipeline(template, hyperparameters, train_task, test_task):
     return normalized, raw, pipeline
 
 
-def cross_validate_template(template, hyperparameters, task, n_splits=3, random_state=None):
-    """Mean normalized cross-validation score of a template configuration on a task."""
-    splits = task_cv_splits(task, n_splits=n_splits, random_state=random_state)
+def cross_validate_template(template, hyperparameters, task, n_splits=3, random_state=None,
+                            prefix_cache=None, pruner=None, collect=None):
+    """Mean normalized cross-validation score of a template configuration on a task.
+
+    The fold sequence and scores are identical to the historical
+    implementation; the optional knobs bolt the serial backend onto the
+    shared evaluation machinery:
+
+    * ``prefix_cache`` memoizes fitted preprocessing prefixes per fold,
+    * ``pruner`` (a :class:`~repro.automl.backends.PruneController`)
+      raises :class:`~repro.automl.backends.PrunedEvaluation` as soon as
+      the optimistic bound over the remaining folds cannot beat the task
+      best minus the margin,
+    * ``collect`` (a dict) accumulates the per-fold cache counters.
+    """
+    folds = task_cv_indices(task, n_splits=n_splits, random_state=random_state)
     scores = []
     raw_scores = []
-    for train_task, val_task in splits:
-        normalized, raw, _ = evaluate_pipeline(template, hyperparameters, train_task, val_task)
+    for train_indices, val_indices in folds:
+        train_task, val_task = materialize_cv_fold(task, train_indices, val_indices)
+        # cache kwargs only travel when caching is on, preserving the
+        # historical evaluate_pipeline call signature for the default path
+        extra = {}
+        if prefix_cache is not None:
+            extra.update(prefix_cache=prefix_cache,
+                         data_key=fold_data_key(task, train_indices))
+        normalized, raw, pipeline = evaluate_pipeline(
+            template, hyperparameters, train_task, val_task, **extra
+        )
         scores.append(normalized)
         raw_scores.append(raw)
+        if collect is not None:
+            for field, value in _cache_info_fields(pipeline).items():
+                collect[field] = collect.get(field, 0) + value
+        if pruner is not None:
+            pruner.observe_fold(normalized)
+            reason = pruner.assess(scores, len(folds))
+            if reason is not None:
+                raise PrunedEvaluation(reason)
     return float(np.mean(scores)), float(np.mean(raw_scores))
 
 
@@ -293,12 +353,39 @@ class AutoBazaarSearch:
         runs set it so that a resumed search reproduces the uninterrupted
         run's scores exactly; the default ``None`` keeps the catalog's
         unseeded behaviour.
+    prefix_cache:
+        Fitted-prefix cache mode: ``"off"`` (default), ``"mem"`` (a
+        per-process LRU of fitted preprocessing prefixes) or ``"disk"``
+        (the LRU backed by an on-disk content-addressed store shared by
+        process-backend workers).  See :mod:`repro.automl.prefix_cache`.
+        Caching never changes scores for deterministic (seeded)
+        pipelines — cached artifacts are addressed by the content of the
+        training fold and the full configured prefix.
+    cache_dir:
+        Directory of the shared disk tier (mode ``"disk"``).  When
+        omitted, each ``search()`` call creates a private temporary
+        directory and removes it on exit; pass an explicit directory to
+        share fitted prefixes across searches.
+    prune_margin:
+        Enables fold-level early-discard pruning when set (a
+        non-negative float): after each completed fold, a candidate
+        whose optimistic estimate over the remaining folds (best
+        observed single-fold score standing in for each) falls short of
+        the task best minus this margin is cancelled and recorded as a
+        pruned failure.  The estimate is a heuristic, not a sound bound
+        — with a tight margin it can discard a candidate whose remaining
+        folds would have won — and pruning decisions depend on
+        fold-completion timing, so the bit-identical cross-backend
+        record stream is traded for throughput.  ``0.0`` prunes most
+        aggressively; larger margins are safer.  Leave it ``None`` (off)
+        when determinism or exhaustive evaluation matters.
     """
 
     def __init__(self, templates=None, tuner_class=GPEiTuner, selector_class=UCB1Selector,
                  n_splits=3, random_state=None, store=None, catalog=None,
                  warm_start_store=None, backend="serial", workers=None, n_pending=1,
-                 schedule="window", task_cache_size=None, estimator_seed=None):
+                 schedule="window", task_cache_size=None, estimator_seed=None,
+                 prefix_cache="off", cache_dir=None, prune_margin=None):
         if schedule not in ("window", "barrier"):
             raise ValueError(
                 "Unknown schedule {!r}; expected 'window' or 'barrier'".format(schedule)
@@ -317,6 +404,15 @@ class AutoBazaarSearch:
         self.schedule = schedule
         self.task_cache_size = task_cache_size
         self.estimator_seed = estimator_seed
+        self.prefix_cache = prefix_cache or "off"
+        if self.prefix_cache not in PREFIX_CACHE_MODES:
+            raise ValueError(
+                "Unknown prefix-cache mode {!r}; expected one of {}".format(
+                    self.prefix_cache, PREFIX_CACHE_MODES
+                )
+            )
+        self.cache_dir = cache_dir
+        self.prune_margin = prune_margin
 
     # -- setup ----------------------------------------------------------------------
 
@@ -428,6 +524,34 @@ class AutoBazaarSearch:
         if not owns_backend:
             # a previous search on this backend may have aborted mid-collect
             backend.drain()
+
+        owned_cache_dir = None
+        cache_config = None
+        if self.prefix_cache != "off":
+            cache_dir = self.cache_dir
+            if self.prefix_cache == "disk" and cache_dir is None:
+                owned_cache_dir = tempfile.mkdtemp(prefix="repro-prefix-cache-")
+                cache_dir = owned_cache_dir
+            cache_config = make_prefix_cache_config(self.prefix_cache, cache_dir=cache_dir)
+        cache_totals = {"hits": 0, "misses": 0, "bytes_written": 0}
+
+        pruner = None
+        if self.prune_margin is not None:
+            pruner = PruneController(self.prune_margin)
+            if self.store is not None:
+                # seed the pruning threshold from everything the store
+                # already holds for this task (e.g. a resumed or
+                # warm-started run), so early candidates are accountable
+                # to history, not just to this run's own reports.  The
+                # history is matched by task name only: scores from a run
+                # with a different CV configuration are not strictly
+                # comparable, so choose the margin with the store's
+                # provenance in mind (a generous margin neutralizes an
+                # optimistic historical best)
+                history = self.store.scores_for_task(task.name)
+                if history:
+                    pruner.update_task_best(max(history))
+
         budget = int(budget)
         proposed = 0
         next_report = 0
@@ -481,6 +605,8 @@ class AutoBazaarSearch:
                 random_state=self.random_state,
                 template_name=template_name,
                 is_default=is_default,
+                cache_config=cache_config,
+                pruner=pruner,
             )
             proposed += 1
             if candidate.iteration < replay_count:
@@ -496,6 +622,7 @@ class AutoBazaarSearch:
                 outcome = EvaluationOutcome(
                     recorded.get("score"), recorded.get("raw_score"),
                     recorded.get("error"), recorded.get("elapsed") or 0.0,
+                    pruned=bool(recorded.get("pruned", False)),
                 )
                 replayed_queue.append(CandidateFuture(candidate, outcome))
             else:
@@ -530,8 +657,12 @@ class AutoBazaarSearch:
                 elapsed=outcome.elapsed,
                 error=error,
                 is_default=candidate.is_default,
+                pruned=getattr(outcome, "pruned", False),
             )
             records.append(record)
+            cache_totals["hits"] += getattr(outcome, "cache_hits", 0)
+            cache_totals["misses"] += getattr(outcome, "cache_misses", 0)
+            cache_totals["bytes_written"] += getattr(outcome, "cache_bytes", 0)
             next_report += 1
             if self.store is not None and candidate.iteration >= replay_count:
                 # replayed records are already durable in the store; only
@@ -547,14 +678,27 @@ class AutoBazaarSearch:
                 # a failed evaluation consumed budget: count it as a spent
                 # bandit trial and a known-bad tuner region so neither the
                 # selector nor the tuner keeps re-drawing a crashing
-                # configuration family
-                selector.record_failure(candidate.template_name)
+                # configuration family.  Pruned candidates spend the trial
+                # without the failure quarantine — they trailed the
+                # incumbent, they did not crash.  Their configuration still
+                # joins the tuner's failure set at the constant-liar score:
+                # deliberately conservative (the partial evidence says
+                # "behind", the lie says "worst seen"), which deflates
+                # near-threshold regions harder than one fold strictly
+                # proves — the cost of pruning aggressively; raise the
+                # margin to soften it
+                if getattr(outcome, "pruned", False) and hasattr(selector, "record_pruned"):
+                    selector.record_pruned(candidate.template_name)
+                else:
+                    selector.record_failure(candidate.template_name)
                 if tuner is not None:
                     tuner.record_failure(candidate.hyperparameters)
             else:
                 template_scores[candidate.template_name].append(score)
                 if tuner is not None:
                     tuner.record(candidate.hyperparameters, score)
+                if pruner is not None:
+                    pruner.update_task_best(score)
                 if best_score is None or score > best_score:
                     best_score = score
                     best_template = candidate.template_name
@@ -634,8 +778,12 @@ class AutoBazaarSearch:
         finally:
             if owns_backend:
                 backend.shutdown()
+            if owned_cache_dir is not None:
+                shutil.rmtree(owned_cache_dir, ignore_errors=True)
 
-        # refit the best pipeline on the full training partition and score on test
+        # refit the best pipeline on the full training partition and score on
+        # test (always a fresh, uncached fit: the full training partition is
+        # not a cross-validation fold, so there is nothing to share anyway)
         best_pipeline = None
         test_score = None
         if best_template is not None:
@@ -647,6 +795,11 @@ class AutoBazaarSearch:
             except Exception:  # noqa: BLE001 - keep the search result even if refit fails
                 best_pipeline = None
 
+        cache_stats = None
+        if cache_config is not None:
+            cache_stats = {"mode": self.prefix_cache}
+            cache_stats.update(cache_totals)
+
         return SearchResult(
             task_name=task.name,
             best_template=best_template,
@@ -656,6 +809,7 @@ class AutoBazaarSearch:
             records=records,
             test_score=test_score,
             elapsed=time.time() - start,
+            cache_stats=cache_stats,
         )
 
 

@@ -76,12 +76,27 @@ class AutoBazaarSession:
         Worker-resident dataset cache knob of the process backend:
         tasks kept resident per worker; ``0`` ships every fold's data,
         ``None`` keeps the backend default.
+    prefix_cache:
+        Fitted-prefix cache mode (``"off"``/``"mem"``/``"disk"``, see
+        :mod:`repro.automl.prefix_cache`): memoize fitted preprocessing
+        prefixes so candidates sharing a prefix and a fold do not refit
+        it.  ``"disk"`` shares fitted prefixes across process-backend
+        workers through a content-addressed store in ``cache_dir``.
+    cache_dir:
+        Directory of the shared disk tier; a temporary per-search
+        directory when omitted.
+    prune_margin:
+        Fold-level early-discard margin (non-negative float), or
+        ``None`` (default) for exhaustive evaluation.  See
+        :class:`~repro.automl.backends.PruneController`; enabling it
+        trades the bit-identical record stream for throughput.
     """
 
     def __init__(self, budget=20, tuner="gp_ei", selector="ucb1", n_splits=3,
                  random_state=None, warm_start="auto", max_seconds_per_task=None,
                  backend="serial", workers=None, n_pending=1, schedule="window",
-                 task_cache_size=None, store_path=None):
+                 task_cache_size=None, store_path=None, prefix_cache="off",
+                 cache_dir=None, prune_margin=None):
         self.budget = budget
         self.tuner_class = get_tuner(tuner)
         self.selector_class = get_selector(selector)
@@ -94,6 +109,9 @@ class AutoBazaarSession:
         self.schedule = schedule
         self.task_cache_size = task_cache_size
         self.store_path = store_path
+        self.prefix_cache = prefix_cache
+        self.cache_dir = cache_dir
+        self.prune_margin = prune_margin
         if store_path is not None:
             self.store = PersistentPipelineStore(store_path)
         else:
@@ -122,6 +140,9 @@ class AutoBazaarSession:
             n_pending=self.n_pending,
             schedule=self.schedule,
             task_cache_size=self.task_cache_size,
+            prefix_cache=self.prefix_cache,
+            cache_dir=self.cache_dir,
+            prune_margin=self.prune_margin,
         )
         result = searcher.search(
             task, budget=self.budget, test_task=test_task,
@@ -189,7 +210,8 @@ class AutoBazaarSession:
 def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1",
                        n_splits=3, random_state=0, output=None, backend="serial",
                        workers=None, n_pending=1, schedule="window", task_cache_size=None,
-                       store_path=None, warm_start="auto", run_dir=None, checkpoint_every=1):
+                       store_path=None, warm_start="auto", run_dir=None, checkpoint_every=1,
+                       prefix_cache="off", cache_dir=None, prune_margin=None):
     """One-shot helper behind the command-line interface.
 
     Loads the task stored in ``task_directory``, runs a search, optionally
@@ -209,6 +231,13 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
     if run_dir is not None:
         from repro.automl.checkpoint import ExperimentRun
 
+        if prune_margin is not None:
+            raise ValueError(
+                "--prune-margin cannot be combined with --run-dir: pruning "
+                "decisions depend on fold-completion timing, so a pruned record "
+                "stream is not exactly replayable and the run would be "
+                "unresumable"
+            )
         warm_source = None
         if warm_start is True and store_path is None:
             raise ValueError(
@@ -238,7 +267,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
             if warm_source is not None:
                 warm_source.close()
         result = run.execute(backend=backend, workers=workers,
-                             task_cache_size=task_cache_size)
+                             task_cache_size=task_cache_size,
+                             prefix_cache=prefix_cache, cache_dir=cache_dir)
         # hand back the familiar session surface (report/summary/save_store)
         # wrapped around the run's durable store and result.  The store is
         # the run's own record log: query and close() it, but solving more
@@ -257,7 +287,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
             budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
             random_state=random_state, backend=backend, workers=workers,
             n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
-            store_path=store_path, warm_start=warm_start,
+            store_path=store_path, warm_start=warm_start, prefix_cache=prefix_cache,
+            cache_dir=cache_dir, prune_margin=prune_margin,
         )
         session.solve_directory(task_directory)
     if output:

@@ -18,7 +18,7 @@ from repro.core.catalog._helpers import (
     transformer,
 )
 from repro.learners.preprocessing import CategoricalEncoder, ClassDecoder, ClassEncoder
-from repro.learners.synthetic import TimedDummyClassifier
+from repro.learners.synthetic import TimedDummyClassifier, TimedIdentityTransformer
 from repro.learners.text import SequencePadder, StringVectorizer, TextCleaner, UniqueCounter, VocabularyCounter
 from repro.learners.timeseries import (
     find_anomalies,
@@ -149,6 +149,13 @@ def register(registry):
             fixed={"fit_seconds": 0.0, "predict_seconds": 0.0},
             description="Majority-class classifier with a configurable artificial "
                         "fit/predict cost, for scheduler-skew benchmarks.",
+        ),
+        transformer(
+            "mlprimitives.custom.synthetic.TimedIdentityTransformer",
+            TimedIdentityTransformer, SOURCE,
+            fixed={"fit_seconds": 0.0, "transform_seconds": 0.0},
+            description="Identity transformer with a configurable artificial fit "
+                        "cost, for prefix-cache benchmarks.",
         ),
         # -- anomaly detection postprocessing (ORION pipeline) ----------------------------
         function_primitive(

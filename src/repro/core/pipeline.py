@@ -7,6 +7,7 @@ then be fitted, used for prediction, tuned, serialized to JSON, and
 analyzed as a computational graph.
 """
 
+import hashlib
 import json
 
 import networkx as nx
@@ -73,6 +74,7 @@ class MLPipeline:
         self.outputs = outputs
         self.fitted = False
         self._fit_context_keys = None
+        self.prefix_cache_info = None
 
     @staticmethod
     def _lookup(mapping, primitive_name, step_name):
@@ -83,21 +85,98 @@ class MLPipeline:
 
     # -- execution -------------------------------------------------------------
 
-    def fit(self, **data):
+    def fit(self, prefix_cache=None, data_key=None, **data):
         """Fit every step in order, flowing data through the shared context.
 
         Keyword arguments seed the execution context (for example ``X=...``
         and ``y=...``, or ``graph=...`` and ``pairs=...`` for graph tasks).
+
+        Parameters
+        ----------
+        prefix_cache:
+            Optional :class:`~repro.automl.prefix_cache.FittedPrefixCache`.
+            Each *preprocessing-prefix* step is addressed by its prefix
+            fingerprint (see :meth:`prefix_fingerprints`); on a hit the
+            step adopts the cached fitted instance and transformed
+            outputs instead of refitting, on a miss it fits normally and
+            publishes its artifacts.  Caching stops at the first
+            estimator-category step (and never covers the final step):
+            the estimator is what candidates actually vary — and what may
+            legitimately be stochastic — so only the deterministic
+            preprocessing prefix in front of it is shared.  Per-call
+            hit/miss counts land in :attr:`prefix_cache_info`.
+        data_key:
+            Content digest of the training data seeding the fingerprint
+            chain (required with ``prefix_cache``): equal configured
+            prefixes fitted on equal data — and only those — share
+            fingerprints.
         """
+        if prefix_cache is not None and data_key is None:
+            raise ValueError("fit(prefix_cache=...) requires a data_key for the training data")
         context = Context(data)
-        for step in self.steps:
+        caching = prefix_cache is not None
+        fingerprint = data_key
+        prefix_length = self._cacheable_prefix_length() if caching else 0
+        hits = misses = bytes_written = 0
+        for index, step in enumerate(self.steps):
+            cacheable = index < prefix_length
+            if cacheable:
+                fingerprint = _chain_fingerprint(fingerprint, step)
+                artifacts = prefix_cache.get(fingerprint)
+                if artifacts is not None:
+                    hits += 1
+                    step.restore_fitted(artifacts["instance"])
+                    outputs = artifacts["outputs"]
+                    if outputs is not None:
+                        context.record(step.name, outputs)
+                    continue
             step.fit(context)
             outputs = step.produce(context, skip_if_missing=False)
+            if cacheable:
+                misses += 1
+                bytes_written += prefix_cache.put(
+                    fingerprint, {"instance": step._instance, "outputs": outputs}
+                )
             if outputs is not None:
                 context.record(step.name, outputs)
         self.fitted = True
         self._fit_context_keys = sorted(context.keys())
+        self.prefix_cache_info = (
+            {"hits": hits, "misses": misses, "bytes_written": bytes_written}
+            if caching else None
+        )
         return self
+
+    def _cacheable_prefix_length(self):
+        """Steps eligible for prefix caching: everything before the estimator.
+
+        The boundary is the first estimator-category step, capped at the
+        final step for estimator-free pipelines — the tail of a pipeline
+        is never served from cache.
+        """
+        boundary = len(self.steps) - 1
+        for index, step in enumerate(self.steps):
+            if step.annotation.category == "estimator":
+                boundary = min(boundary, index)
+                break
+        return boundary
+
+    def prefix_fingerprints(self, data_key):
+        """Deterministic fingerprint of every pipeline prefix on ``data_key``.
+
+        Entry ``k`` identifies the fitted state of steps ``0..k`` on the
+        data behind ``data_key``: a rolling SHA-256 of the data key
+        chained with each step's :meth:`~repro.core.step.PipelineStep.fingerprint_payload`.
+        Changing any step's primitive or hyperparameters changes the
+        fingerprints of that step and everything after it, but leaves the
+        untouched prefix — and therefore its cache entries — stable.
+        """
+        fingerprints = []
+        fingerprint = data_key
+        for step in self.steps:
+            fingerprint = _chain_fingerprint(fingerprint, step)
+            fingerprints.append(fingerprint)
+        return fingerprints
 
     @property
     def fit_context_keys(self):
@@ -240,6 +319,15 @@ class MLPipeline:
         return "MLPipeline({} steps: {})".format(
             len(self.steps), " -> ".join(p.split(".")[-1] for p in self.primitives)
         )
+
+
+def _chain_fingerprint(previous, step):
+    """One link of the rolling prefix hash: ``H(previous || step identity)``."""
+    hasher = hashlib.sha256()
+    hasher.update(str(previous).encode("utf-8"))
+    hasher.update(b"\0")
+    hasher.update(step.fingerprint_payload().encode("utf-8"))
+    return hasher.hexdigest()
 
 
 def _jsonify(value):

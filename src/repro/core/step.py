@@ -8,6 +8,7 @@ shared key-value :class:`~repro.core.context.Context` — this is what makes
 """
 
 import inspect
+import json
 
 from repro.core.annotations import PrimitiveAnnotation
 
@@ -105,6 +106,37 @@ class PipelineStep:
 
     def _output_key(self, output_name):
         return self.output_names.get(output_name, output_name)
+
+    # -- fingerprinting ----------------------------------------------------------
+
+    def fingerprint_payload(self):
+        """Canonical JSON identity of this step for prefix fingerprinting.
+
+        Captures everything that determines what the step *computes* on a
+        given input: the primitive, the fully resolved hyperparameters
+        (annotation defaults + fixed values + template init params +
+        tuned overrides) and the context renames.  Two steps with equal
+        payloads fitted on identical data produce identical artifacts,
+        which is what makes fitted-prefix cache entries shareable across
+        candidates and templates.
+        """
+        payload = {
+            "primitive": self.annotation.name,
+            "hyperparameters": self.hyperparameters,
+            "input_names": self.input_names,
+            "output_names": self.output_names,
+        }
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+    def restore_fitted(self, instance):
+        """Adopt an already-fitted primitive instance (a prefix-cache hit).
+
+        The instance replaces whatever this step would have built and
+        fitted itself; ``produce`` and later ``predict`` calls use it
+        directly.  Function (stateless) primitives cache ``None`` here.
+        """
+        self._instance = instance
+        return self
 
     # -- execution -------------------------------------------------------------
 

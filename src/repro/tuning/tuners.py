@@ -35,6 +35,14 @@ class BaseTuner:
         self.scores = []
         self._pending = []
         self.failed_trials = []
+        # version counter of the *observed* training data (trials and
+        # failures); meta-model caching keys on it.  Pending bookkeeping
+        # deliberately does not bump it — see ``GPTuner._fit_meta_model``
+        self._state_version = 0
+
+    def _state_changed(self):
+        """Mark the meta-model training data dirty (see ``GPTuner._fit_meta_model``)."""
+        self._state_version += 1
 
     def record(self, params, score):
         """Record the observed score of a configuration."""
@@ -43,6 +51,7 @@ class BaseTuner:
             raise ValueError("Cannot record a non-finite score")
         self.trials.append(dict(params))
         self.scores.append(score)
+        self._state_changed()
 
     def record_failure(self, params):
         """Record a configuration whose evaluation failed (crash or non-finite score).
@@ -56,6 +65,7 @@ class BaseTuner:
         the same way pending proposals are deflated.
         """
         self.failed_trials.append(dict(params))
+        self._state_changed()
 
     # -- pending proposals (constant-liar batching) ---------------------------------
 
@@ -99,11 +109,13 @@ class BaseTuner:
         """Propose the next configuration(s) to evaluate.
 
         With ``n == 1`` (the default) a single configuration dict is
-        returned.  With ``n > 1`` a *batch* of ``n`` configurations is
-        returned as a list: each proposal is temporarily registered as
-        pending with the constant-liar score before the next one is
-        drawn, so the batch covers distinct regions of the space even
-        though no real scores arrive in between.
+        returned.  With ``n > 1`` a *batch* of ``n`` distinct
+        configurations is returned as a list, drawn so the batch covers
+        distinct regions of the space even though no real scores arrive
+        in between — by default through the constant-liar loop (each
+        proposal temporarily registered as pending before the next is
+        drawn); GP tuners instead fit the meta-model once and take the
+        top-``n`` distinct candidates of one vectorized acquisition pass.
 
         The AutoBazaar search loop drives the same pending primitives
         (:meth:`add_pending` / :meth:`resolve_pending`) directly instead
@@ -117,6 +129,16 @@ class BaseTuner:
             raise ValueError("n must be at least 1")
         if n == 1:
             return self._propose_one()
+        return self._propose_batch(n)
+
+    def _propose_batch(self, n):
+        """Propose ``n`` configurations (default: the constant-liar loop).
+
+        Subclasses with an expensive meta-model may override this with a
+        fit-once batched implementation (see ``GPTuner``); the contract is
+        ``n`` mutually distinct-as-possible proposals with no pending or
+        score state left behind.
+        """
         proposals = []
         try:
             for _ in range(n):
@@ -174,6 +196,8 @@ class GPTuner(BaseTuner):
         self.acquisition = acquisition
         self.n_candidates = n_candidates
         self.min_trials = min_trials
+        self._meta_model = None
+        self._meta_model_version = None
 
     def _training_data(self):
         """Observed trials plus pending and failed ones under the constant liar.
@@ -194,11 +218,31 @@ class GPTuner(BaseTuner):
         return trials, scores
 
     def _fit_meta_model(self):
+        """The meta-model over the observed trials, fit at most once per state.
+
+        Fitting runs the full length-scale grid search, which used to
+        happen on *every* proposal — including every element of a
+        ``propose(n)`` batch and every window refill between reports.
+        The fitted model is memoized on the observed-data version,
+        bumped only by ``record``/``record_failure``: proposals that
+        merely add or resolve *pending* entries reuse the cached model.
+        That is the standard stale-model approximation of asynchronous
+        Bayesian optimization — the pending constant liar still steers
+        template selection (the selector counts in-flight trials) and
+        the next genuine observation refits the model with every lie in
+        place; in exchange, a template proposed repeatedly within a
+        scheduling window pays for the grid search once, not per
+        proposal.
+        """
+        if self._meta_model is not None and self._meta_model_version == self._state_version:
+            return self._meta_model
         trials, scores = self._training_data()
         X = np.vstack([self.tunable.to_vector(trial) for trial in trials])
         y = np.asarray(scores, dtype=float)
         model = self.meta_model_class(kernel=self.kernel)
         model.fit(X, y)
+        self._meta_model = model
+        self._meta_model_version = self._state_version
         return model
 
     def _score_candidates(self, model, candidates):
@@ -219,6 +263,40 @@ class GPTuner(BaseTuner):
         candidates = self.tunable.sample_many(self.n_candidates, self._rng)
         acquisition_values = self._score_candidates(model, candidates)
         return candidates[int(np.argmax(acquisition_values))]
+
+    def _propose_batch(self, n):
+        """One meta-model fit and one vectorized acquisition pass for the whole batch.
+
+        The base-class loop refits the GP after every batch element (each
+        ``add_pending`` changes the liar set).  Here the model is fitted
+        once, a pool of ``n * n_candidates`` candidates is scored in a
+        single vectorized ``_score_candidates`` call, and the batch is
+        the top-``n`` *distinct* configurations by acquisition value —
+        distinctness standing in for the liar's spreading pressure at a
+        fraction of the cost.
+        """
+        if len(self.trials) < self.min_trials:
+            return [self.tunable.sample(self._rng) for _ in range(n)]
+        try:
+            model = self._fit_meta_model()
+        except (RuntimeError, np.linalg.LinAlgError):
+            return [self.tunable.sample(self._rng) for _ in range(n)]
+        pool = self.tunable.sample_many(self.n_candidates * n, self._rng)
+        acquisition_values = np.asarray(self._score_candidates(model, pool))
+        proposals = []
+        seen = set()
+        for index in np.argsort(acquisition_values)[::-1]:
+            candidate = pool[int(index)]
+            key = tuple(sorted((key, value) for key, value in candidate.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            proposals.append(candidate)
+            if len(proposals) == n:
+                break
+        while len(proposals) < n:  # a degenerate space with < n distinct points
+            proposals.append(self.tunable.sample(self._rng))
+        return proposals
 
 
 class GPEiTuner(GPTuner):

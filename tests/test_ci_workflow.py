@@ -32,12 +32,25 @@ def test_workflow_parses_and_triggers(workflow):
 
 def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume"}
+    assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume", "prefix-cache"}
     assert any("ruff check" in step.get("run", "") for step in jobs["lint"]["steps"])
     assert any("python -m pytest -x -q" in step.get("run", "")
                for step in jobs["tests"]["steps"])
     assert any('-k "pipeline_engine"' in step.get("run", "")
                for step in jobs["bench-smoke"]["steps"])
+
+
+def test_prefix_cache_smoke_records_the_throughput_benchmark(workflow):
+    """The cache's 1.5x throughput bar is CI-enforced and its result recorded."""
+    steps = workflow["jobs"]["prefix-cache"]["steps"]
+    smoke = [step for step in steps
+             if "scripts/record_bench.py" in step.get("run", "")]
+    assert smoke, "the prefix-cache job must run scripts/record_bench.py"
+    assert "BENCH_prefix_cache.json" in smoke[0]["run"]
+    # the script and the committed benchmark record both exist
+    root = os.path.join(os.path.dirname(__file__), "..")
+    assert os.path.exists(os.path.join(root, "scripts", "record_bench.py"))
+    assert os.path.exists(os.path.join(root, "BENCH_prefix_cache.json"))
 
 
 def test_crash_resume_smoke_runs_the_kill_and_resume_gate(workflow):

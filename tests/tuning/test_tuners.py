@@ -125,6 +125,89 @@ class TestGPTuners:
             tuner.record(params, _branin_like(params))
 
 
+class TestMetaModelMemoization:
+    """The GP meta-model is fit at most once per training-data state."""
+
+    def _counting_tuner(self, monkeypatch, **kwargs):
+        fits = {"n": 0}
+        tuner = GPEiTuner(_space(), min_trials=3, random_state=0, **kwargs)
+        real_class = tuner.meta_model_class
+
+        class CountingModel(real_class):
+            def fit(self, X, y):
+                fits["n"] += 1
+                return super().fit(X, y)
+
+        tuner.meta_model_class = CountingModel
+        return tuner, fits
+
+    def _warm_up(self, tuner):
+        for score in (0.1, 0.5, 0.3, 0.7):
+            params = tuner.propose()
+            tuner.record(params, score)
+
+    def test_unchanged_state_reuses_the_fitted_model(self, monkeypatch):
+        tuner, fits = self._counting_tuner(monkeypatch)
+        self._warm_up(tuner)
+        tuner.propose()
+        assert fits["n"] == 2  # propose 4 (after min_trials) + propose 5
+        tuner.propose()
+        tuner.propose()
+        assert fits["n"] == 2  # nothing recorded in between: no refit
+
+    def test_record_and_failure_dirty_the_model(self, monkeypatch):
+        tuner, fits = self._counting_tuner(monkeypatch)
+        self._warm_up(tuner)
+        params = tuner.propose()
+        fitted = fits["n"]
+        tuner.record(params, 0.9)
+        tuner.propose()
+        assert fits["n"] == fitted + 1
+        tuner.record_failure(params)
+        tuner.propose()
+        assert fits["n"] == fitted + 2
+
+    def test_pending_bookkeeping_reuses_the_stale_model(self, monkeypatch):
+        # the hot-path contract: proposals that only add/resolve pending
+        # entries (the window-refill pattern: propose -> add_pending ->
+        # propose again before any result lands) reuse the cached model
+        # instead of re-running the length-scale grid — the stale-model
+        # approximation of asynchronous Bayesian optimization
+        tuner, fits = self._counting_tuner(monkeypatch)
+        self._warm_up(tuner)
+        params = tuner.propose()
+        fitted = fits["n"]
+        tuner.add_pending(params)
+        tuner.propose()
+        tuner.resolve_pending(params)
+        tuner.propose()
+        assert fits["n"] == fitted  # no new observation, no refit
+        tuner.record(params, 0.8)
+        tuner.propose()
+        assert fits["n"] == fitted + 1  # a genuine observation refits
+
+    def test_batch_proposal_fits_once_and_scores_vectorized(self, monkeypatch):
+        tuner, fits = self._counting_tuner(monkeypatch)
+        self._warm_up(tuner)
+        scored_batches = []
+        real_score = tuner._score_candidates
+
+        def counting_score(model, candidates):
+            scored_batches.append(len(candidates))
+            return real_score(model, candidates)
+
+        monkeypatch.setattr(tuner, "_score_candidates", counting_score)
+        before = fits["n"]
+        batch = tuner.propose(n=4)
+        assert fits["n"] == before + 1  # one fit for the whole batch
+        assert scored_batches == [tuner.n_candidates * 4]  # one vectorized pass
+        assert len(batch) == 4
+        for i in range(len(batch)):
+            for j in range(i + 1, len(batch)):
+                assert batch[i] != batch[j]
+        assert tuner.pending == []  # no liar state left behind
+
+
 class TestTunerRegistry:
     def test_lookup_by_name(self):
         assert get_tuner("gp_ei") is GPEiTuner
