@@ -1,0 +1,70 @@
+"""Fail when a freshly recorded benchmark regresses against its baseline.
+
+Each argument is a ``baseline.json:current.json`` pair of records written
+by ``scripts/record_bench.py``.  The current run's ``speedup`` must stay
+within ``--tolerance`` (default 20%) of the committed baseline's — CI
+records the benchmarks next to the committed ``BENCH_*.json`` files and
+runs this script so a perf regression fails the build even when the
+absolute acceptance threshold is still met.
+
+Usage::
+
+    python scripts/check_bench_regression.py [--tolerance 0.20] \\
+        .bench-baseline/BENCH_data_plane.json:BENCH_data_plane.json ...
+"""
+
+import argparse
+import json
+import sys
+
+
+def compare(baseline_path, current_path, tolerance):
+    """Returns an error string, or ``None`` when the pair is acceptable."""
+    with open(baseline_path) as stream:
+        baseline = json.load(stream)
+    with open(current_path) as stream:
+        current = json.load(stream)
+    if baseline.get("benchmark") != current.get("benchmark"):
+        return "{}: benchmark {!r} does not match baseline {!r}".format(
+            current_path, current.get("benchmark"), baseline.get("benchmark"))
+    floor = baseline["speedup"] * (1.0 - tolerance)
+    if current["speedup"] < floor:
+        return ("{}: speedup {:.2f}x regressed below {:.2f}x "
+                "(baseline {:.2f}x - {:.0f}% tolerance)").format(
+            current_path, current["speedup"], floor,
+            baseline["speedup"], tolerance * 100)
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("pairs", nargs="+", metavar="BASELINE:CURRENT",
+                        help="colon-separated baseline/current record pair")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup drop vs the baseline "
+                             "(default: 0.20)")
+    arguments = parser.parse_args(argv)
+    if not 0.0 <= arguments.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    failures = []
+    for pair in arguments.pairs:
+        baseline_path, separator, current_path = pair.partition(":")
+        if not separator or not baseline_path or not current_path:
+            parser.error("expected BASELINE:CURRENT, got {!r}".format(pair))
+        error = compare(baseline_path, current_path, arguments.tolerance)
+        if error:
+            failures.append(error)
+        else:
+            with open(current_path) as stream:
+                speedup = json.load(stream)["speedup"]
+            print("ok: {} ({:.2f}x vs baseline within {:.0f}%)".format(
+                current_path, speedup, arguments.tolerance * 100))
+
+    for failure in failures:
+        print("FAIL: {}".format(failure), file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,18 @@ def build_parser():
     parser.add_argument("--worker-cache", type=int, default=None, metavar="TASKS",
                         help="tasks kept resident per process-backend worker; 0 ships "
                              "every fold's data instead (default: backend default)")
+    parser.add_argument("--data-plane", default=None, choices=("shm", "pickle"),
+                        help="process-backend task transport: 'shm' publishes the "
+                             "task once into zero-copy shared memory that workers "
+                             "map read-only (non-shareable tasks fall back to "
+                             "pickle automatically); 'pickle' forces the historical "
+                             "on-disk hand-off (default: backend default, shm)")
+    parser.add_argument("--batch-eval", action="store_true",
+                        help="evaluate same-template candidates proposed together "
+                             "as fused batches (shared preprocessing prefix, "
+                             "batched estimator fits); scores and record order are "
+                             "unchanged — pair with --schedule barrier and "
+                             "--pending > 1 for full batches")
     parser.add_argument("--prefix-cache", default="off", choices=("off", "mem", "disk"),
                         help="fitted-prefix cache: memoize fitted preprocessing "
                              "prefixes shared by candidates (same fold, same "
@@ -192,6 +204,8 @@ def main(argv=None):
             prefix_cache=arguments.prefix_cache,
             cache_dir=arguments.cache_dir,
             prune_margin=arguments.prune_margin,
+            data_plane=arguments.data_plane,
+            batch_eval=arguments.batch_eval,
         )
     except (FileNotFoundError, ValueError, CheckpointError) as error:
         print("error: {}".format(error), file=sys.stderr)

@@ -40,8 +40,27 @@ once per fold (``budget * n_splits`` transfers before).  The thread
 backend shares the coordinator's memory and passes the task by reference.
 Setting ``task_cache_size=0`` on the process backend restores the
 ship-every-fold behaviour.
+
+On top of the worker cache the process backend defaults to a **zero-copy
+shared-memory data plane** (``data_plane="shm"``): pure-ndarray tasks are
+published once into ``multiprocessing.shared_memory`` segments (see
+:mod:`repro.automl.shm`) and workers attach read-only views instead of
+unpickling a copy, so a cache miss costs an ``mmap`` rather than a full
+deserialization of the dataset.  Tasks that cannot be expressed as raw
+byte buffers (object-dtype columns, non-array context values) and
+platforms without shared-memory support fall back to the pickle plane
+automatically, per task; ``data_plane="pickle"`` forces the historical
+path.
+
+Backends also accept batched submission (:meth:`ExecutionBackend.submit_many`):
+same-template candidates co-submitted by the scheduler are fused into one
+evaluation pass per fold (see :mod:`repro.automl.batch_eval`), sharing the
+preprocessing prefix and — for amenable learners — the estimator fit
+across the hyperparameter batch, without changing any score, error string
+or record order.
 """
 
+import atexit
 import os
 import pickle
 import queue
@@ -54,12 +73,16 @@ from itertools import count
 
 import numpy as np
 
+from repro.automl import batch_eval, shm
 from repro.automl.prefix_cache import (
     fold_data_key,
     resolve_prefix_cache,
     task_content_digest,
 )
 from repro.tasks.task import materialize_cv_fold, task_cv_indices
+
+#: Valid process-backend task transports.
+DATA_PLANES = ("shm", "pickle")
 
 
 def _format_error(failure):
@@ -305,6 +328,11 @@ class TaskPayload:
         self.key = key
         self.path = path
 
+    def load(self):
+        """Unpickle the parked task (the worker-side materialization)."""
+        with open(self.path, "rb") as stream:
+            return pickle.load(stream)
+
     def __repr__(self):
         return "TaskPayload(key={!r}, path={!r})".format(self.key, self.path)
 
@@ -312,16 +340,18 @@ class TaskPayload:
 def _resolve_task(task_ref):
     """Materialize a submitted task reference inside the worker.
 
-    Accepts either the task object itself (serial/thread backends, which
-    share the coordinator's memory) or a :class:`TaskPayload` pointing at
-    the on-disk pickle (process backend).
+    Accepts the task object itself (serial/thread backends, which share
+    the coordinator's memory) or either process-backend transport handle:
+    a :class:`TaskPayload` pointing at the on-disk pickle, or a
+    :class:`~repro.automl.shm.SharedTaskHandle` naming a shared-memory
+    segment to attach read-only views over.  Both handles expose ``key``
+    and ``load()``, so the resident LRU logic is transport-agnostic.
     """
-    if not isinstance(task_ref, TaskPayload):
+    if not isinstance(task_ref, (TaskPayload, shm.SharedTaskHandle)):
         return task_ref
     task = _WORKER_TASK_CACHE.get(task_ref.key)
     if task is None:
-        with open(task_ref.path, "rb") as stream:
-            task = pickle.load(stream)
+        task = task_ref.load()
         _WORKER_TASK_CACHE[task_ref.key] = task
         while len(_WORKER_TASK_CACHE) > _WORKER_TASK_CACHE_SIZE > 0:
             _WORKER_TASK_CACHE.popitem(last=False)
@@ -370,6 +400,40 @@ def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, va
             "error": _format_error(failure),
             "elapsed": time.time() - started,
         }
+
+
+def evaluate_fold_indices_batch(template, hyperparameters_list, task_ref, train_indices,
+                                val_indices, cache_config=None):
+    """Evaluate one fold for a same-template hyperparameter batch.
+
+    The batched twin of :func:`evaluate_fold_indices`: one submission
+    carries every configuration of a fused candidate group and returns one
+    fold payload per configuration, in input order (see
+    :func:`repro.automl.batch_eval.evaluate_candidate_group` for the
+    determinism contract).  A failure *before* per-candidate evaluation
+    starts (unresolvable task, broken fold indices) fails every member
+    with the same error, exactly as it would have failed each individual
+    submission.
+    """
+    started = time.time()
+    try:
+        task = _resolve_task(task_ref)
+        train_task, val_task = materialize_cv_fold(task, train_indices, val_indices)
+        prefix_cache = resolve_prefix_cache(cache_config)
+        data_key = None
+        if prefix_cache is not None:
+            data_key = fold_data_key(task, train_indices)
+        return batch_eval.evaluate_candidate_group(
+            template, hyperparameters_list, train_task, val_task,
+            prefix_cache=prefix_cache, data_key=data_key,
+        )
+    except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
+        share = (time.time() - started) / max(len(hyperparameters_list), 1)
+        error = _format_error(failure)
+        return [
+            {"score": None, "raw_score": None, "error": error, "elapsed": share}
+            for _ in hyperparameters_list
+        ]
 
 
 def _aggregate_folds(fold_results, pruned_reason=None):
@@ -531,6 +595,48 @@ class _PooledCandidateFuture:
         return self._outcome
 
 
+def _dispatch_group_fold(index, job, futures):
+    """Fan one fused group-fold job's payload list out to the member futures.
+
+    Runs as the job's done-callback: the job result is one fold payload
+    per group member (in member order); infrastructure failures are
+    replicated to every member, exactly as they would have hit each
+    individual fold submission.
+    """
+    n_members = len(futures)
+    if job.cancelled():
+        payloads = [
+            {
+                "score": None,
+                "raw_score": None,
+                "error": "CancelledError: the backend was shut down before this fold ran",
+                "elapsed": 0.0,
+            }
+            for _ in range(n_members)
+        ]
+    else:
+        exception = job.exception()
+        if exception is not None:
+            error = _format_error(exception)
+            payloads = [
+                {"score": None, "raw_score": None, "error": error, "elapsed": 0.0}
+                for _ in range(n_members)
+            ]
+        else:
+            payloads = job.result()
+            if not isinstance(payloads, list) or len(payloads) != n_members:
+                error = "RuntimeError: batched fold returned {} payloads for {} candidates".format(
+                    len(payloads) if isinstance(payloads, list) else type(payloads).__name__,
+                    n_members,
+                )
+                payloads = [
+                    {"score": None, "raw_score": None, "error": error, "elapsed": 0.0}
+                    for _ in range(n_members)
+                ]
+    for future, payload in zip(futures, payloads):
+        future._record(index, payload)
+
+
 class ExecutionBackend:
     """Where and how proposed pipelines are evaluated.
 
@@ -547,6 +653,17 @@ class ExecutionBackend:
     def submit(self, candidate):
         """Start evaluating ``candidate``; returns a candidate future."""
         raise NotImplementedError
+
+    def submit_many(self, candidates):
+        """Submit a batch of candidates at once; returns their futures.
+
+        Backends that can fuse same-template candidates into batched
+        evaluation passes override this; the base implementation simply
+        loops :meth:`submit`.  Futures are returned in submission order,
+        and the evaluation semantics (scores, error strings) are
+        identical either way.
+        """
+        return [self.submit(candidate) for candidate in candidates]
 
     def collect_one(self):
         """Block until one submitted-but-uncollected future completes.
@@ -643,6 +760,84 @@ class SerialBackend(ExecutionBackend):
         self._completed.append(future)
         return future
 
+    def submit_many(self, candidates):
+        futures = []
+        for group in batch_eval.group_candidates(candidates):
+            if len(group) == 1:
+                futures.append(self.submit(group[0]))
+            else:
+                futures.extend(self._submit_group(group))
+        return futures
+
+    def _submit_group(self, candidates):
+        """Evaluate a fused same-template group synchronously, fold-major.
+
+        Each fold runs once for the whole group through
+        :func:`~repro.automl.batch_eval.evaluate_candidate_group`; fold
+        payloads are aggregated per candidate with the exact
+        :func:`_aggregate_folds` semantics the pool backends use, which
+        match the looped serial path bit for bit.  Early-discard pruning
+        still works fold-major: a candidate pruned (or failed) after fold
+        *k* is simply excluded from the group's later fold batches.
+        """
+        lead = candidates[0]
+        started = time.time()
+        try:
+            folds = task_cv_indices(
+                lead.task, n_splits=lead.n_splits, random_state=lead.random_state,
+            )
+        except Exception as failure:  # noqa: BLE001 - split failures are recorded
+            error = _format_error(failure)
+            elapsed = time.time() - started
+            futures = [
+                CandidateFuture(candidate, EvaluationOutcome(None, None, error, elapsed))
+                for candidate in candidates
+            ]
+            self._completed.extend(futures)
+            return futures
+
+        prefix_cache = resolve_prefix_cache(lead.cache_config)
+        pruner = lead.pruner
+        n_candidates = len(candidates)
+        n_folds = len(folds)
+        fold_results = [[] for _ in range(n_candidates)]
+        pruned_reason = [None] * n_candidates
+        failed = [False] * n_candidates
+        for train_indices, val_indices in folds:
+            live = [
+                index for index in range(n_candidates)
+                if pruned_reason[index] is None and not failed[index]
+            ]
+            if not live:
+                break
+            train_task, val_task = materialize_cv_fold(lead.task, train_indices, val_indices)
+            data_key = None
+            if prefix_cache is not None:
+                data_key = fold_data_key(lead.task, train_indices)
+            payloads = batch_eval.evaluate_candidate_group(
+                lead.template, [candidates[index].hyperparameters for index in live],
+                train_task, val_task, prefix_cache=prefix_cache, data_key=data_key,
+            )
+            for index, payload in zip(live, payloads):
+                fold_results[index].append(payload)
+                if payload.get("error"):
+                    failed[index] = True
+                elif pruner is not None:
+                    pruner.observe_fold(payload["score"])
+                    scores = [
+                        fold["score"] for fold in fold_results[index]
+                        if not fold.get("error")
+                    ]
+                    reason = pruner.assess(scores, n_folds)
+                    if reason is not None:
+                        pruned_reason[index] = reason
+        futures = []
+        for index, candidate in enumerate(candidates):
+            outcome = _aggregate_folds(fold_results[index], pruned_reason[index])
+            futures.append(CandidateFuture(candidate, outcome))
+        self._completed.extend(futures)
+        return futures
+
     def collect_one(self):
         if not self._completed:
             return None
@@ -724,6 +919,89 @@ class _PoolBackend(ExecutionBackend):
             cache_config=candidate.cache_config,
         )
 
+    def _supports_group_dispatch(self):
+        """Whether fused group submissions can run on this backend."""
+        return True
+
+    def submit_many(self, candidates):
+        futures = []
+        for group in batch_eval.group_candidates(candidates):
+            if len(group) == 1 or not self._supports_group_dispatch():
+                futures.extend(self.submit(candidate) for candidate in group)
+            else:
+                futures.extend(self._submit_group(group))
+        return futures
+
+    def _submit_group(self, candidates):
+        """Dispatch a fused same-template group, one batched job per fold.
+
+        Work-stealing granularity stays at the fold level: each fold of
+        the group is one executor job evaluating every member's
+        configuration in a fused pass.  Every member still gets its own
+        :class:`_PooledCandidateFuture`; the fold job's done-callback fans
+        the per-candidate payloads out to them, so aggregation, error
+        semantics and completion-queue behaviour are unchanged.  Fold
+        cancellation on a member's failure is intentionally disabled for
+        group jobs (the other members still need the fold), which also
+        means fold-level pruning cannot cancel a group's queued folds —
+        batching trades some pruning reactivity for fused throughput.
+        """
+        lead = candidates[0]
+        started = time.time()
+        try:
+            folds = task_cv_indices(
+                lead.task, n_splits=lead.n_splits, random_state=lead.random_state,
+            )
+        except Exception as failure:  # noqa: BLE001 - split failures are recorded
+            error = _format_error(failure)
+            elapsed = time.time() - started
+            futures = []
+            for candidate in candidates:
+                future = CandidateFuture(candidate, EvaluationOutcome(None, None, error, elapsed))
+                self._outstanding += 1
+                self._completion_queue.put(future)
+                futures.append(future)
+            return futures
+        futures = [
+            _PooledCandidateFuture(candidate, len(folds), self._completion_queue)
+            for candidate in candidates
+        ]
+        self._outstanding += len(futures)
+        hyperparameters_list = [candidate.hyperparameters for candidate in candidates]
+        jobs = []
+        submit_error = None
+        for train_indices, val_indices in folds:
+            if submit_error is None:
+                try:
+                    jobs.append(
+                        self._submit_fold_batch(
+                            lead, hyperparameters_list, train_indices, val_indices
+                        )
+                    )
+                    continue
+                except Exception as failure:  # noqa: BLE001 - executor failures are data
+                    submit_error = _format_error(failure)
+            jobs.append(None)
+        for index, job in enumerate(jobs):
+            if job is None:
+                for future in futures:
+                    future._fold_failed(index, submit_error)
+            else:
+                job.add_done_callback(
+                    lambda fold, index=index, futures=futures: _dispatch_group_fold(
+                        index, fold, futures
+                    )
+                )
+        return futures
+
+    def _submit_fold_batch(self, candidate, hyperparameters_list, train_indices, val_indices):
+        """Push one fused group fold into the executor (task by reference)."""
+        return self._executor.submit(
+            evaluate_fold_indices_batch, candidate.template, hyperparameters_list,
+            candidate.task, train_indices, val_indices,
+            cache_config=candidate.cache_config,
+        )
+
     def collect_one(self):
         if not self._outstanding:
             return None
@@ -771,16 +1049,39 @@ class ProcessBackend(_PoolBackend):
         Keep the size at or above the number of distinct tasks with folds
         in flight at once (a search evaluates one task at a time, so the
         default has ample headroom for suite runs).
+    data_plane:
+        How task data reaches the workers.  ``"shm"`` (the default)
+        publishes pure-ndarray tasks once into shared-memory segments
+        (:mod:`repro.automl.shm`) that workers map read-only — zero
+        copies after publication; tasks that cannot be shared (object
+        dtypes, non-array context values, no shared-memory support) fall
+        back to the pickle hand-off per task.  ``"pickle"`` forces the
+        historical on-disk pickle for everything.  The per-task plane
+        actually used is tallied in :attr:`plane_counts`.
     """
 
     name = "process"
 
-    def __init__(self, workers=None, task_cache_size=8):
+    def __init__(self, workers=None, task_cache_size=8, data_plane="shm"):
         self.task_cache_size = int(task_cache_size)
         if self.task_cache_size < 0:
             raise ValueError("task_cache_size must be non-negative")
+        if data_plane not in DATA_PLANES:
+            raise ValueError(
+                "Unknown data_plane {!r}; available planes: {}".format(
+                    data_plane, list(DATA_PLANES)
+                )
+            )
+        self.data_plane = data_plane
         self._payloads = OrderedDict()  # id(task) -> (task, TaskPayload)
+        self._segments = OrderedDict()  # id(task) -> (task, SharedTaskSegment)
         self._payload_ids = count()
+        #: Tasks shipped per transport: ``{"shm": n, "pickle": n}``.
+        self.plane_counts = {"shm": 0, "pickle": 0}
+        if self.data_plane == "shm":
+            # reclaim segments leaked by coordinators that died without
+            # running their atexit hook (SIGKILL, power loss)
+            shm.sweep_stale_segments()
         super().__init__(workers=workers)
 
     def _make_executor(self):
@@ -811,12 +1112,48 @@ class ProcessBackend(_PoolBackend):
         except Exception:
             os.unlink(path)
             raise
+        _register_spill_file(path)
         payload = TaskPayload("task-{}".format(next(self._payload_ids)), path)
         self._payloads[id(task)] = (task, payload)
+        self.plane_counts["pickle"] += 1
         while len(self._payloads) > self.task_cache_size:
             _, (_, stale) = self._payloads.popitem(last=False)
-            _unlink_quietly(stale.path)
+            _discard_spill_file(stale.path)
         return payload
+
+    def _task_ref(self, task):
+        """The transport handle shipped with every fold of ``task``.
+
+        On the shm plane the task is published once into a shared-memory
+        segment and its picklable :class:`~repro.automl.shm.SharedTaskHandle`
+        travels instead of a :class:`TaskPayload`; non-shareable tasks
+        (and any publication failure) fall back to the pickle plane for
+        that task.  A task that already went down one plane stays there —
+        workers key their resident cache by the handle, so switching
+        transports mid-task would just duplicate the resident copy.
+        """
+        entry = self._segments.get(id(task))
+        if entry is not None:
+            self._segments.move_to_end(id(task))
+            return entry[1].handle
+        if (
+            self.data_plane == "shm"
+            and id(task) not in self._payloads
+            and shm.shm_available()
+            and shm.task_is_shareable(task)
+        ):
+            try:
+                segment = shm.publish_task(task)
+            except Exception:  # noqa: BLE001 - publication failure falls back to pickle
+                segment = None
+            if segment is not None:
+                self._segments[id(task)] = (task, segment)
+                self.plane_counts["shm"] += 1
+                while len(self._segments) > max(self.task_cache_size, 1):
+                    _, (_, stale) = self._segments.popitem(last=False)
+                    stale.release()
+                return segment.handle
+        return self._task_payload(task)
 
     def _submit_fold(self, candidate, train_indices, val_indices):
         if not self.task_cache_size:
@@ -838,7 +1175,18 @@ class ProcessBackend(_PoolBackend):
             )
         return self._executor.submit(
             evaluate_fold_indices, candidate.template, candidate.hyperparameters,
-            self._task_payload(candidate.task), train_indices, val_indices,
+            self._task_ref(candidate.task), train_indices, val_indices,
+            cache_config=candidate.cache_config,
+        )
+
+    def _supports_group_dispatch(self):
+        # the ship-every-fold path has no task handle to batch against
+        return self.task_cache_size > 0
+
+    def _submit_fold_batch(self, candidate, hyperparameters_list, train_indices, val_indices):
+        return self._executor.submit(
+            evaluate_fold_indices_batch, candidate.template, hyperparameters_list,
+            self._task_ref(candidate.task), train_indices, val_indices,
             cache_config=candidate.cache_config,
         )
 
@@ -846,11 +1194,14 @@ class ProcessBackend(_PoolBackend):
         super().shutdown()
         while self._payloads:
             _, (_, payload) = self._payloads.popitem(last=False)
-            _unlink_quietly(payload.path)
+            _discard_spill_file(payload.path)
+        while self._segments:
+            _, (_, segment) = self._segments.popitem(last=False)
+            segment.release()
 
     def __repr__(self):
-        return "{}(workers={}, task_cache_size={})".format(
-            type(self).__name__, self.workers, self.task_cache_size
+        return "{}(workers={}, task_cache_size={}, data_plane={!r})".format(
+            type(self).__name__, self.workers, self.task_cache_size, self.data_plane
         )
 
 
@@ -861,6 +1212,41 @@ def _unlink_quietly(path):
         pass
 
 
+# -- spill-file safety net ----------------------------------------------------------
+
+_SPILL_LOCK = threading.Lock()
+#: Task pickle spill files written by live process backends; swept at
+#: interpreter exit so crashed searches don't leak task-sized files in
+#: ``$TMPDIR``.  Entries are removed again on the backend's own eviction
+#: and shutdown unlinks (the normal path).
+_SPILL_FILES = set()
+_SPILL_ATEXIT_REGISTERED = False
+
+
+def _register_spill_file(path):
+    global _SPILL_ATEXIT_REGISTERED
+    with _SPILL_LOCK:
+        if not _SPILL_ATEXIT_REGISTERED:
+            atexit.register(_sweep_spill_files)
+            _SPILL_ATEXIT_REGISTERED = True
+        _SPILL_FILES.add(path)
+
+
+def _discard_spill_file(path):
+    """Unlink a spill file and drop it from the exit sweep."""
+    with _SPILL_LOCK:
+        _SPILL_FILES.discard(path)
+    _unlink_quietly(path)
+
+
+def _sweep_spill_files():
+    with _SPILL_LOCK:
+        paths = list(_SPILL_FILES)
+        _SPILL_FILES.clear()
+    for path in paths:
+        _unlink_quietly(path)
+
+
 BACKENDS = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
@@ -868,20 +1254,26 @@ BACKENDS = {
 }
 
 
-def get_backend(backend, workers=None, task_cache_size=None):
+def get_backend(backend, workers=None, task_cache_size=None, data_plane=None):
     """Resolve a backend instance from a name, class or instance.
 
     ``workers`` is forwarded to the pool backends and ignored by the
     serial backend; ``task_cache_size`` (the worker-resident dataset cache
-    knob) applies only to the process backend and keeps the backend's own
-    default when ``None``.  Setting it for anything that cannot honor it —
-    an already-constructed instance, or a backend without a worker cache —
+    knob) and ``data_plane`` (the task transport, ``"shm"``/``"pickle"``)
+    apply only to the process backend and keep the backend's own defaults
+    when ``None``.  Setting either for anything that cannot honor it — an
+    already-constructed instance, or a backend without a worker cache —
     is rejected rather than silently ignored.
     """
     if isinstance(backend, ExecutionBackend):
         if task_cache_size is not None:
             raise ValueError(
                 "task_cache_size cannot be applied to an existing backend "
+                "instance; configure it on the backend directly"
+            )
+        if data_plane is not None:
+            raise ValueError(
+                "data_plane cannot be applied to an existing backend "
                 "instance; configure it on the backend directly"
             )
         return backend
@@ -898,12 +1290,21 @@ def get_backend(backend, workers=None, task_cache_size=None):
                 "Unknown backend {!r}; available backends: {}".format(backend, sorted(BACKENDS))
             ) from None
     if issubclass(backend_class, ProcessBackend):
+        kwargs = {"workers": workers}
         if task_cache_size is not None:
-            return backend_class(workers=workers, task_cache_size=task_cache_size)
-        return backend_class(workers=workers)
+            kwargs["task_cache_size"] = task_cache_size
+        if data_plane is not None:
+            kwargs["data_plane"] = data_plane
+        return backend_class(**kwargs)
     if task_cache_size is not None:
         raise ValueError(
             "task_cache_size only applies to the process backend, not {!r}".format(
+                getattr(backend_class, "name", backend_class.__name__)
+            )
+        )
+    if data_plane is not None:
+        raise ValueError(
+            "data_plane only applies to the process backend, not {!r}".format(
                 getattr(backend_class, "name", backend_class.__name__)
             )
         )

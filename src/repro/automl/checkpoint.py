@@ -387,31 +387,35 @@ class ExperimentRun:
         return descriptor
 
     def execute(self, backend="serial", workers=None, task_cache_size=None,
-                on_report=None, prefix_cache="off", cache_dir=None):
+                on_report=None, prefix_cache="off", cache_dir=None,
+                data_plane=None, batch_eval=False):
         """Run — or resume — the search; returns the ``SearchResult``.
 
-        Execution knobs (``backend``/``workers``/``task_cache_size``, and
-        the fitted-prefix cache ``prefix_cache``/``cache_dir``) may
-        differ between run and resume: the determinism guarantee makes the
-        record stream identical across backends — and prefix caching
-        preserves scores exactly, since entries are content-addressed by
-        fold data and configured prefix — so they are not part of the
-        manifest.  Everything that shapes the stream (budget, seed,
-        tuner, selector, schedule, ``n_pending``) is fixed at creation.
-        Early-discard pruning, by contrast, *does* change the stream and
-        is deliberately not available on checkpointed runs.
+        Execution knobs (``backend``/``workers``/``task_cache_size``/
+        ``data_plane``/``batch_eval``, and the fitted-prefix cache
+        ``prefix_cache``/``cache_dir``) may differ between run and resume:
+        the determinism guarantee makes the record stream identical across
+        backends — prefix caching preserves scores exactly (entries are
+        content-addressed by fold data and configured prefix), and batched
+        evaluation fuses work without changing any score or the record
+        order — so they are not part of the manifest.  Everything that
+        shapes the stream (budget, seed, tuner, selector, schedule,
+        ``n_pending``) is fixed at creation.  Early-discard pruning, by
+        contrast, *does* change the stream and is deliberately not
+        available on checkpointed runs.
         """
         run_lock = self._acquire_run_lock()
         try:
             return self._execute(backend=backend, workers=workers,
                                  task_cache_size=task_cache_size, on_report=on_report,
-                                 prefix_cache=prefix_cache, cache_dir=cache_dir)
+                                 prefix_cache=prefix_cache, cache_dir=cache_dir,
+                                 data_plane=data_plane, batch_eval=batch_eval)
         finally:
             if run_lock is not None:
                 os.close(run_lock)
 
     def _execute(self, backend, workers, task_cache_size, on_report,
-                 prefix_cache="off", cache_dir=None):
+                 prefix_cache="off", cache_dir=None, data_plane=None, batch_eval=False):
         manifest = self.manifest
         task_dir = os.path.join(self.run_dir, TASK_DIRNAME)
         fingerprint = task_fingerprint(task_dir)
@@ -471,6 +475,8 @@ class ExperimentRun:
             estimator_seed=manifest.get("estimator_seed", manifest["random_state"]),
             prefix_cache=prefix_cache,
             cache_dir=cache_dir,
+            data_plane=data_plane,
+            batch_eval=batch_eval,
         )
         if snapshot is not None:
             elapsed_offset = float(snapshot.get("elapsed") or 0.0)

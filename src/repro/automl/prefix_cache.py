@@ -355,22 +355,35 @@ def task_content_digest(task):
     — and may validly share cached prefixes.  The digest is memoized on
     the task object; worker-resident tasks therefore pay the hash once
     per process, not once per fold.
+
+    Arrays are hashed as a ``dtype.str``/shape header plus their raw
+    bytes: contiguous arrays feed their buffer to the hasher with zero
+    copies, non-contiguous ones pay a single ``tobytes`` flatten, and
+    object arrays pickle the array directly instead of round-tripping
+    through ``tolist()`` (which rebuilt every row as Python lists).  The
+    version tag in the seed keys the digest format itself, so a format
+    change can never alias an old digest.
     """
     cached = getattr(task, "_content_digest", None)
     if cached is not None:
         return cached
-    hasher = hashlib.sha256()
+    hasher = hashlib.sha256(b"repro-task-digest-v2")
     for key in sorted(task.context):
         value = task.context[key]
         hasher.update(key.encode("utf-8"))
         hasher.update(b"\0")
         if isinstance(value, np.ndarray):
-            hasher.update(str(value.dtype).encode("utf-8"))
+            hasher.update(value.dtype.str.encode("utf-8"))
             hasher.update(str(value.shape).encode("utf-8"))
-            if value.dtype == object:
-                hasher.update(pickle.dumps(value.tolist(), protocol=_PICKLE_PROTOCOL))
+            if value.dtype.hasobject:
+                hasher.update(b"|obj|")
+                hasher.update(pickle.dumps(value, protocol=_PICKLE_PROTOCOL))
             else:
-                hasher.update(np.ascontiguousarray(value).tobytes())
+                hasher.update(b"|raw|")
+                if value.flags.c_contiguous:
+                    hasher.update(value.data)
+                else:
+                    hasher.update(value.tobytes())
         else:
             hasher.update(pickle.dumps(value, protocol=_PICKLE_PROTOCOL))
         hasher.update(b"\0")

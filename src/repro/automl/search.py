@@ -345,6 +345,25 @@ class AutoBazaarSearch:
         Worker-resident dataset cache knob, forwarded to the process
         backend (see :class:`~repro.automl.backends.ProcessBackend`);
         ``None`` keeps the backend default, ``0`` disables the cache.
+    data_plane:
+        Task transport for the process backend: ``"shm"`` publishes
+        pure-ndarray tasks into zero-copy shared-memory segments that
+        workers map read-only, ``"pickle"`` forces the historical on-disk
+        pickle hand-off (see :mod:`repro.automl.shm`).  ``None`` (default)
+        keeps the backend default (``"shm"`` with automatic per-task
+        pickle fallback).  Rejected for backends without a process
+        boundary, like ``task_cache_size``.
+    batch_eval:
+        When True, candidates proposed in the same scheduler burst that
+        share a template are submitted together and evaluated as one
+        fused batch per fold (shared preprocessing prefix; amenable
+        estimators fit the whole hyperparameter batch in one call — see
+        :mod:`repro.automl.batch_eval`).  Scores, error strings and the
+        reported record order are identical to looped evaluation; only
+        the grouping of work changes.  The ``"barrier"`` schedule batches
+        whole rounds; the ``"window"`` schedule only batches the initial
+        window fill (afterwards slots free up one at a time), so pair
+        batching with ``schedule="barrier"`` for the full effect.
     estimator_seed:
         When set, every loaded template is cloned with this value pinned
         as the ``random_state`` of each stochastic primitive (see
@@ -385,7 +404,8 @@ class AutoBazaarSearch:
                  n_splits=3, random_state=None, store=None, catalog=None,
                  warm_start_store=None, backend="serial", workers=None, n_pending=1,
                  schedule="window", task_cache_size=None, estimator_seed=None,
-                 prefix_cache="off", cache_dir=None, prune_margin=None):
+                 prefix_cache="off", cache_dir=None, prune_margin=None,
+                 data_plane=None, batch_eval=False):
         if schedule not in ("window", "barrier"):
             raise ValueError(
                 "Unknown schedule {!r}; expected 'window' or 'barrier'".format(schedule)
@@ -413,6 +433,8 @@ class AutoBazaarSearch:
             )
         self.cache_dir = cache_dir
         self.prune_margin = prune_margin
+        self.data_plane = data_plane
+        self.batch_eval = bool(batch_eval)
 
     # -- setup ----------------------------------------------------------------------
 
@@ -516,7 +538,8 @@ class AutoBazaarSearch:
         defaults_pending = [template.name for template in templates]
 
         backend = get_backend(
-            self.backend, workers=self.workers, task_cache_size=self.task_cache_size
+            self.backend, workers=self.workers, task_cache_size=self.task_cache_size,
+            data_plane=self.data_plane,
         )
         # a backend instance supplied by the caller outlives this search;
         # one resolved from a name is owned here and shut down on exit
@@ -559,6 +582,23 @@ class AutoBazaarSearch:
         replay = list(replay or ())
         replay_count = len(replay)
         replayed_queue = deque()  # completed-instantly futures for replayed iterations
+        submit_buffer = []  # candidates awaiting a fused submit_many (batch_eval)
+
+        def flush_submissions():
+            # hand every candidate proposed in this scheduler burst to the
+            # backend at once, so same-template ones fuse into batched
+            # evaluation passes.  Futures complete through the backend's
+            # normal completion machinery, and the reorder buffer already
+            # reports strictly in proposal order, so batching cannot
+            # change the record stream.
+            if not submit_buffer:
+                return
+            candidates = list(submit_buffer)
+            submit_buffer.clear()
+            if len(candidates) == 1:
+                backend.submit(candidates[0])
+            else:
+                backend.submit_many(candidates)
 
         def deadline_passed():
             # checked before every proposal, so the serial backend stops
@@ -625,6 +665,10 @@ class AutoBazaarSearch:
                     pruned=bool(recorded.get("pruned", False)),
                 )
                 replayed_queue.append(CandidateFuture(candidate, outcome))
+            elif self.batch_eval:
+                # buffered until the scheduler's flush point so same-burst
+                # candidates can be fused; never buffered across a report
+                submit_buffer.append(candidate)
             else:
                 backend.submit(candidate)
 
@@ -732,6 +776,7 @@ class AutoBazaarSearch:
                     round_end = min(budget, proposed + self.n_pending)
                     while proposed < round_end and not deadline_passed():
                         propose_and_submit()
+                    flush_submissions()
                     completed = list(replayed_queue) + list(backend.as_completed())
                     replayed_queue.clear()
                     completed.sort(key=lambda future: future.candidate.iteration)
@@ -755,6 +800,10 @@ class AutoBazaarSearch:
 
                 while True:
                     refill()
+                    # flush strictly after the refill and before collecting:
+                    # buffered proposals must reach the backend before the
+                    # loop blocks on (or breaks for lack of) completions
+                    flush_submissions()
                     if next_report == proposed:
                         break  # nothing in flight and no proposal allowed
                     if replayed_queue:

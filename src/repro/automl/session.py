@@ -76,6 +76,17 @@ class AutoBazaarSession:
         Worker-resident dataset cache knob of the process backend:
         tasks kept resident per worker; ``0`` ships every fold's data,
         ``None`` keeps the backend default.
+    data_plane:
+        Process-backend task transport: ``"shm"`` (zero-copy shared
+        memory with automatic per-task pickle fallback) or ``"pickle"``
+        (the historical on-disk hand-off); ``None`` keeps the backend
+        default.  See :mod:`repro.automl.shm`.
+    batch_eval:
+        When True, same-template candidates proposed in one scheduler
+        burst are evaluated as fused batches (shared preprocessing
+        prefix, batched estimator fits where the learner supports it)
+        without changing scores or record order.  See
+        :mod:`repro.automl.batch_eval`.
     prefix_cache:
         Fitted-prefix cache mode (``"off"``/``"mem"``/``"disk"``, see
         :mod:`repro.automl.prefix_cache`): memoize fitted preprocessing
@@ -96,7 +107,7 @@ class AutoBazaarSession:
                  random_state=None, warm_start="auto", max_seconds_per_task=None,
                  backend="serial", workers=None, n_pending=1, schedule="window",
                  task_cache_size=None, store_path=None, prefix_cache="off",
-                 cache_dir=None, prune_margin=None):
+                 cache_dir=None, prune_margin=None, data_plane=None, batch_eval=False):
         self.budget = budget
         self.tuner_class = get_tuner(tuner)
         self.selector_class = get_selector(selector)
@@ -112,6 +123,8 @@ class AutoBazaarSession:
         self.prefix_cache = prefix_cache
         self.cache_dir = cache_dir
         self.prune_margin = prune_margin
+        self.data_plane = data_plane
+        self.batch_eval = bool(batch_eval)
         if store_path is not None:
             self.store = PersistentPipelineStore(store_path)
         else:
@@ -143,6 +156,8 @@ class AutoBazaarSession:
             prefix_cache=self.prefix_cache,
             cache_dir=self.cache_dir,
             prune_margin=self.prune_margin,
+            data_plane=self.data_plane,
+            batch_eval=self.batch_eval,
         )
         result = searcher.search(
             task, budget=self.budget, test_task=test_task,
@@ -211,7 +226,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
                        n_splits=3, random_state=0, output=None, backend="serial",
                        workers=None, n_pending=1, schedule="window", task_cache_size=None,
                        store_path=None, warm_start="auto", run_dir=None, checkpoint_every=1,
-                       prefix_cache="off", cache_dir=None, prune_margin=None):
+                       prefix_cache="off", cache_dir=None, prune_margin=None,
+                       data_plane=None, batch_eval=False):
     """One-shot helper behind the command-line interface.
 
     Loads the task stored in ``task_directory``, runs a search, optionally
@@ -268,7 +284,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
                 warm_source.close()
         result = run.execute(backend=backend, workers=workers,
                              task_cache_size=task_cache_size,
-                             prefix_cache=prefix_cache, cache_dir=cache_dir)
+                             prefix_cache=prefix_cache, cache_dir=cache_dir,
+                             data_plane=data_plane, batch_eval=batch_eval)
         # hand back the familiar session surface (report/summary/save_store)
         # wrapped around the run's durable store and result.  The store is
         # the run's own record log: query and close() it, but solving more
@@ -288,7 +305,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
             random_state=random_state, backend=backend, workers=workers,
             n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
             store_path=store_path, warm_start=warm_start, prefix_cache=prefix_cache,
-            cache_dir=cache_dir, prune_margin=prune_margin,
+            cache_dir=cache_dir, prune_margin=prune_margin, data_plane=data_plane,
+            batch_eval=batch_eval,
         )
         session.solve_directory(task_directory)
     if output:

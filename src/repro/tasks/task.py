@@ -70,6 +70,19 @@ class MLTask:
         """Context keys that are sample-aligned with the target."""
         return [key for key in self.context if key not in self.static_keys]
 
+    @property
+    def data_nbytes(self):
+        """Total bytes of the ndarray context values.
+
+        This is the amount of data a zero-copy transport has to publish
+        (non-ndarray values cannot be shared and count as zero).
+        """
+        return sum(
+            value.nbytes
+            for value in self.context.values()
+            if isinstance(value, np.ndarray)
+        )
+
     def _validate_alignment(self):
         n = self.n_samples
         for key in self.sample_keys:

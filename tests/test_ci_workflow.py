@@ -32,7 +32,8 @@ def test_workflow_parses_and_triggers(workflow):
 
 def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume", "prefix-cache"}
+    assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume",
+                         "prefix-cache", "data-plane"}
     assert any("ruff check" in step.get("run", "") for step in jobs["lint"]["steps"])
     assert any("python -m pytest -x -q" in step.get("run", "")
                for step in jobs["tests"]["steps"])
@@ -51,6 +52,29 @@ def test_prefix_cache_smoke_records_the_throughput_benchmark(workflow):
     root = os.path.join(os.path.dirname(__file__), "..")
     assert os.path.exists(os.path.join(root, "scripts", "record_bench.py"))
     assert os.path.exists(os.path.join(root, "BENCH_prefix_cache.json"))
+
+
+def test_data_plane_smoke_records_both_benchmarks_and_gates_regressions(workflow):
+    """The 1.3x/1.5x data-plane and batched-eval bars are CI-enforced and the
+    fresh records are diffed against the committed baselines."""
+    steps = workflow["jobs"]["data-plane"]["steps"]
+    runs = [step.get("run", "") for step in steps]
+    assert any("record_bench.py data-plane" in run and "BENCH_data_plane.json" in run
+               for run in runs), "the job must record the data-plane benchmark"
+    assert any("record_bench.py batched-eval" in run and "BENCH_batched_eval.json" in run
+               for run in runs), "the job must record the batched-eval benchmark"
+    gate = [run for run in runs if "check_bench_regression.py" in run]
+    assert gate, "the job must run the perf-regression gate"
+    assert "--tolerance 0.20" in gate[0]
+    assert "BENCH_data_plane.json" in gate[0] and "BENCH_batched_eval.json" in gate[0]
+    # the baselines are snapshotted before the recorders overwrite them
+    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
+    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
+    # the scripts and the committed benchmark records all exist
+    root = os.path.join(os.path.dirname(__file__), "..")
+    assert os.path.exists(os.path.join(root, "scripts", "check_bench_regression.py"))
+    assert os.path.exists(os.path.join(root, "BENCH_data_plane.json"))
+    assert os.path.exists(os.path.join(root, "BENCH_batched_eval.json"))
 
 
 def test_crash_resume_smoke_runs_the_kill_and_resume_gate(workflow):
