@@ -1,0 +1,71 @@
+"""Multi-tenant fleet throughput: N concurrent searches, one worker pool.
+
+Four tenant searches — three cheap, one 10x-expensive straggler — run
+concurrently over one shared 4-worker fleet through the fair-share,
+skew-aware fold scheduler, and the same searches run (a) one at a time
+on the same warm pool and (b) on a static partition of four independent
+1-worker pools.  The benchmark asserts the fleet's three contracts:
+
+* **throughput** — aggregate candidates/second stays within 0.8x of the
+  sequential run (multiplexing never collapses throughput),
+* **work conservation** — the fleet beats the static 1-worker-per-tenant
+  partition by at least 1.5x (idle cheap-tenant workers absorb the
+  straggler's folds),
+* **determinism** — every tenant's record stream is bit-identical to
+  its solo serial run.
+
+The same workload is what ``scripts/record_bench.py multi-tenant``
+records to ``BENCH_multi_tenant.json`` in the ``multi-tenant`` CI job.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "scripts"))
+
+from record_bench import (  # noqa: E402
+    MULTI_TENANT_STATIC_THRESHOLD,
+    MULTI_TENANT_THRESHOLD,
+    run_multi_tenant_benchmark,
+)
+
+
+@pytest.fixture(scope="session")
+def multi_tenant_numbers():
+    """Collects the measurement for the session-teardown summary."""
+    numbers = {}
+    yield numbers
+    if numbers:
+        print("\n\n-- multi-tenant fleet over one shared worker pool --")
+        print("  sequential {:7.3f}s   fleet {:7.3f}s   static {:7.3f}s".format(
+            numbers["sequential"], numbers["fleet"], numbers["static"]))
+        print("  vs sequential {:.2f}x (threshold {:.2f}x)   "
+              "vs static {:.2f}x (threshold {:.2f}x)".format(
+                  numbers["speedup"], MULTI_TENANT_THRESHOLD,
+                  numbers["static_speedup"], MULTI_TENANT_STATIC_THRESHOLD))
+
+
+def test_multi_tenant_throughput_and_record_identity(benchmark,
+                                                     multi_tenant_numbers):
+    payload = benchmark.pedantic(run_multi_tenant_benchmark, rounds=1, iterations=1)
+    # run_multi_tenant_benchmark already asserts per-tenant solo-identical
+    # record streams and the static-partition gate internally; restate the
+    # headline facts so a regression reads clearly in the report
+    assert payload["records_solo_identical"]
+    assert len(payload["fleet"]["tenants"]) == payload["workload"]["n_tenants"]
+    for stats in payload["fleet"]["tenants"]:
+        assert stats["folds_dispatched"] > 0
+    multi_tenant_numbers.update({
+        "sequential": payload["sequential"]["elapsed_seconds"],
+        "fleet": payload["fleet"]["elapsed_seconds"],
+        "static": payload["static"]["elapsed_seconds"],
+        "speedup": payload["speedup"],
+        "static_speedup": payload["static"]["speedup_over_static"],
+    })
+    assert payload["static"]["speedup_over_static"] >= MULTI_TENANT_STATIC_THRESHOLD
+    assert payload["speedup"] >= MULTI_TENANT_THRESHOLD, (
+        "fleet aggregate throughput {:.2f}x fell below the {:.2f}x "
+        "acceptance bar".format(payload["speedup"], MULTI_TENANT_THRESHOLD)
+    )

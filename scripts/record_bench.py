@@ -1,6 +1,6 @@
 """Performance benchmarks recorded to committed ``BENCH_*.json`` files.
 
-Three suites, selected by the positional ``suite`` argument:
+Four suites, selected by the positional ``suite`` argument:
 
 ``prefix-cache`` (default, -> ``BENCH_prefix_cache.json``)
     Candidate throughput with the disk-tier fitted-prefix cache on vs
@@ -23,6 +23,16 @@ Three suites, selected by the positional ``suite`` argument:
     evaluated as fused batches (one shared preprocessing-prefix fit and
     one shared Ridge Gram matrix per fold, one cheap solve per alpha).
     Gate: >= ``BATCHED_EVAL_THRESHOLD``x.
+
+``multi-tenant`` (-> ``BENCH_multi_tenant.json``)
+    Aggregate throughput of N=4 concurrent tenant searches multiplexed
+    over one shared 4-worker fleet (three cheap tenants, one expensive
+    one — the skew the fair-share scheduler must absorb) vs (a) the same
+    4 searches run one at a time on the same warm pool and (b) 4
+    independent 1-worker pools run concurrently.  Every tenant's record
+    stream is asserted bit-identical to its solo serial run.  Gates:
+    >= ``MULTI_TENANT_THRESHOLD``x of sequential, and
+    >= ``MULTI_TENANT_STATIC_THRESHOLD``x of the static partition.
 
 Every suite asserts that its fast path reproduces the slow path's scores
 bit-for-bit before reporting a speedup, and exits non-zero when the
@@ -52,6 +62,17 @@ DATA_PLANE_THRESHOLD = 1.3
 
 #: Acceptance bar: batched candidate throughput vs looped evaluation.
 BATCHED_EVAL_THRESHOLD = 1.5
+
+#: Acceptance bar: concurrent-fleet aggregate throughput vs the same four
+#: searches run one at a time on the same warm pool.  Below 1.0 by design:
+#: multiplexing may pay a small scheduling tax, but must never collapse.
+MULTI_TENANT_THRESHOLD = 0.8
+
+#: Acceptance bar: concurrent-fleet aggregate throughput vs a static
+#: partition of the same workers (4 independent 1-worker pools).  This is
+#: the number that justifies the fleet: work-conserving sharing beats a
+#: static split whenever tenant costs are skewed.
+MULTI_TENANT_STATIC_THRESHOLD = 1.5
 
 #: Artificial fit cost of the shared preprocessing prefix, per fold.
 PREFIX_SECONDS = 0.3
@@ -392,6 +413,206 @@ def run_batched_eval_benchmark(shape=BATCHED_EVAL_SHAPE):
     return payload
 
 
+# -- multi-tenant suite ----------------------------------------------------------
+
+#: Worker processes in the shared fleet (and tenants in the workload).
+MULTI_TENANT_WORKERS = 4
+
+#: Pipeline evaluations per tenant.
+MULTI_TENANT_BUDGET = 8
+
+#: Candidates proposed per tenant scheduling window.
+MULTI_TENANT_PENDING = 4
+
+#: Per-fold fit cost of each tenant's pipeline: three cheap tenants and
+#: one 10x-expensive straggler, the skew the fair-share scheduler must
+#: absorb without starving anyone.
+MULTI_TENANT_COSTS = (0.01, 0.01, 0.01, 0.1)
+
+
+def _tenant_template(fit_seconds):
+    """One tenant's pipeline: a timed fit stage plus a tunable estimator."""
+    from repro.core.template import Template
+
+    return Template(
+        "multi_tenant_bench",
+        [ENCODER, TIMED_IDENTITY, LOGISTIC, DECODER],
+        init_params={TIMED_IDENTITY: {"fit_seconds": fit_seconds}},
+    )
+
+
+def _tenant_search(backend, fit_seconds, n_pending=MULTI_TENANT_PENDING):
+    from repro.automl import AutoBazaarSearch
+    from repro.tuning.tuners import UniformTuner
+
+    return AutoBazaarSearch(
+        templates=[_tenant_template(fit_seconds)], n_splits=2, random_state=0,
+        backend=backend, n_pending=n_pending, tuner_class=UniformTuner,
+    )
+
+
+def _tenant_documents(result):
+    """The record stream minus ``elapsed``, the only timing-dependent field."""
+    documents = [record.to_dict() for record in result.records]
+    for document in documents:
+        document.pop("elapsed")
+    return documents
+
+
+def _run_tenants_concurrently(tasks, costs, backends, budget):
+    """One search thread per tenant; returns (results, elapsed)."""
+    import threading
+
+    results = [None] * len(tasks)
+    failures = []
+
+    def run(index):
+        try:
+            searcher = _tenant_search(backends[index], costs[index])
+            results[index] = searcher.search(tasks[index], budget=budget)
+        except BaseException as failure:  # noqa: BLE001 - re-raised below
+            failures.append(failure)
+
+    threads = [threading.Thread(target=run, args=(index,))
+               for index in range(len(tasks))]
+    started = time.time()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.time() - started
+    if failures:
+        raise failures[0]
+    return results, elapsed
+
+
+def _warm_pool(backend, workers):
+    """Pay the worker-spawn cost before any clock starts.
+
+    Enough free folds are pushed through the backend concurrently to
+    force every lazily-spawned pool worker into existence.
+    """
+    from repro.tasks import synth
+
+    task = synth.make_single_table_classification(
+        name="fleet-warmup", n_samples=40, random_state=99)
+    searcher = _tenant_search(backend, 0.0, n_pending=2 * workers)
+    searcher.search(task, budget=2 * workers)
+
+
+def run_multi_tenant_benchmark(workers=MULTI_TENANT_WORKERS,
+                               budget=MULTI_TENANT_BUDGET,
+                               costs=MULTI_TENANT_COSTS):
+    """Measure fleet vs sequential vs static-partition throughput.
+
+    Asserts in-run that every tenant's fleet record stream is
+    bit-identical to its solo serial run, and that the fleet beats the
+    static partition by ``MULTI_TENANT_STATIC_THRESHOLD``x.  The
+    sequential-vs-fleet ``speedup`` is returned for the gates to judge.
+    """
+    from repro.automl import FleetCoordinator, ProcessBackend
+    from repro.tasks import synth
+
+    n_tenants = len(costs)
+    tasks = [
+        synth.make_single_table_classification(
+            name="tenant-{}".format(index), n_samples=80, random_state=index)
+        for index in range(n_tenants)
+    ]
+
+    # solo serial baselines: the determinism yardstick for every phase
+    solo_documents = []
+    for task, cost in zip(tasks, costs):
+        result = _tenant_search("serial", cost).search(task, budget=budget)
+        solo_documents.append(_tenant_documents(result))
+
+    total = n_tenants * budget
+    fleet = FleetCoordinator(backend="process", workers=workers)
+    try:
+        warmup = fleet.register(name="warmup")
+        _warm_pool(warmup, workers)
+        warmup.shutdown()
+
+        # (a) the same searches, one tenant at a time on the same warm pool
+        sequential_documents = []
+        started = time.time()
+        for index, (task, cost) in enumerate(zip(tasks, costs)):
+            handle = fleet.register(name="seq-{}".format(index))
+            result = _tenant_search(handle, cost).search(task, budget=budget)
+            handle.shutdown()
+            sequential_documents.append(_tenant_documents(result))
+        sequential_elapsed = time.time() - started
+
+        # (b) all tenants at once through the fair-share scheduler
+        handles = [fleet.register(name="tenant-{}".format(index))
+                   for index in range(n_tenants)]
+        fleet_results, fleet_elapsed = _run_tenants_concurrently(
+            tasks, costs, handles, budget)
+        tenant_stats = [result.fleet_stats for result in fleet_results]
+    finally:
+        fleet.close()
+
+    for index, result in enumerate(fleet_results):
+        assert _tenant_documents(result) == solo_documents[index], (
+            "tenant {} diverged from its solo run under the fleet".format(index))
+        assert sequential_documents[index] == solo_documents[index], (
+            "tenant {} diverged from its solo run on the shared pool".format(index))
+
+    # (c) a static partition: one dedicated 1-worker pool per tenant
+    pools = [ProcessBackend(workers=1) for _ in range(n_tenants)]
+    try:
+        for pool in pools:
+            _warm_pool(pool, 1)
+        static_results, static_elapsed = _run_tenants_concurrently(
+            tasks, costs, pools, budget)
+    finally:
+        for pool in pools:
+            pool.shutdown()
+    for index, result in enumerate(static_results):
+        assert _tenant_documents(result) == solo_documents[index], (
+            "tenant {} diverged from its solo run on a dedicated pool".format(index))
+
+    speedup = sequential_elapsed / fleet_elapsed
+    static_speedup = static_elapsed / fleet_elapsed
+    assert static_speedup >= MULTI_TENANT_STATIC_THRESHOLD, (
+        "fleet is only {:.2f}x a static 1-worker-per-tenant partition "
+        "(needs {:.2f}x)".format(static_speedup, MULTI_TENANT_STATIC_THRESHOLD)
+    )
+
+    payload = {
+        "benchmark": "multi_tenant_aggregate_throughput",
+        "workload": {
+            "n_tenants": n_tenants,
+            "budget_per_tenant": budget,
+            "n_splits": 2,
+            "n_pending": MULTI_TENANT_PENDING,
+            "workers": workers,
+            "fold_fit_seconds": list(costs),
+            "backend": "process",
+            "template": "encoder -> timed-identity fit -> logistic -> decoder",
+        },
+        "sequential": {
+            "elapsed_seconds": round(sequential_elapsed, 3),
+            "candidates_per_second": round(total / sequential_elapsed, 3),
+        },
+        "fleet": {
+            "elapsed_seconds": round(fleet_elapsed, 3),
+            "candidates_per_second": round(total / fleet_elapsed, 3),
+            "tenants": tenant_stats,
+        },
+        "static": {
+            "elapsed_seconds": round(static_elapsed, 3),
+            "candidates_per_second": round(total / static_elapsed, 3),
+            "speedup_over_static": round(static_speedup, 3),
+            "static_threshold": MULTI_TENANT_STATIC_THRESHOLD,
+        },
+        "speedup": round(speedup, 3),
+        "threshold": MULTI_TENANT_THRESHOLD,
+        "records_solo_identical": True,
+    }
+    return payload
+
+
 # -- CLI -------------------------------------------------------------------------
 
 #: suite name -> (runner, acceptance threshold, default output file,
@@ -408,6 +629,10 @@ SUITES = {
     "batched-eval": (run_batched_eval_benchmark, BATCHED_EVAL_THRESHOLD,
                      "BENCH_batched_eval.json",
                      ("looped", "looped"), ("batched", "batched"),
+                     "candidates_per_second"),
+    "multi-tenant": (run_multi_tenant_benchmark, MULTI_TENANT_THRESHOLD,
+                     "BENCH_multi_tenant.json",
+                     ("sequential", "sequential"), ("fleet", "fleet"),
                      "candidates_per_second"),
 }
 

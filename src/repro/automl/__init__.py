@@ -23,6 +23,7 @@ from repro.automl.checkpoint import (
     ExperimentRun,
     resume_run,
 )
+from repro.automl.fleet import FleetCoordinator, TenantBackend
 from repro.automl.prefix_cache import (
     FittedPrefixCache,
     fold_data_key,
@@ -36,7 +37,11 @@ from repro.automl.search import (
     SearchResult,
     evaluate_pipeline,
 )
-from repro.automl.session import AutoBazaarSession, run_from_directory
+from repro.automl.session import (
+    AutoBazaarSession,
+    run_fleet_from_directories,
+    run_from_directory,
+)
 
 __all__ = [
     "TemplateCatalog",
@@ -48,6 +53,9 @@ __all__ = [
     "evaluate_pipeline",
     "AutoBazaarSession",
     "run_from_directory",
+    "run_fleet_from_directories",
+    "FleetCoordinator",
+    "TenantBackend",
     "CheckpointError",
     "CheckpointManager",
     "ExperimentRun",

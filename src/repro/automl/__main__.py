@@ -9,13 +9,17 @@ Durable runs::
     python -m repro.automl <task_dir> --store-path <dir>   # persistent store + auto warm start
     python -m repro.automl <task_dir> --run-dir <dir>      # checkpointed, resumable run
     python -m repro.automl resume <run_dir>                # continue a killed run
+
+Multi-tenant fleet (N concurrent searches, one shared worker pool)::
+
+    python -m repro.automl <task_dir> <task_dir> ... --fleet [--tenant-weight W ...]
 """
 
 import argparse
 import sys
 
 from repro.automl.checkpoint import CheckpointError
-from repro.automl.session import run_from_directory
+from repro.automl.session import run_fleet_from_directories, run_from_directory
 
 
 def build_parser():
@@ -26,7 +30,20 @@ def build_parser():
                     "(Use `python -m repro.automl resume <run_dir>` to continue a "
                     "killed checkpointed run.)",
     )
-    parser.add_argument("task_dir", help="directory written by repro.tasks.io.save_task")
+    parser.add_argument("task_dir", nargs="+",
+                        help="director(ies) written by repro.tasks.io.save_task; "
+                             "several directories run as concurrent tenants of one "
+                             "shared worker fleet (implies --fleet)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="run the task(s) as tenants of a shared multi-tenant "
+                             "worker fleet: one process/thread pool, one data "
+                             "plane and one prefix cache, with fair-share "
+                             "skew-aware fold scheduling across the concurrent "
+                             "searches (serial backend promoted to process)")
+    parser.add_argument("--tenant-weight", type=float, action="append", default=None,
+                        metavar="W",
+                        help="fleet fair-share weight for one tenant; repeat once "
+                             "per task directory, in order (default: equal shares)")
     parser.add_argument("--budget", type=int, default=20,
                         help="number of pipeline evaluations (default: 20)")
     parser.add_argument("--tuner", default="gp_ei",
@@ -144,6 +161,11 @@ def _print_result(result):
               "{bytes_written} bytes written)".format(**cache_stats))
     if getattr(result, "n_pruned", 0):
         print("pruned candidates    : {} of {}".format(result.n_pruned, result.n_evaluated))
+    fleet_stats = getattr(result, "fleet_stats", None)
+    if fleet_stats:
+        print("fleet tenant         : {tenant} (weight {weight:g}, "
+              "{folds_dispatched} folds / {fold_seconds:.2f}s, "
+              "queue hwm {queue_depth_hwm}, planes {plane_counts})".format(**fleet_stats))
 
 
 def _resume_main(argv):
@@ -175,6 +197,59 @@ def _resume_main(argv):
     return 0
 
 
+def _fleet_main(arguments, task_dirs):
+    """Run the parsed task directories as concurrent fleet tenants."""
+    if arguments.run_dir:
+        print("error: --run-dir cannot be combined with fleet mode: checkpointed "
+              "runs are single-tenant (run each task with its own --run-dir "
+              "instead)", file=sys.stderr)
+        return 1
+    weights = arguments.tenant_weight
+    if weights is not None and len(weights) != len(task_dirs):
+        print("error: expected one --tenant-weight per task directory "
+              "({} given for {} tasks)".format(len(weights), len(task_dirs)),
+              file=sys.stderr)
+        return 1
+    try:
+        session = run_fleet_from_directories(
+            task_dirs,
+            budget=arguments.budget,
+            tuner=arguments.tuner,
+            selector=arguments.selector,
+            n_splits=arguments.splits,
+            random_state=arguments.seed,
+            output=arguments.output,
+            backend=arguments.backend,
+            workers=arguments.workers,
+            n_pending=arguments.pending,
+            schedule=arguments.schedule,
+            task_cache_size=arguments.worker_cache,
+            store_path=arguments.store_path,
+            warm_start=arguments.warm_start,
+            prefix_cache=arguments.prefix_cache,
+            cache_dir=arguments.cache_dir,
+            prune_margin=arguments.prune_margin,
+            data_plane=arguments.data_plane,
+            batch_eval=arguments.batch_eval,
+            weights=weights,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+    print(session.report())
+    for result in session.results:
+        print()
+        print("task                 : {}".format(result.task_name))
+        _print_result(result)
+    if arguments.output:
+        print()
+        print("evaluation store     : {}".format(arguments.output))
+    if arguments.store_path:
+        print("persistent store     : {}".format(arguments.store_path))
+    return 0
+
+
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -183,9 +258,16 @@ def main(argv=None):
         return _resume_main(argv[1:])
 
     arguments = build_parser().parse_args(argv)
+    task_dirs = list(arguments.task_dir)
+    if arguments.fleet or len(task_dirs) > 1:
+        return _fleet_main(arguments, task_dirs)
+    if arguments.tenant_weight:
+        print("error: --tenant-weight only applies to fleet mode", file=sys.stderr)
+        return 1
+
     try:
         session = run_from_directory(
-            arguments.task_dir,
+            task_dirs[0],
             budget=arguments.budget,
             tuner=arguments.tuner,
             selector=arguments.selector,

@@ -1078,10 +1078,11 @@ class ProcessBackend(_PoolBackend):
         self._payload_ids = count()
         #: Tasks shipped per transport: ``{"shm": n, "pickle": n}``.
         self.plane_counts = {"shm": 0, "pickle": 0}
-        if self.data_plane == "shm":
-            # reclaim segments leaked by coordinators that died without
-            # running their atexit hook (SIGKILL, power loss)
-            shm.sweep_stale_segments()
+        # reclaim segments leaked by coordinators that died without running
+        # their atexit hook (SIGKILL, power loss) — on every startup, not
+        # only shm-plane ones: a pickle-plane run should still clean up
+        # after a crashed shm-plane predecessor
+        shm.sweep_stale_segments()
         super().__init__(workers=workers)
 
     def _make_executor(self):

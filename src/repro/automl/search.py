@@ -143,7 +143,8 @@ class SearchResult:
     """Outcome of one AutoBazaar search run on one task."""
 
     def __init__(self, task_name, best_template, best_hyperparameters, best_score,
-                 best_pipeline, records, test_score=None, elapsed=0.0, cache_stats=None):
+                 best_pipeline, records, test_score=None, elapsed=0.0, cache_stats=None,
+                 fleet_stats=None):
         self.task_name = task_name
         self.best_template = best_template
         self.best_hyperparameters = best_hyperparameters
@@ -153,6 +154,9 @@ class SearchResult:
         self.test_score = test_score
         self.elapsed = elapsed
         self.cache_stats = cache_stats
+        #: Per-tenant fair-share/data-plane counters when the search ran on
+        #: a :class:`~repro.automl.fleet.TenantBackend`; ``None`` otherwise.
+        self.fleet_stats = fleet_stats
 
     @property
     def n_evaluated(self):
@@ -849,6 +853,14 @@ class AutoBazaarSearch:
             cache_stats = {"mode": self.prefix_cache}
             cache_stats.update(cache_totals)
 
+        # a fleet tenant backend reports its fair-share counters; the
+        # caller-owned handle is still alive here even though the search
+        # loop is done with it
+        fleet_stats = None
+        stats_source = getattr(backend, "tenant_stats", None)
+        if callable(stats_source):
+            fleet_stats = stats_source()
+
         return SearchResult(
             task_name=task.name,
             best_template=best_template,
@@ -859,6 +871,7 @@ class AutoBazaarSearch:
             test_score=test_score,
             elapsed=time.time() - start,
             cache_stats=cache_stats,
+            fleet_stats=fleet_stats,
         )
 
 

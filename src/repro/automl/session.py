@@ -11,6 +11,7 @@ store, and renders reports.
 """
 
 import os
+import threading
 
 from repro.automl.search import AutoBazaarSearch
 from repro.explorer import PersistentPipelineStore, PipelineStore, report, summarize_store
@@ -170,6 +171,102 @@ class AutoBazaarSession:
         """Solve every task of a suite; returns the list of search results."""
         return [self.solve(task) for task in suite]
 
+    def solve_fleet(self, tasks, weights=None):
+        """Solve several tasks *concurrently* on one shared worker fleet.
+
+        Builds a :class:`~repro.automl.fleet.FleetCoordinator` from the
+        session's backend configuration (``"serial"`` is promoted to
+        ``"process"`` — a fleet needs a pool), registers one tenant per
+        task with the given fair-share ``weights`` (default: equal), and
+        runs every search in its own thread over the shared pool, data
+        plane and prefix cache.  All records land in the session's (thread
+        -safe) store.  Results are returned in task order, each carrying
+        its tenant's ``fleet_stats``; every tenant's record stream is
+        bit-identical to the same search run solo (for deterministic,
+        seeded pipelines), only wall-clock interleaving is shared.
+        """
+        from repro.automl.fleet import FleetCoordinator
+
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if weights is None:
+            weights = [1.0] * len(tasks)
+        weights = [float(weight) for weight in weights]
+        if len(weights) != len(tasks):
+            raise ValueError(
+                "expected one weight per task, got {} weights for {} tasks".format(
+                    len(weights), len(tasks)
+                )
+            )
+        backend = self.backend
+        if backend in (None, "serial"):
+            backend = "process"
+        if backend not in ("process", "thread"):
+            raise ValueError(
+                "solve_fleet requires a 'process' or 'thread' backend name, "
+                "not {!r}".format(backend)
+            )
+        fleet = FleetCoordinator(
+            backend=backend,
+            workers=self.workers,
+            task_cache_size=self.task_cache_size,
+            data_plane=self.data_plane,
+            prefix_cache=self.prefix_cache,
+            cache_dir=self.cache_dir,
+        )
+        results = [None] * len(tasks)
+        failures = []
+        try:
+            handles = [
+                fleet.register(
+                    name="t{}-{}".format(index, task.name), weight=weight
+                )
+                for index, (task, weight) in enumerate(zip(tasks, weights))
+            ]
+
+            def run(index, task, handle):
+                searcher = AutoBazaarSearch(
+                    tuner_class=self.tuner_class,
+                    selector_class=self.selector_class,
+                    n_splits=self.n_splits,
+                    random_state=self.random_state,
+                    store=self.store,
+                    warm_start_store=self.store if self.warm_start else None,
+                    backend=handle,
+                    n_pending=self.n_pending,
+                    schedule=self.schedule,
+                    prefix_cache=self.prefix_cache,
+                    cache_dir=fleet.cache_dir,
+                    prune_margin=self.prune_margin,
+                    batch_eval=self.batch_eval,
+                )
+                try:
+                    results[index] = searcher.search(
+                        task, budget=self.budget,
+                        max_seconds=self.max_seconds_per_task,
+                    )
+                except BaseException as failure:  # noqa: BLE001 - re-raised below
+                    failures.append(failure)
+
+            threads = [
+                threading.Thread(
+                    target=run, args=(index, task, handle),
+                    name="fleet-{}".format(handle.tenant_name), daemon=True,
+                )
+                for index, (task, handle) in enumerate(zip(tasks, handles))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            fleet.close()
+        if failures:
+            raise failures[0]
+        self.results.extend(results)
+        return results
+
     def solve_directory(self, directory):
         """Load a task folder produced by :func:`repro.tasks.io.save_task` and solve it."""
         task = load_task(directory)
@@ -309,6 +406,42 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
             batch_eval=batch_eval,
         )
         session.solve_directory(task_directory)
+    if output:
+        session.save_store(output)
+    return session
+
+
+def run_fleet_from_directories(task_directories, budget=20, tuner="gp_ei", selector="ucb1",
+                               n_splits=3, random_state=0, output=None, backend="process",
+                               workers=None, n_pending=1, schedule="window",
+                               task_cache_size=None, store_path=None, warm_start="auto",
+                               prefix_cache="off", cache_dir=None, prune_margin=None,
+                               data_plane=None, batch_eval=False, weights=None):
+    """Fleet-mode twin of :func:`run_from_directory` behind ``--fleet``.
+
+    Loads every task folder, solves them *concurrently* as tenants of one
+    shared :class:`~repro.automl.fleet.FleetCoordinator`, optionally dumps
+    the combined store to ``output``, and returns the session (results in
+    task-directory order).  ``weights`` sets the tenants' fair shares
+    (default: equal).  The serial backend name is promoted to ``process``.
+    """
+    for task_directory in task_directories:
+        if not os.path.isdir(task_directory):
+            raise FileNotFoundError(
+                "Task directory {!r} does not exist".format(task_directory)
+            )
+    if backend in (None, "serial"):
+        backend = "process"
+    session = AutoBazaarSession(
+        budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
+        random_state=random_state, backend=backend, workers=workers,
+        n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
+        store_path=store_path, warm_start=warm_start, prefix_cache=prefix_cache,
+        cache_dir=cache_dir, prune_margin=prune_margin, data_plane=data_plane,
+        batch_eval=batch_eval,
+    )
+    tasks = [load_task(task_directory) for task_directory in task_directories]
+    session.solve_fleet(tasks, weights=weights)
     if output:
         session.save_store(output)
     return session

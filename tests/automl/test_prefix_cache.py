@@ -13,7 +13,9 @@ bookkeeping), without affecting what the surviving candidates score.
 """
 
 import glob
+import multiprocessing
 import os
+import pickle
 import queue
 import shutil
 
@@ -505,3 +507,72 @@ class TestCliFlags:
         assert defaults.prune_margin is None
         resume = build_resume_parser().parse_args(["run", "--prefix-cache", "mem"])
         assert resume.prefix_cache == "mem"
+
+
+# -- shared disk tier under concurrent multi-coordinator writers -------------------
+
+
+def _hammer_shared_cache_dir(directory, barrier, rounds, fingerprints, failures):
+    """One coordinator process racing others on the same disk cache tier.
+
+    Each round re-publishes every fingerprint (periodically unlinking the
+    entry so the tmp+rename publication actually re-races instead of
+    short-circuiting on the existing file) and re-reads it through a fresh
+    cache instance, so every read goes to disk.  Any read must be a clean
+    miss or the exact artifacts — a torn or aliased entry is a failure.
+    """
+    cache = FittedPrefixCache(cache_dir=directory)
+    barrier.wait()  # line both writers up so the first publications collide
+    for round_number in range(rounds):
+        for fingerprint in fingerprints:
+            expected = {"weights": fingerprint * 200, "round_invariant": True}
+            if round_number % 3 == 2:
+                try:
+                    os.unlink(os.path.join(directory, "{}.pkl".format(fingerprint)))
+                except OSError:
+                    pass
+            cache.put(fingerprint, expected)
+            reader = FittedPrefixCache(cache_dir=directory)  # bypass the memory tier
+            loaded = reader.get(fingerprint)
+            if loaded is not None and loaded != expected:
+                failures.put(
+                    "torn or aliased artifacts for {!r} in round {}".format(
+                        fingerprint, round_number
+                    )
+                )
+                return
+
+
+class TestConcurrentDiskWriters:
+    def test_racing_coordinators_never_publish_a_torn_entry(self, tmp_path):
+        """Two processes fitting the same prefixes must both land on valid
+        entries: the atomic tmp+rename publication means a concurrent
+        reader sees either no entry or a complete one, never a torn one."""
+        directory = str(tmp_path / "shared-cache")
+        fingerprints = ["prefix-{}".format(index) for index in range(4)]
+        barrier = multiprocessing.Barrier(2)
+        failures = multiprocessing.Queue()
+        workers = [
+            multiprocessing.Process(
+                target=_hammer_shared_cache_dir,
+                args=(directory, barrier, 30, fingerprints, failures),
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        assert failures.empty(), failures.get()
+        # the surviving entries are complete and self-identifying, and no
+        # half-published temp files leaked
+        for fingerprint in fingerprints:
+            path = os.path.join(directory, "{}.pkl".format(fingerprint))
+            if not os.path.exists(path):
+                continue
+            with open(path, "rb") as stream:
+                payload = pickle.load(stream)
+            assert payload["fingerprint"] == fingerprint
+            assert payload["artifacts"]["round_invariant"] is True
+        assert glob.glob(os.path.join(directory, "*.tmp")) == []

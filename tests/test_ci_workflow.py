@@ -33,7 +33,7 @@ def test_workflow_parses_and_triggers(workflow):
 def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
     jobs = workflow["jobs"]
     assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume",
-                         "prefix-cache", "data-plane"}
+                         "prefix-cache", "data-plane", "multi-tenant"}
     assert any("ruff check" in step.get("run", "") for step in jobs["lint"]["steps"])
     assert any("python -m pytest -x -q" in step.get("run", "")
                for step in jobs["tests"]["steps"])
@@ -42,12 +42,20 @@ def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
 
 
 def test_prefix_cache_smoke_records_the_throughput_benchmark(workflow):
-    """The cache's 1.5x throughput bar is CI-enforced and its result recorded."""
+    """The cache's 1.5x throughput bar is CI-enforced, its result recorded,
+    and the fresh record diffed against the committed baseline."""
     steps = workflow["jobs"]["prefix-cache"]["steps"]
-    smoke = [step for step in steps
-             if "scripts/record_bench.py" in step.get("run", "")]
+    runs = [step.get("run", "") for step in steps]
+    smoke = [run for run in runs if "scripts/record_bench.py" in run]
     assert smoke, "the prefix-cache job must run scripts/record_bench.py"
-    assert "BENCH_prefix_cache.json" in smoke[0]["run"]
+    assert "BENCH_prefix_cache.json" in smoke[0]
+    gate = [run for run in runs if "check_bench_regression.py" in run]
+    assert gate, "the job must run the perf-regression gate"
+    assert "--tolerance 0.20" in gate[0]
+    assert "BENCH_prefix_cache.json" in gate[0]
+    # the baseline is snapshotted before the recorder overwrites it
+    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
+    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
     # the script and the committed benchmark record both exist
     root = os.path.join(os.path.dirname(__file__), "..")
     assert os.path.exists(os.path.join(root, "scripts", "record_bench.py"))
@@ -75,6 +83,28 @@ def test_data_plane_smoke_records_both_benchmarks_and_gates_regressions(workflow
     assert os.path.exists(os.path.join(root, "scripts", "check_bench_regression.py"))
     assert os.path.exists(os.path.join(root, "BENCH_data_plane.json"))
     assert os.path.exists(os.path.join(root, "BENCH_batched_eval.json"))
+
+
+def test_multi_tenant_smoke_records_the_benchmark_and_gates_regressions(workflow):
+    """The fleet's 0.8x/1.5x aggregate-throughput bars are CI-enforced and
+    the fresh record is diffed against the committed baseline."""
+    steps = workflow["jobs"]["multi-tenant"]["steps"]
+    runs = [step.get("run", "") for step in steps]
+    assert any("record_bench.py multi-tenant" in run
+               and "BENCH_multi_tenant.json" in run
+               for run in runs), "the job must record the multi-tenant benchmark"
+    gate = [run for run in runs if "check_bench_regression.py" in run]
+    assert gate, "the job must run the perf-regression gate"
+    assert "--tolerance 0.20" in gate[0]
+    assert "BENCH_multi_tenant.json" in gate[0]
+    # the baseline is snapshotted before the recorder overwrites it
+    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
+    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
+    # the committed benchmark record and the benchmark test both exist
+    root = os.path.join(os.path.dirname(__file__), "..")
+    assert os.path.exists(os.path.join(root, "BENCH_multi_tenant.json"))
+    assert os.path.exists(os.path.join(root, "benchmarks",
+                                       "test_bench_multi_tenant.py"))
 
 
 def test_crash_resume_smoke_runs_the_kill_and_resume_gate(workflow):
