@@ -1,6 +1,6 @@
 """Performance benchmarks recorded to committed ``BENCH_*.json`` files.
 
-Four suites, selected by the positional ``suite`` argument:
+Five suites, selected by the positional ``suite`` argument:
 
 ``prefix-cache`` (default, -> ``BENCH_prefix_cache.json``)
     Candidate throughput with the disk-tier fitted-prefix cache on vs
@@ -34,10 +34,23 @@ Four suites, selected by the positional ``suite`` argument:
     >= ``MULTI_TENANT_THRESHOLD``x of sequential, and
     >= ``MULTI_TENANT_STATIC_THRESHOLD``x of the static partition.
 
+``telemetry`` (-> ``BENCH_telemetry_overhead.json``)
+    Candidate throughput with the structured telemetry event stream on
+    vs off, on an event-dense serial workload (prefix cache enabled, so
+    every fold also emits cache events).  The events-on run is replayed
+    (``repro.telemetry.replayer``) and cross-checked against the real
+    record stream before timing counts.  Gate: events-on throughput
+    >= ``TELEMETRY_THRESHOLD``x of events-off (i.e. <= ~5% overhead).
+
 Every suite asserts that its fast path reproduces the slow path's scores
 bit-for-bit before reporting a speedup, and exits non-zero when the
-speedup misses the gate.  CI records all three and diffs them against the
-committed baselines (``scripts/check_bench_regression.py``).
+speedup misses the gate.  CI records the suites and diffs them against
+the committed baselines (``scripts/check_bench_regression.py``).
+
+Every record also embeds a ``metadata`` block (git SHA, python/platform;
+the per-suite worker count, schedule and backend live under
+``workload``) so a committed baseline documents the environment that
+produced it.
 
 Usage::
 
@@ -47,7 +60,9 @@ Usage::
 import argparse
 import json
 import os
+import platform
 import shutil
+import subprocess
 import sys
 import tempfile
 import time
@@ -73,6 +88,10 @@ MULTI_TENANT_THRESHOLD = 0.8
 #: the number that justifies the fleet: work-conserving sharing beats a
 #: static split whenever tenant costs are skewed.
 MULTI_TENANT_STATIC_THRESHOLD = 1.5
+
+#: Acceptance bar: events-on candidate throughput vs events-off.  0.95x
+#: means the telemetry stream may cost at most ~5% of the run.
+TELEMETRY_THRESHOLD = 0.95
 
 #: Artificial fit cost of the shared preprocessing prefix, per fold.
 PREFIX_SECONDS = 0.3
@@ -613,6 +632,130 @@ def run_multi_tenant_benchmark(workers=MULTI_TENANT_WORKERS,
     return payload
 
 
+# -- telemetry suite -------------------------------------------------------------
+
+#: Pipeline evaluations per telemetry-overhead run.
+TELEMETRY_BUDGET = 16
+
+#: Artificial prefix fit cost; small on purpose, so the event stream's
+#: per-fold cost is measured against a realistic (not padded) fold.
+TELEMETRY_PREFIX_SECONDS = 0.02
+
+#: Timed passes per arm; the best pass is recorded (same rationale as the
+#: data-plane suite: the floor is what a tolerance gate can hold).  Five
+#: passes because each is sub-second and the gate margin is only 5%.
+TELEMETRY_REPEATS = 5
+
+
+def _run_telemetry_search(task, telemetry, budget, prefix_seconds):
+    """One serial search with the prefix cache on and telemetry on or off."""
+    from repro.automl import AutoBazaarSearch
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-telemetry-cache-")
+    try:
+        searcher = AutoBazaarSearch(
+            templates=shared_prefix_templates(prefix_seconds), n_splits=2,
+            random_state=0, prefix_cache="disk", cache_dir=cache_dir,
+            telemetry=telemetry,
+        )
+        started = time.time()
+        result = searcher.search(task, budget=budget)
+        elapsed = time.time() - started
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return result, elapsed
+
+
+def run_telemetry_overhead_benchmark(budget=TELEMETRY_BUDGET,
+                                     prefix_seconds=TELEMETRY_PREFIX_SECONDS,
+                                     repeats=TELEMETRY_REPEATS):
+    """Measure events-on vs events-off throughput; returns the payload.
+
+    Every events-on pass is replayed from its durable stream and the
+    reconstructed record stream is asserted bit-identical to the real
+    one before its timing counts — an overhead number for a stream that
+    cannot be replayed would be meaningless.
+    """
+    from repro.tasks import synth
+    from repro.telemetry.replayer import load_events, replay_run
+
+    # folds must carry realistic (not negligible) compute: with 8ms folds
+    # the stream's fixed per-candidate cost reads as inflated relative
+    # overhead; 480 samples keeps the workload event-dense while the
+    # estimator does representative work per fold
+    task = synth.make_single_table_classification(n_samples=480, random_state=0)
+
+    # the arms are interleaved (off, on, off, on, ...) so machine-load
+    # drift across the measurement biases both floors equally instead of
+    # whichever arm happened to run later
+    off_scores, off_timings = None, []
+    on_scores, on_timings, n_events = None, [], None
+    for _ in range(repeats):
+        result, elapsed = _run_telemetry_search(task, None, budget, prefix_seconds)
+        scores = [record.score for record in result.records]
+        if off_scores is None:
+            off_scores = scores
+        else:
+            assert scores == off_scores, "scores changed between timed passes"
+        off_timings.append(elapsed)
+
+        events_dir = tempfile.mkdtemp(prefix="repro-bench-telemetry-events-")
+        try:
+            result, elapsed = _run_telemetry_search(
+                task, events_dir, budget, prefix_seconds)
+            scores = [record.score for record in result.records]
+            if on_scores is None:
+                on_scores = scores
+            else:
+                assert scores == on_scores, "scores changed between timed passes"
+            on_timings.append(elapsed)
+            documents = [record.to_dict() for record in result.records]
+            report = replay_run(load_events(events_dir),
+                                record_documents=documents)
+            assert report["records"] == documents, (
+                "replayed record stream is not bit-identical to the real one"
+            )
+            n_events = report["n_events"]
+        finally:
+            shutil.rmtree(events_dir, ignore_errors=True)
+
+    assert len(off_scores) == budget and on_scores == off_scores, (
+        "telemetry changed the scores: {} != {}".format(on_scores, off_scores)
+    )
+
+    off_elapsed, on_elapsed = min(off_timings), min(on_timings)
+    speedup = off_elapsed / on_elapsed
+    payload = {
+        "benchmark": "telemetry_overhead",
+        "workload": {
+            "budget": budget,
+            "n_splits": 2,
+            "prefix_fit_seconds": prefix_seconds,
+            "backend": "serial",
+            "prefix_cache": "disk",
+            "timed_passes": repeats,
+            "template": "encoder -> timed-identity prefix -> logistic -> decoder",
+        },
+        "events_off": {
+            "elapsed_seconds": round(off_elapsed, 3),
+            "all_passes_seconds": [round(t, 3) for t in off_timings],
+            "candidates_per_second": round(budget / off_elapsed, 3),
+        },
+        "events_on": {
+            "elapsed_seconds": round(on_elapsed, 3),
+            "all_passes_seconds": [round(t, 3) for t in on_timings],
+            "candidates_per_second": round(budget / on_elapsed, 3),
+            "n_events": n_events,
+        },
+        "overhead_fraction": round(on_elapsed / off_elapsed - 1.0, 4),
+        "speedup": round(speedup, 3),
+        "threshold": TELEMETRY_THRESHOLD,
+        "scores_identical": True,
+        "replay_round_trip": True,
+    }
+    return payload
+
+
 # -- CLI -------------------------------------------------------------------------
 
 #: suite name -> (runner, acceptance threshold, default output file,
@@ -634,7 +777,29 @@ SUITES = {
                      "BENCH_multi_tenant.json",
                      ("sequential", "sequential"), ("fleet", "fleet"),
                      "candidates_per_second"),
+    "telemetry": (run_telemetry_overhead_benchmark, TELEMETRY_THRESHOLD,
+                  "BENCH_telemetry_overhead.json",
+                  ("events off", "events_off"), ("events on", "events_on"),
+                  "candidates_per_second"),
 }
+
+
+def _run_metadata():
+    """Environment provenance embedded in every benchmark record."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+        git_sha = completed.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        git_sha = None
+    return {
+        "git_sha": git_sha,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
 
 
 def main(argv=None):
@@ -651,6 +816,7 @@ def main(argv=None):
     output = arguments.output or default_output
 
     payload = runner()
+    payload["metadata"] = _run_metadata()
     slow_label, slow_key = slow
     fast_label, fast_key = fast
     width = max(len(slow_label), len(fast_label))

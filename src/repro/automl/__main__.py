@@ -118,6 +118,12 @@ def build_parser():
                         help="snapshot the resumable search state every N reported "
                              "records (default: 1; the record log itself is always "
                              "written per record)")
+    parser.add_argument("--telemetry", default="off", metavar="{off,run-dir,PATH}",
+                        help="record a structured telemetry event stream: 'run-dir' "
+                             "puts it in the run directory's events/ stream (needs "
+                             "--run-dir), any other value is the stream directory "
+                             "itself; replay with `python -m repro.telemetry DIR` "
+                             "(default: off)")
     parser.add_argument("--output", default=None,
                         help="optional path for the JSON dump of every scored pipeline")
     return parser
@@ -147,6 +153,11 @@ def build_resume_parser():
                              "(content-addressed, score-preserving; default: off)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="directory of the disk-tier prefix store")
+    parser.add_argument("--telemetry", default="off", metavar="{off,run-dir,PATH}",
+                        help="record telemetry events for the resumed portion: "
+                             "'run-dir' appends to the run directory's events/ "
+                             "stream (continuing the sequence numbers), any other "
+                             "value is a stream directory (default: off)")
     return parser
 
 
@@ -161,6 +172,11 @@ def _print_result(result):
               "{bytes_written} bytes written)".format(**cache_stats))
     if getattr(result, "n_pruned", 0):
         print("pruned candidates    : {} of {}".format(result.n_pruned, result.n_evaluated))
+    plane_counts = getattr(result, "plane_counts", None)
+    if plane_counts:
+        print("task data planes     : {}".format(
+            ", ".join("{} {}".format(plane, count)
+                      for plane, count in sorted(plane_counts.items()))))
     fleet_stats = getattr(result, "fleet_stats", None)
     if fleet_stats:
         print("fleet tenant         : {tenant} (weight {weight:g}, "
@@ -182,6 +198,7 @@ def _resume_main(argv):
             task_cache_size=arguments.worker_cache,
             prefix_cache=arguments.prefix_cache,
             cache_dir=arguments.cache_dir,
+            telemetry=arguments.telemetry,
         )
     except (FileNotFoundError, ValueError, CheckpointError,
             ReplayMismatchError, StoreCorruptionError) as error:
@@ -232,6 +249,7 @@ def _fleet_main(arguments, task_dirs):
             data_plane=arguments.data_plane,
             batch_eval=arguments.batch_eval,
             weights=weights,
+            telemetry=arguments.telemetry,
         )
     except (FileNotFoundError, ValueError) as error:
         print("error: {}".format(error), file=sys.stderr)
@@ -288,6 +306,7 @@ def main(argv=None):
             prune_margin=arguments.prune_margin,
             data_plane=arguments.data_plane,
             batch_eval=arguments.batch_eval,
+            telemetry=arguments.telemetry,
         )
     except (FileNotFoundError, ValueError, CheckpointError) as error:
         print("error: {}".format(error), file=sys.stderr)

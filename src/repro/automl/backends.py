@@ -80,6 +80,8 @@ from repro.automl.prefix_cache import (
     task_content_digest,
 )
 from repro.tasks.task import materialize_cv_fold, task_cv_indices
+from repro.telemetry.events import begin_capture, capture_event, end_capture
+from repro.telemetry.sink import emit_active
 
 #: Valid process-backend task transports.
 DATA_PLANES = ("shm", "pickle")
@@ -106,12 +108,14 @@ class EvaluationCandidate:
     ``cache_config`` is the fitted-prefix cache configuration shipped
     with every fold (see :mod:`repro.automl.prefix_cache`); ``pruner``
     is the search's shared :class:`PruneController` enabling fold-level
-    early discard, or ``None`` for exhaustive evaluation.
+    early discard, or ``None`` for exhaustive evaluation; ``telemetry``
+    is the search's ``(sink, tenant)`` emit context (see
+    :mod:`repro.telemetry`) or ``None`` when telemetry is off.
     """
 
     def __init__(self, iteration, template, hyperparameters, task, n_splits=3,
                  random_state=None, template_name=None, is_default=False,
-                 cache_config=None, pruner=None):
+                 cache_config=None, pruner=None, telemetry=None):
         self.iteration = iteration
         self.template = template
         self.hyperparameters = dict(hyperparameters)
@@ -122,6 +126,7 @@ class EvaluationCandidate:
         self.is_default = is_default
         self.cache_config = cache_config
         self.pruner = pruner
+        self.telemetry = telemetry
 
     def __repr__(self):
         return "EvaluationCandidate(iteration={}, template={!r})".format(
@@ -254,7 +259,7 @@ def _cache_info_fields(pipeline):
 
 
 def evaluate_fold(template, hyperparameters, train_task, val_task, cache_config=None,
-                  data_key=None):
+                  data_key=None, capture_events=False):
     """Evaluate one cross-validation fold; the unit of work-stealing dispatch.
 
     Top-level (picklable) so it can be shipped to worker processes.  The
@@ -266,9 +271,18 @@ def evaluate_fold(template, hyperparameters, train_task, val_task, cache_config=
     shares cache entries with the index path and the serial backend
     instead of re-hashing the materialized subset per submission; it
     falls back to digesting ``train_task`` when omitted.
+
+    With ``capture_events`` the fold's telemetry (fold start, cache
+    hits/misses, shm attaches) is captured thread-locally and returned
+    under the payload's ``"events"`` key — telemetry rides the existing
+    result channel back to the coordinator instead of a second IPC
+    mechanism.
     """
     from repro.automl import search
 
+    if capture_events:
+        begin_capture()
+        capture_event("fold_started")
     started = time.time()
     try:
         prefix_cache = resolve_prefix_cache(cache_config)
@@ -287,14 +301,16 @@ def evaluate_fold(template, hyperparameters, train_task, val_task, cache_config=
             "elapsed": time.time() - started,
         }
         payload.update(_cache_info_fields(pipeline))
-        return payload
     except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
-        return {
+        payload = {
             "score": None,
             "raw_score": None,
             "error": _format_error(failure),
             "elapsed": time.time() - started,
         }
+    if capture_events:
+        payload["events"] = end_capture()
+    return payload
 
 
 # -- worker-resident task cache -----------------------------------------------------
@@ -361,7 +377,7 @@ def _resolve_task(task_ref):
 
 
 def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, val_indices,
-                          cache_config=None):
+                          cache_config=None, capture_events=False):
     """Evaluate one cross-validation fold specified by its sample indices.
 
     The index-level twin of :func:`evaluate_fold`: the fold's train/val
@@ -373,6 +389,9 @@ def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, va
     """
     from repro.automl import search
 
+    if capture_events:
+        begin_capture()
+        capture_event("fold_started")
     started = time.time()
     try:
         task = _resolve_task(task_ref)
@@ -392,18 +411,20 @@ def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, va
             "elapsed": time.time() - started,
         }
         payload.update(_cache_info_fields(pipeline))
-        return payload
     except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
-        return {
+        payload = {
             "score": None,
             "raw_score": None,
             "error": _format_error(failure),
             "elapsed": time.time() - started,
         }
+    if capture_events:
+        payload["events"] = end_capture()
+    return payload
 
 
 def evaluate_fold_indices_batch(template, hyperparameters_list, task_ref, train_indices,
-                                val_indices, cache_config=None):
+                                val_indices, cache_config=None, capture_events=False):
     """Evaluate one fold for a same-template hyperparameter batch.
 
     The batched twin of :func:`evaluate_fold_indices`: one submission
@@ -414,7 +435,15 @@ def evaluate_fold_indices_batch(template, hyperparameters_list, task_ref, train_
     starts (unresolvable task, broken fold indices) fails every member
     with the same error, exactly as it would have failed each individual
     submission.
+
+    Captured telemetry for the shared pass (fold start, cache activity,
+    shm attach, the batch-group event) is attached to the *first*
+    member's payload, which is where the coordinator attributes the
+    group's shared work.
     """
+    if capture_events:
+        begin_capture()
+        capture_event("fold_started", batch_size=len(hyperparameters_list))
     started = time.time()
     try:
         task = _resolve_task(task_ref)
@@ -423,17 +452,20 @@ def evaluate_fold_indices_batch(template, hyperparameters_list, task_ref, train_
         data_key = None
         if prefix_cache is not None:
             data_key = fold_data_key(task, train_indices)
-        return batch_eval.evaluate_candidate_group(
+        payloads = batch_eval.evaluate_candidate_group(
             template, hyperparameters_list, train_task, val_task,
             prefix_cache=prefix_cache, data_key=data_key,
         )
     except Exception as failure:  # noqa: BLE001 - failed folds are data, not fatal
         share = (time.time() - started) / max(len(hyperparameters_list), 1)
         error = _format_error(failure)
-        return [
+        payloads = [
             {"score": None, "raw_score": None, "error": error, "elapsed": share}
             for _ in hyperparameters_list
         ]
+    if capture_events and payloads:
+        payloads[0]["events"] = end_capture()
+    return payloads
 
 
 def _aggregate_folds(fold_results, pruned_reason=None):
@@ -532,7 +564,43 @@ class _PooledCandidateFuture:
             "score": None, "raw_score": None, "error": message, "elapsed": 0.0,
         })
 
+    def _ingest_fold(self, index, payload, telemetry):
+        """Forward worker-captured events; synthesize the terminal fold event.
+
+        The coordinator sees every fold payload (that is how outcomes
+        aggregate), so the terminal ``fold_finished``/``fold_cancelled``
+        event is synthesized here from the payload — uniformly across
+        backends, guaranteeing the replayer can re-derive the candidate's
+        record from fold events alone.  Worker-captured events (fold
+        start, cache, shm) ride in under the payload's ``"events"`` key
+        and are ingested with the candidate context the worker lacked.
+        """
+        sink, tenant = telemetry
+        candidate = self.candidate
+        context = {
+            "tenant": tenant,
+            "iteration": candidate.iteration,
+            "fold": index,
+            "template": candidate.template_name,
+        }
+        events = payload.pop("events", None)
+        if events:
+            sink.ingest(events, **context)
+        error = payload.get("error")
+        cancelled = isinstance(error, str) and error.startswith("CancelledError")
+        sink.emit(
+            "fold_cancelled" if cancelled else "fold_finished",
+            score=payload.get("score"), raw_score=payload.get("raw_score"),
+            error=error, elapsed=payload.get("elapsed"),
+            cache_hits=payload.get("cache_hits", 0),
+            cache_misses=payload.get("cache_misses", 0),
+            **context,
+        )
+
     def _record(self, index, payload):
+        telemetry = getattr(self.candidate, "telemetry", None)
+        if telemetry is not None:
+            self._ingest_fold(index, payload, telemetry)
         if payload.get("error"):
             # a doomed candidate's queued work is wasted compute; cancel
             # only *later* folds so the first failing fold in fold order —
@@ -582,6 +650,15 @@ class _PooledCandidateFuture:
             if self._pruned_reason is not None:
                 return
             self._pruned_reason = reason
+        telemetry = getattr(self.candidate, "telemetry", None)
+        if telemetry is not None:
+            sink, tenant = telemetry
+            sink.emit(
+                "prune_decision", tenant=tenant,
+                iteration=self.candidate.iteration,
+                template=self.candidate.template_name,
+                reason=reason, n_completed=len(scores), n_folds=n_folds,
+            )
         for fold_future in self._fold_futures:
             if fold_future is not None:
                 fold_future.cancel()
@@ -725,6 +802,7 @@ class SerialBackend(ExecutionBackend):
     def submit(self, candidate):
         from repro.automl import search
 
+        telemetry = getattr(candidate, "telemetry", None)
         started = time.time()
         error = None
         pruned = False
@@ -739,6 +817,11 @@ class SerialBackend(ExecutionBackend):
             extra.update(prefix_cache=prefix_cache, collect=collect)
         if candidate.pruner is not None:
             extra["pruner"] = candidate.pruner
+        if telemetry is not None:
+            # the coordinator *is* the worker here: cross_validate_template
+            # captures its own per-fold terminal events (and the cache/prune
+            # events inside them), ingested below with the candidate context
+            begin_capture()
         try:
             score, raw_score = search.cross_validate_template(
                 candidate.template, candidate.hyperparameters, candidate.task,
@@ -750,6 +833,12 @@ class SerialBackend(ExecutionBackend):
             pruned = True
         except Exception as failure:  # noqa: BLE001 - failed pipelines are recorded, not fatal
             error = _format_error(failure)
+        if telemetry is not None:
+            sink, tenant = telemetry
+            sink.ingest(
+                end_capture(), tenant=tenant, iteration=candidate.iteration,
+                template=candidate.template_name,
+            )
         outcome = EvaluationOutcome(
             score, raw_score, error, time.time() - started, pruned=pruned,
             cache_hits=collect.get("cache_hits", 0),
@@ -781,6 +870,7 @@ class SerialBackend(ExecutionBackend):
         *k* is simply excluded from the group's later fold batches.
         """
         lead = candidates[0]
+        telemetry = getattr(lead, "telemetry", None)
         started = time.time()
         try:
             folds = task_cv_indices(
@@ -800,10 +890,25 @@ class SerialBackend(ExecutionBackend):
         pruner = lead.pruner
         n_candidates = len(candidates)
         n_folds = len(folds)
+        if telemetry is not None:
+            sink, tenant = telemetry
+            sink.emit(
+                "batch_group_formed", tenant=tenant, size=n_candidates,
+                template=lead.template_name, n_folds=n_folds,
+                iterations=[candidate.iteration for candidate in candidates],
+                reason="same-template candidates fused into one fold-major group",
+            )
+            for candidate in candidates:
+                for fold_index in range(n_folds):
+                    sink.emit(
+                        "fold_dispatched", tenant=tenant,
+                        iteration=candidate.iteration, fold=fold_index,
+                        template=candidate.template_name,
+                    )
         fold_results = [[] for _ in range(n_candidates)]
         pruned_reason = [None] * n_candidates
         failed = [False] * n_candidates
-        for train_indices, val_indices in folds:
+        for fold_index, (train_indices, val_indices) in enumerate(folds):
             live = [
                 index for index in range(n_candidates)
                 if pruned_reason[index] is None and not failed[index]
@@ -814,12 +919,34 @@ class SerialBackend(ExecutionBackend):
             data_key = None
             if prefix_cache is not None:
                 data_key = fold_data_key(lead.task, train_indices)
+            if telemetry is not None:
+                begin_capture()
+                capture_event("fold_started", batch_size=len(live))
             payloads = batch_eval.evaluate_candidate_group(
                 lead.template, [candidates[index].hyperparameters for index in live],
                 train_task, val_task, prefix_cache=prefix_cache, data_key=data_key,
             )
+            if telemetry is not None:
+                sink, tenant = telemetry
+                sink.ingest(
+                    end_capture(), tenant=tenant,
+                    iteration=candidates[live[0]].iteration, fold=fold_index,
+                    template=lead.template_name,
+                )
             for index, payload in zip(live, payloads):
                 fold_results[index].append(payload)
+                if telemetry is not None:
+                    sink.emit(
+                        "fold_finished", tenant=tenant,
+                        iteration=candidates[index].iteration, fold=fold_index,
+                        template=candidates[index].template_name,
+                        score=payload.get("score"),
+                        raw_score=payload.get("raw_score"),
+                        error=payload.get("error"),
+                        elapsed=payload.get("elapsed"),
+                        cache_hits=payload.get("cache_hits", 0),
+                        cache_misses=payload.get("cache_misses", 0),
+                    )
                 if payload.get("error"):
                     failed[index] = True
                 elif pruner is not None:
@@ -831,6 +958,14 @@ class SerialBackend(ExecutionBackend):
                     reason = pruner.assess(scores, n_folds)
                     if reason is not None:
                         pruned_reason[index] = reason
+                        if telemetry is not None:
+                            sink.emit(
+                                "prune_decision", tenant=tenant,
+                                iteration=candidates[index].iteration,
+                                template=candidates[index].template_name,
+                                reason=reason, n_completed=len(scores),
+                                n_folds=n_folds,
+                            )
         futures = []
         for index, candidate in enumerate(candidates):
             outcome = _aggregate_folds(fold_results[index], pruned_reason[index])
@@ -886,6 +1021,14 @@ class _PoolBackend(ExecutionBackend):
             return future
         future = _PooledCandidateFuture(candidate, len(folds), self._completion_queue)
         self._outstanding += 1
+        telemetry = getattr(candidate, "telemetry", None)
+        if telemetry is not None:
+            sink, tenant = telemetry
+            for fold_index in range(len(folds)):
+                sink.emit(
+                    "fold_dispatched", tenant=tenant, iteration=candidate.iteration,
+                    fold=fold_index, template=candidate.template_name,
+                )
         # submit every fold before attaching callbacks: a fast-failing fold's
         # callback cancels later siblings, which must all exist by then.  A
         # fold that cannot even be submitted (broken/shut-down pool) becomes
@@ -917,6 +1060,7 @@ class _PoolBackend(ExecutionBackend):
             evaluate_fold_indices, candidate.template, candidate.hyperparameters,
             candidate.task, train_indices, val_indices,
             cache_config=candidate.cache_config,
+            capture_events=getattr(candidate, "telemetry", None) is not None,
         )
 
     def _supports_group_dispatch(self):
@@ -967,6 +1111,22 @@ class _PoolBackend(ExecutionBackend):
             for candidate in candidates
         ]
         self._outstanding += len(futures)
+        telemetry = getattr(lead, "telemetry", None)
+        if telemetry is not None:
+            sink, tenant = telemetry
+            sink.emit(
+                "batch_group_formed", tenant=tenant, size=len(candidates),
+                template=lead.template_name, n_folds=len(folds),
+                iterations=[candidate.iteration for candidate in candidates],
+                reason="same-template candidates co-submitted in one scheduler burst",
+            )
+            for candidate in candidates:
+                for fold_index in range(len(folds)):
+                    sink.emit(
+                        "fold_dispatched", tenant=tenant,
+                        iteration=candidate.iteration, fold=fold_index,
+                        template=candidate.template_name,
+                    )
         hyperparameters_list = [candidate.hyperparameters for candidate in candidates]
         jobs = []
         submit_error = None
@@ -1000,6 +1160,7 @@ class _PoolBackend(ExecutionBackend):
             evaluate_fold_indices_batch, candidate.template, hyperparameters_list,
             candidate.task, train_indices, val_indices,
             cache_config=candidate.cache_config,
+            capture_events=getattr(candidate, "telemetry", None) is not None,
         )
 
     def collect_one(self):
@@ -1140,20 +1301,34 @@ class ProcessBackend(_PoolBackend):
         if (
             self.data_plane == "shm"
             and id(task) not in self._payloads
-            and shm.shm_available()
-            and shm.task_is_shareable(task)
         ):
-            try:
-                segment = shm.publish_task(task)
-            except Exception:  # noqa: BLE001 - publication failure falls back to pickle
-                segment = None
-            if segment is not None:
-                self._segments[id(task)] = (task, segment)
-                self.plane_counts["shm"] += 1
-                while len(self._segments) > max(self.task_cache_size, 1):
-                    _, (_, stale) = self._segments.popitem(last=False)
-                    stale.release()
-                return segment.handle
+            if shm.shm_available() and shm.task_is_shareable(task):
+                try:
+                    segment = shm.publish_task(task)
+                except Exception:  # noqa: BLE001 - publication failure falls back to pickle
+                    segment = None
+                if segment is not None:
+                    self._segments[id(task)] = (task, segment)
+                    self.plane_counts["shm"] += 1
+                    emit_active(
+                        "shm_publish", task=getattr(task, "name", None),
+                        plane_counts=dict(self.plane_counts),
+                    )
+                    while len(self._segments) > max(self.task_cache_size, 1):
+                        _, (_, stale) = self._segments.popitem(last=False)
+                        stale.release()
+                    return segment.handle
+                emit_active(
+                    "shm_fallback", task=getattr(task, "name", None),
+                    reason="shared-memory publication failed",
+                    plane_counts=dict(self.plane_counts),
+                )
+            else:
+                emit_active(
+                    "shm_fallback", task=getattr(task, "name", None),
+                    reason="shared memory unavailable or task not shareable",
+                    plane_counts=dict(self.plane_counts),
+                )
         return self._task_payload(task)
 
     def _submit_fold(self, candidate, train_indices, val_indices):
@@ -1173,11 +1348,13 @@ class ProcessBackend(_PoolBackend):
                 evaluate_fold, candidate.template, candidate.hyperparameters,
                 train_task, val_task, cache_config=candidate.cache_config,
                 data_key=data_key,
+                capture_events=getattr(candidate, "telemetry", None) is not None,
             )
         return self._executor.submit(
             evaluate_fold_indices, candidate.template, candidate.hyperparameters,
             self._task_ref(candidate.task), train_indices, val_indices,
             cache_config=candidate.cache_config,
+            capture_events=getattr(candidate, "telemetry", None) is not None,
         )
 
     def _supports_group_dispatch(self):
@@ -1189,6 +1366,7 @@ class ProcessBackend(_PoolBackend):
             evaluate_fold_indices_batch, candidate.template, hyperparameters_list,
             self._task_ref(candidate.task), train_indices, val_indices,
             cache_config=candidate.cache_config,
+            capture_events=getattr(candidate, "telemetry", None) is not None,
         )
 
     def shutdown(self):

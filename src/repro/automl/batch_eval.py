@@ -42,6 +42,7 @@ from collections import OrderedDict
 from repro.core.context import Context
 from repro.core.pipeline import _chain_fingerprint
 from repro.automl.prefix_cache import task_content_digest
+from repro.telemetry.events import capture_event
 
 
 def _format_error(failure):
@@ -140,6 +141,14 @@ def evaluate_candidate_group(template, hyperparameters_list, train_task, val_tas
                 step.fingerprint_payload() for step in pipelines[index].steps[:boundary]
             )
             subgroups.setdefault(prefix_key, []).append(index)
+        # worker-side view of the fused pass (one per fold); the backend
+        # emits the per-group dispatch event, this one carries the actual
+        # prefix-sharing structure the fold resolved to
+        capture_event(
+            "batch_group_formed", size=len(built),
+            n_prefix_subgroups=len(subgroups),
+            reason="shared-template candidates fused over a common prefix",
+        )
         for indices in subgroups.values():
             _evaluate_subgroup(
                 pipelines, indices, boundary, train_task, val_task,

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.automl.search import AutoBazaarSearch
 from repro.explorer.persistence import PersistentPipelineStore
+from repro.telemetry.sink import EVENTS_DIRNAME
 from repro.explorer.store import normalize_value
 from repro.tasks.io import load_task, save_task, task_fingerprint
 from repro.tuning.selectors import get_selector
@@ -388,8 +389,16 @@ class ExperimentRun:
 
     def execute(self, backend="serial", workers=None, task_cache_size=None,
                 on_report=None, prefix_cache="off", cache_dir=None,
-                data_plane=None, batch_eval=False):
+                data_plane=None, batch_eval=False, telemetry=None):
         """Run — or resume — the search; returns the ``SearchResult``.
+
+        ``telemetry`` enables structured event recording: ``"run-dir"``
+        (or ``True``) records into the run directory's ``events/``
+        stream — a resumed run reopens and appends to it, continuing the
+        sequence numbers — while an explicit path or a
+        :class:`~repro.telemetry.sink.TelemetrySink` records elsewhere.
+        ``None``/``"off"`` disables it.  Like the execution knobs below,
+        telemetry never shapes the record stream.
 
         Execution knobs (``backend``/``workers``/``task_cache_size``/
         ``data_plane``/``batch_eval``, and the fitted-prefix cache
@@ -409,13 +418,15 @@ class ExperimentRun:
             return self._execute(backend=backend, workers=workers,
                                  task_cache_size=task_cache_size, on_report=on_report,
                                  prefix_cache=prefix_cache, cache_dir=cache_dir,
-                                 data_plane=data_plane, batch_eval=batch_eval)
+                                 data_plane=data_plane, batch_eval=batch_eval,
+                                 telemetry=telemetry)
         finally:
             if run_lock is not None:
                 os.close(run_lock)
 
     def _execute(self, backend, workers, task_cache_size, on_report,
-                 prefix_cache="off", cache_dir=None, data_plane=None, batch_eval=False):
+                 prefix_cache="off", cache_dir=None, data_plane=None, batch_eval=False,
+                 telemetry=None):
         manifest = self.manifest
         task_dir = os.path.join(self.run_dir, TASK_DIRNAME)
         fingerprint = task_fingerprint(task_dir)
@@ -460,6 +471,14 @@ class ExperimentRun:
         if manifest.get("warm_start"):
             warm_store = PersistentPipelineStore(os.path.join(self.run_dir, WARM_DIRNAME))
 
+        # "run-dir" (or True) puts the event stream next to the record
+        # store; the search itself owns opening/closing the sink, and
+        # reopening an existing stream on resume appends to it
+        if telemetry in (None, False, "off"):
+            telemetry = None
+        elif telemetry in (True, "run-dir"):
+            telemetry = os.path.join(self.run_dir, EVENTS_DIRNAME)
+
         searcher = AutoBazaarSearch(
             tuner_class=get_tuner(manifest["tuner"]),
             selector_class=get_selector(manifest["selector"]),
@@ -477,6 +496,7 @@ class ExperimentRun:
             cache_dir=cache_dir,
             data_plane=data_plane,
             batch_eval=batch_eval,
+            telemetry=telemetry,
         )
         if snapshot is not None:
             elapsed_offset = float(snapshot.get("elapsed") or 0.0)
@@ -533,7 +553,7 @@ class ExperimentRun:
 
 
 def resume_run(run_dir, backend="serial", workers=None, task_cache_size=None,
-               prefix_cache="off", cache_dir=None):
+               prefix_cache="off", cache_dir=None, telemetry=None):
     """Resume a killed (or completed) checkpointed run; returns the run.
 
     Replays the durable record prefix to reconstruct the exact search
@@ -546,5 +566,5 @@ def resume_run(run_dir, backend="serial", workers=None, task_cache_size=None,
     """
     run = ExperimentRun.open(run_dir)
     run.execute(backend=backend, workers=workers, task_cache_size=task_cache_size,
-                prefix_cache=prefix_cache, cache_dir=cache_dir)
+                prefix_cache=prefix_cache, cache_dir=cache_dir, telemetry=telemetry)
     return run

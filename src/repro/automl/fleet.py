@@ -66,6 +66,7 @@ from repro.automl.backends import (
     evaluate_fold_indices_batch,
 )
 from repro.automl.prefix_cache import PREFIX_CACHE_MODES
+from repro.telemetry.sink import emit_active
 
 #: Pass-value charge for a tenant's first folds, before any measured cost
 #: seeds the EWMA (seconds; only the ratio across tenants matters).
@@ -278,6 +279,7 @@ class TenantBackend(_PoolBackend):
             evaluate_fold_indices, candidate.template, candidate.hyperparameters,
             self._fleet._tenant_task_ref(candidate.task, self._state),
             train_indices, val_indices, cache_config=candidate.cache_config,
+            capture_events=getattr(candidate, "telemetry", None) is not None,
         )
 
     def _submit_fold_batch(self, candidate, hyperparameters_list, train_indices, val_indices):
@@ -285,11 +287,18 @@ class TenantBackend(_PoolBackend):
             evaluate_fold_indices_batch, candidate.template, hyperparameters_list,
             self._fleet._tenant_task_ref(candidate.task, self._state),
             train_indices, val_indices, cache_config=candidate.cache_config,
+            capture_events=getattr(candidate, "telemetry", None) is not None,
         )
 
     @property
     def tenant_name(self):
         return self._state.name
+
+    @property
+    def plane_counts(self):
+        """This tenant's tasks shipped per transport (shm/pickle/inline)."""
+        with self._fleet._lock:
+            return dict(self._state.plane_counts)
 
     def tenant_stats(self):
         """This tenant's fair-share and data-plane counters (a fresh dict)."""
@@ -468,6 +477,7 @@ class FleetCoordinator:
             if depth > state.queue_hwm:
                 state.queue_hwm = depth
             admissions = self._admit_locked()
+        emit_active("fleet_queue_depth", tenant=state.name, depth=depth)
         self._launch(admissions)
         return future
 
@@ -504,6 +514,10 @@ class FleetCoordinator:
 
     def _launch(self, admissions):
         for job in admissions:
+            emit_active(
+                "fleet_admission", tenant=job.tenant.name,
+                estimate=job.estimate, pass_value=job.tenant.pass_value,
+            )
             try:
                 real = self._pool._executor.submit(job.fn, *job.args, **job.kwargs)
             except Exception as failure:  # noqa: BLE001 - submit failures are data
@@ -536,6 +550,10 @@ class FleetCoordinator:
         with self._lock:
             self._retire_locked(job, actual)
             admissions = self._admit_locked()
+        emit_active(
+            "fleet_pass_value", tenant=job.tenant.name, cost=actual,
+            pass_value=job.tenant.pass_value, cost_ewma=job.tenant.cost_ewma,
+        )
         self._launch(admissions)
 
     # -- shared data plane --------------------------------------------------------

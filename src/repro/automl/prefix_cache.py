@@ -49,6 +49,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.telemetry.events import capture_event
+
 #: Recognized cache modes (the CLI ``--prefix-cache`` values).
 PREFIX_CACHE_MODES = ("off", "mem", "disk")
 
@@ -180,6 +182,7 @@ class FittedPrefixCache:
                 self._entries.move_to_end(fingerprint)
         if artifacts is not None:
             self.stats.record_hit()
+            capture_event("cache_hit", tier="mem", fingerprint=fingerprint)
             return artifacts
         if self.cache_dir is not None:
             artifacts = self._load_from_disk(fingerprint)
@@ -187,8 +190,10 @@ class FittedPrefixCache:
                 with self._lock:
                     self._remember(fingerprint, artifacts)
                 self.stats.record_hit()
+                capture_event("cache_hit", tier="disk", fingerprint=fingerprint)
                 return artifacts
         self.stats.record_miss()
+        capture_event("cache_miss", fingerprint=fingerprint)
         return None
 
     def put(self, fingerprint, artifacts):
@@ -199,6 +204,7 @@ class FittedPrefixCache:
         if self.cache_dir is not None:
             bytes_written = self._write_to_disk(fingerprint, artifacts)
         self.stats.record_store(bytes_written)
+        capture_event("cache_store", fingerprint=fingerprint, bytes=bytes_written)
         return bytes_written
 
     def _remember(self, fingerprint, artifacts):

@@ -44,6 +44,7 @@ from repro.automl.backends import (
     PruneController,
     PrunedEvaluation,
     _cache_info_fields,
+    _format_error,
     get_backend,
 )
 from repro.automl.catalog import default_template_catalog
@@ -55,6 +56,8 @@ from repro.automl.prefix_cache import (
 )
 from repro.explorer.store import normalize_value
 from repro.tasks.task import materialize_cv_fold, split_task, task_cv_indices
+from repro.telemetry.events import capture_event
+from repro.telemetry.sink import TelemetrySink, activate_sink, deactivate_sink
 from repro.tuning.selectors import UCB1Selector
 from repro.tuning.tuners import GPEiTuner, UniformTuner
 
@@ -144,7 +147,7 @@ class SearchResult:
 
     def __init__(self, task_name, best_template, best_hyperparameters, best_score,
                  best_pipeline, records, test_score=None, elapsed=0.0, cache_stats=None,
-                 fleet_stats=None):
+                 fleet_stats=None, plane_counts=None):
         self.task_name = task_name
         self.best_template = best_template
         self.best_hyperparameters = best_hyperparameters
@@ -157,6 +160,9 @@ class SearchResult:
         #: Per-tenant fair-share/data-plane counters when the search ran on
         #: a :class:`~repro.automl.fleet.TenantBackend`; ``None`` otherwise.
         self.fleet_stats = fleet_stats
+        #: Tasks shipped per transport (``{"shm": n, "pickle": n}``) when
+        #: the search ran on a process-boundary backend; ``None`` otherwise.
+        self.plane_counts = plane_counts
 
     @property
     def n_evaluated(self):
@@ -265,7 +271,12 @@ def cross_validate_template(template, hyperparameters, task, n_splits=3, random_
     folds = task_cv_indices(task, n_splits=n_splits, random_state=random_state)
     scores = []
     raw_scores = []
-    for train_indices, val_indices in folds:
+    for fold_index, (train_indices, val_indices) in enumerate(folds):
+        # telemetry capture: this function runs in the coordinator (serial
+        # backend) or as a worker would, so it records both terminal fold
+        # events itself; every capture_event is a no-op unless a sink is on
+        fold_started = time.time()
+        capture_event("fold_started", fold=fold_index)
         train_task, val_task = materialize_cv_fold(task, train_indices, val_indices)
         # cache kwargs only travel when caching is on, preserving the
         # historical evaluate_pipeline call signature for the default path
@@ -273,18 +284,37 @@ def cross_validate_template(template, hyperparameters, task, n_splits=3, random_
         if prefix_cache is not None:
             extra.update(prefix_cache=prefix_cache,
                          data_key=fold_data_key(task, train_indices))
-        normalized, raw, pipeline = evaluate_pipeline(
-            template, hyperparameters, train_task, val_task, **extra
-        )
+        try:
+            normalized, raw, pipeline = evaluate_pipeline(
+                template, hyperparameters, train_task, val_task, **extra
+            )
+        except Exception as failure:
+            capture_event(
+                "fold_finished", fold=fold_index, score=None, raw_score=None,
+                error=_format_error(failure), elapsed=time.time() - fold_started,
+            )
+            raise
         scores.append(normalized)
         raw_scores.append(raw)
+        fold_cache = {}
         if collect is not None:
             for field, value in _cache_info_fields(pipeline).items():
                 collect[field] = collect.get(field, 0) + value
+                fold_cache[field] = value
+        capture_event(
+            "fold_finished", fold=fold_index, score=normalized, raw_score=raw,
+            error=None, elapsed=time.time() - fold_started,
+            cache_hits=fold_cache.get("cache_hits", 0),
+            cache_misses=fold_cache.get("cache_misses", 0),
+        )
         if pruner is not None:
             pruner.observe_fold(normalized)
             reason = pruner.assess(scores, len(folds))
             if reason is not None:
+                capture_event(
+                    "prune_decision", reason=reason,
+                    n_completed=len(scores), n_folds=len(folds),
+                )
                 raise PrunedEvaluation(reason)
     return float(np.mean(scores)), float(np.mean(raw_scores))
 
@@ -402,6 +432,14 @@ class AutoBazaarSearch:
         record stream is traded for throughput.  ``0.0`` prunes most
         aggressively; larger margins are safer.  Leave it ``None`` (off)
         when determinism or exhaustive evaluation matters.
+    telemetry:
+        Structured-event recording (see :mod:`repro.telemetry`): ``None``
+        (off, the default), a :class:`~repro.telemetry.sink.TelemetrySink`
+        instance to record into a caller-owned sink (shared across
+        searches and tenants; never closed here), or a directory path —
+        a sink is opened there for the duration of each ``search()`` call
+        and closed on exit.  The recorded stream replays with
+        ``python -m repro.telemetry <dir>``.
     """
 
     def __init__(self, templates=None, tuner_class=GPEiTuner, selector_class=UCB1Selector,
@@ -409,7 +447,7 @@ class AutoBazaarSearch:
                  warm_start_store=None, backend="serial", workers=None, n_pending=1,
                  schedule="window", task_cache_size=None, estimator_seed=None,
                  prefix_cache="off", cache_dir=None, prune_margin=None,
-                 data_plane=None, batch_eval=False):
+                 data_plane=None, batch_eval=False, telemetry=None):
         if schedule not in ("window", "barrier"):
             raise ValueError(
                 "Unknown schedule {!r}; expected 'window' or 'barrier'".format(schedule)
@@ -439,6 +477,7 @@ class AutoBazaarSearch:
         self.prune_margin = prune_margin
         self.data_plane = data_plane
         self.batch_eval = bool(batch_eval)
+        self.telemetry = telemetry
 
     # -- setup ----------------------------------------------------------------------
 
@@ -521,6 +560,32 @@ class AutoBazaarSearch:
             (resume); counted against ``max_seconds`` and included in the
             result's ``elapsed``.
         """
+        # resolve the telemetry sink for this search: a TelemetrySink is
+        # caller-owned and shared; a path string opens a sink owned (and
+        # closed) by this call.  The sink is also installed as the
+        # process-global active sink so context-free emit points (fleet
+        # scheduler, shm plane) reach it — refcounted, so concurrent
+        # tenant searches sharing one sink compose.
+        owned_sink = None
+        sink = self.telemetry
+        if sink is not None and not isinstance(sink, TelemetrySink):
+            owned_sink = TelemetrySink(str(sink))
+            sink = owned_sink
+        if sink is not None:
+            activate_sink(sink)
+        try:
+            return self._search(
+                task, budget, test_task, holdout, max_seconds, checkpoint,
+                replay, elapsed_offset, sink,
+            )
+        finally:
+            if sink is not None:
+                deactivate_sink(sink)
+                if owned_sink is not None:
+                    owned_sink.close()
+
+    def _search(self, task, budget, test_task, holdout, max_seconds, checkpoint,
+                replay, elapsed_offset, sink):
         start = time.time() - float(elapsed_offset)
         if test_task is None:
             task, test_task = split_task(task, test_size=holdout, random_state=self.random_state)
@@ -588,6 +653,17 @@ class AutoBazaarSearch:
         replayed_queue = deque()  # completed-instantly futures for replayed iterations
         submit_buffer = []  # candidates awaiting a fused submit_many (batch_eval)
 
+        # the tenant id keying this search's events: the fleet's
+        # per-tenant backend carries its name, every other backend is the
+        # single "default" tenant
+        tenant = getattr(backend, "tenant_name", None) or "default"
+        if sink is not None:
+            sink.emit(
+                "search_started", tenant=tenant, task=task.name, budget=budget,
+                backend=repr(backend), n_splits=self.n_splits,
+                schedule=self.schedule, replay_count=replay_count,
+            )
+
         def flush_submissions():
             # hand every candidate proposed in this scheduler burst to the
             # backend at once, so same-template ones fuse into batched
@@ -635,7 +711,13 @@ class AutoBazaarSearch:
             if is_default or tuner is None:
                 hyperparameters = template.default_hyperparameters()
             else:
+                propose_started = time.time()
                 hyperparameters = tuner.propose()
+                if sink is not None:
+                    sink.emit(
+                        "tuner_propose", tenant=tenant, iteration=proposed,
+                        template=template_name, elapsed=time.time() - propose_started,
+                    )
             if tuner is not None:
                 tuner.add_pending(hyperparameters)
             selector.note_pending(template_name)
@@ -651,6 +733,7 @@ class AutoBazaarSearch:
                 is_default=is_default,
                 cache_config=cache_config,
                 pruner=pruner,
+                telemetry=(sink, tenant) if sink is not None else None,
             )
             proposed += 1
             if candidate.iteration < replay_count:
@@ -716,6 +799,14 @@ class AutoBazaarSearch:
                 # replayed records are already durable in the store; only
                 # newly evaluated ones are appended (no duplicate lines)
                 self.store.add(record)
+            if sink is not None and candidate.iteration >= replay_count:
+                # replayed iterations already have their events in the
+                # stream from the original incarnation; re-emitting would
+                # duplicate them (same guard as the store above)
+                sink.emit(
+                    "record_reported", tenant=tenant,
+                    iteration=candidate.iteration, record=record.to_dict(),
+                )
 
             tuner = tuners[candidate.template_name]
             if tuner is not None:
@@ -744,7 +835,14 @@ class AutoBazaarSearch:
             else:
                 template_scores[candidate.template_name].append(score)
                 if tuner is not None:
+                    fit_started = time.time()
                     tuner.record(candidate.hyperparameters, score)
+                    if sink is not None:
+                        sink.emit(
+                            "tuner_fit", tenant=tenant, iteration=candidate.iteration,
+                            template=candidate.template_name,
+                            elapsed=time.time() - fit_started,
+                        )
                 if pruner is not None:
                     pruner.update_task_best(score)
                 if best_score is None or score > best_score:
@@ -861,6 +959,21 @@ class AutoBazaarSearch:
         if callable(stats_source):
             fleet_stats = stats_source()
 
+        plane_counts = getattr(backend, "plane_counts", None)
+        if plane_counts is not None:
+            plane_counts = dict(plane_counts)
+
+        if sink is not None:
+            sink.emit(
+                "search_finished", tenant=tenant, task=task.name,
+                n_records=len(records), best_score=best_score,
+                elapsed=time.time() - start,
+            )
+            # the event stream is durable before the result is returned,
+            # so a caller that exits right after search() leaves a
+            # replayable run directory behind
+            sink.flush()
+
         return SearchResult(
             task_name=task.name,
             best_template=best_template,
@@ -872,6 +985,7 @@ class AutoBazaarSearch:
             elapsed=time.time() - start,
             cache_stats=cache_stats,
             fleet_stats=fleet_stats,
+            plane_counts=plane_counts,
         )
 
 

@@ -15,6 +15,7 @@ import threading
 
 from repro.automl.search import AutoBazaarSearch
 from repro.explorer import PersistentPipelineStore, PipelineStore, report, summarize_store
+from repro.telemetry.sink import TelemetrySink
 from repro.tasks.io import load_task
 from repro.tuning.selectors import get_selector
 from repro.tuning.tuners import get_tuner
@@ -102,13 +103,21 @@ class AutoBazaarSession:
         ``None`` (default) for exhaustive evaluation.  See
         :class:`~repro.automl.backends.PruneController`; enabling it
         trades the bit-identical record stream for throughput.
+    telemetry:
+        Structured-event recording (see :mod:`repro.telemetry`): a
+        directory path opens one :class:`~repro.telemetry.sink.TelemetrySink`
+        owned by the session (closed with it) and shared by every task it
+        solves — including all tenants of :meth:`solve_fleet`, which
+        interleave into one totally ordered stream.  A ``TelemetrySink``
+        instance is used as-is (caller-owned); ``None`` (default) is off.
     """
 
     def __init__(self, budget=20, tuner="gp_ei", selector="ucb1", n_splits=3,
                  random_state=None, warm_start="auto", max_seconds_per_task=None,
                  backend="serial", workers=None, n_pending=1, schedule="window",
                  task_cache_size=None, store_path=None, prefix_cache="off",
-                 cache_dir=None, prune_margin=None, data_plane=None, batch_eval=False):
+                 cache_dir=None, prune_margin=None, data_plane=None, batch_eval=False,
+                 telemetry=None):
         self.budget = budget
         self.tuner_class = get_tuner(tuner)
         self.selector_class = get_selector(selector)
@@ -126,6 +135,10 @@ class AutoBazaarSession:
         self.prune_margin = prune_margin
         self.data_plane = data_plane
         self.batch_eval = bool(batch_eval)
+        self._owned_sink = None
+        if telemetry is not None and not isinstance(telemetry, TelemetrySink):
+            telemetry = self._owned_sink = TelemetrySink(str(telemetry))
+        self.telemetry = telemetry
         if store_path is not None:
             self.store = PersistentPipelineStore(store_path)
         else:
@@ -159,6 +172,7 @@ class AutoBazaarSession:
             prune_margin=self.prune_margin,
             data_plane=self.data_plane,
             batch_eval=self.batch_eval,
+            telemetry=self.telemetry,
         )
         result = searcher.search(
             task, budget=self.budget, test_task=test_task,
@@ -240,6 +254,7 @@ class AutoBazaarSession:
                     cache_dir=fleet.cache_dir,
                     prune_margin=self.prune_margin,
                     batch_eval=self.batch_eval,
+                    telemetry=self.telemetry,
                 )
                 try:
                     results[index] = searcher.search(
@@ -305,6 +320,9 @@ class AutoBazaarSession:
         No-op for in-memory sessions.
         """
         self.store.close()
+        if self._owned_sink is not None:
+            self._owned_sink.close()
+            self._owned_sink = None
 
     def __enter__(self):
         return self
@@ -324,7 +342,7 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
                        workers=None, n_pending=1, schedule="window", task_cache_size=None,
                        store_path=None, warm_start="auto", run_dir=None, checkpoint_every=1,
                        prefix_cache="off", cache_dir=None, prune_margin=None,
-                       data_plane=None, batch_eval=False):
+                       data_plane=None, batch_eval=False, telemetry=None):
     """One-shot helper behind the command-line interface.
 
     Loads the task stored in ``task_directory``, runs a search, optionally
@@ -341,6 +359,13 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
     """
     if not os.path.isdir(task_directory):
         raise FileNotFoundError("Task directory {!r} does not exist".format(task_directory))
+    if telemetry in (None, "off"):
+        telemetry = None
+    elif telemetry == "run-dir" and run_dir is None:
+        raise ValueError(
+            "--telemetry run-dir requires --run-dir: there is no run directory "
+            "to put the event stream in; pass an explicit path instead"
+        )
     if run_dir is not None:
         from repro.automl.checkpoint import ExperimentRun
 
@@ -382,7 +407,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
         result = run.execute(backend=backend, workers=workers,
                              task_cache_size=task_cache_size,
                              prefix_cache=prefix_cache, cache_dir=cache_dir,
-                             data_plane=data_plane, batch_eval=batch_eval)
+                             data_plane=data_plane, batch_eval=batch_eval,
+                             telemetry=telemetry)
         # hand back the familiar session surface (report/summary/save_store)
         # wrapped around the run's durable store and result.  The store is
         # the run's own record log: query and close() it, but solving more
@@ -403,7 +429,7 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
             n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
             store_path=store_path, warm_start=warm_start, prefix_cache=prefix_cache,
             cache_dir=cache_dir, prune_margin=prune_margin, data_plane=data_plane,
-            batch_eval=batch_eval,
+            batch_eval=batch_eval, telemetry=telemetry,
         )
         session.solve_directory(task_directory)
     if output:
@@ -416,7 +442,8 @@ def run_fleet_from_directories(task_directories, budget=20, tuner="gp_ei", selec
                                workers=None, n_pending=1, schedule="window",
                                task_cache_size=None, store_path=None, warm_start="auto",
                                prefix_cache="off", cache_dir=None, prune_margin=None,
-                               data_plane=None, batch_eval=False, weights=None):
+                               data_plane=None, batch_eval=False, weights=None,
+                               telemetry=None):
     """Fleet-mode twin of :func:`run_from_directory` behind ``--fleet``.
 
     Loads every task folder, solves them *concurrently* as tenants of one
@@ -432,13 +459,20 @@ def run_fleet_from_directories(task_directories, budget=20, tuner="gp_ei", selec
             )
     if backend in (None, "serial"):
         backend = "process"
+    if telemetry in (None, "off"):
+        telemetry = None
+    elif telemetry == "run-dir":
+        raise ValueError(
+            "--telemetry run-dir requires --run-dir, which fleet mode does not "
+            "use; pass an explicit path instead"
+        )
     session = AutoBazaarSession(
         budget=budget, tuner=tuner, selector=selector, n_splits=n_splits,
         random_state=random_state, backend=backend, workers=workers,
         n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
         store_path=store_path, warm_start=warm_start, prefix_cache=prefix_cache,
         cache_dir=cache_dir, prune_margin=prune_margin, data_plane=data_plane,
-        batch_eval=batch_eval,
+        batch_eval=batch_eval, telemetry=telemetry,
     )
     tasks = [load_task(task_directory) for task_directory in task_directories]
     session.solve_fleet(tasks, weights=weights)

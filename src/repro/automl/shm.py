@@ -52,6 +52,8 @@ from itertools import count
 
 import numpy as np
 
+from repro.telemetry.events import capture_event
+
 try:
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover - always present on CPython >= 3.8
@@ -369,6 +371,8 @@ def attach_task(handle):
         if attachment is None:
             attachment = _TaskAttachment(handle)
             _ATTACHMENTS[handle.segment] = attachment
+            capture_event("shm_attach", segment=handle.segment,
+                          task=handle.meta.get("name"))
     meta = handle.meta
     task = MLTask(
         name=meta["name"],

@@ -1,0 +1,8 @@
+"""CLI entry point: ``python -m repro.telemetry <run-dir>``."""
+
+import sys
+
+from repro.telemetry.replayer import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -249,3 +249,34 @@ class TestDurableCLI:
         captured = capsys.readouterr()
         assert exit_code == 1
         assert "store" in captured.err.lower()
+
+
+class TestTelemetryCLI:
+    def test_parser_telemetry_default_off(self):
+        assert build_parser().parse_args(["some/dir"]).telemetry == "off"
+
+    def test_main_with_telemetry_path_records_events(self, task, tmp_path, capsys):
+        from repro.telemetry import load_events, replay_run
+
+        save_task(task, tmp_path / "task")
+        events_dir = tmp_path / "events"
+        exit_code = main([
+            str(tmp_path / "task"), "--budget", "2", "--splits", "2", "--seed", "0",
+            "--telemetry", str(events_dir),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "best template" in captured.out
+        report = replay_run(load_events(events_dir))
+        assert report["n_events"] > 0
+        assert len(report["records"]) == 2
+
+    def test_main_telemetry_run_dir_requires_run_dir(self, task, tmp_path, capsys):
+        save_task(task, tmp_path / "task")
+        exit_code = main([
+            str(tmp_path / "task"), "--budget", "2", "--splits", "2",
+            "--telemetry", "run-dir",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "run-dir" in captured.err

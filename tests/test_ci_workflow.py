@@ -33,7 +33,8 @@ def test_workflow_parses_and_triggers(workflow):
 def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
     jobs = workflow["jobs"]
     assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume",
-                         "prefix-cache", "data-plane", "multi-tenant"}
+                         "prefix-cache", "data-plane", "multi-tenant",
+                         "telemetry"}
     assert any("ruff check" in step.get("run", "") for step in jobs["lint"]["steps"])
     assert any("python -m pytest -x -q" in step.get("run", "")
                for step in jobs["tests"]["steps"])
@@ -105,6 +106,30 @@ def test_multi_tenant_smoke_records_the_benchmark_and_gates_regressions(workflow
     assert os.path.exists(os.path.join(root, "BENCH_multi_tenant.json"))
     assert os.path.exists(os.path.join(root, "benchmarks",
                                        "test_bench_multi_tenant.py"))
+
+
+def test_telemetry_job_runs_round_trip_and_overhead_gates(workflow):
+    """The replay guarantee and the <= ~5% overhead bar are CI-enforced and
+    the fresh overhead record is diffed against the committed baseline."""
+    steps = workflow["jobs"]["telemetry"]["steps"]
+    runs = [step.get("run", "") for step in steps]
+    assert any("pytest tests/telemetry" in run for run in runs), (
+        "the job must run the replayer round-trip smoke")
+    assert any("record_bench.py telemetry" in run
+               and "BENCH_telemetry_overhead.json" in run
+               for run in runs), "the job must record the overhead benchmark"
+    gate = [run for run in runs if "check_bench_regression.py" in run]
+    assert gate, "the job must run the perf-regression gate"
+    assert "--tolerance 0.20" in gate[0]
+    assert "BENCH_telemetry_overhead.json" in gate[0]
+    # the baseline is snapshotted before the recorder overwrites it
+    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
+    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
+    # the committed benchmark record and the round-trip tests both exist
+    root = os.path.join(os.path.dirname(__file__), "..")
+    assert os.path.exists(os.path.join(root, "BENCH_telemetry_overhead.json"))
+    assert os.path.exists(os.path.join(root, "tests", "telemetry",
+                                       "test_replayer.py"))
 
 
 def test_crash_resume_smoke_runs_the_kill_and_resume_gate(workflow):
