@@ -1,20 +1,31 @@
 """Fail when a freshly recorded benchmark regresses against its baseline.
 
-Each argument is a ``baseline.json:current.json`` pair of records written
-by ``scripts/record_bench.py``.  The current run's ``speedup`` must stay
-within ``--tolerance`` (default 20%) of the committed baseline's — CI
-records the benchmarks next to the committed ``BENCH_*.json`` files and
-runs this script so a perf regression fails the build even when the
-absolute acceptance threshold is still met.
+Two modes:
+
+**Pair mode** — each argument is a ``baseline.json:current.json`` pair of
+records written by ``scripts/record_bench.py``.  The current run's
+``speedup`` must stay within ``--tolerance`` (default 20%) of the
+committed baseline's.
+
+**Fresh-dir mode** (``--fresh-dir DIR``) — the unified CI gate: every
+committed ``BENCH_*.json`` at the repository root is paired with the
+same-named fresh record in ``DIR`` (where the benchmark jobs upload their
+runs) and diffed with the same tolerance.  A committed record with no
+fresh counterpart fails the gate — a benchmark that silently stopped
+running is itself a regression.
 
 Usage::
 
     python scripts/check_bench_regression.py [--tolerance 0.20] \\
         .bench-baseline/BENCH_data_plane.json:BENCH_data_plane.json ...
+    python scripts/check_bench_regression.py [--tolerance 0.20] \\
+        --fresh-dir .bench-fresh
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 
@@ -36,22 +47,63 @@ def compare(baseline_path, current_path, tolerance):
     return None
 
 
+def fresh_dir_pairs(fresh_dir, root=None):
+    """Pair every committed ``BENCH_*.json`` with its fresh counterpart.
+
+    Returns ``(pairs, missing)``: the ``(baseline, current)`` path pairs
+    for records present in both places, and the names of committed
+    records with no fresh copy.
+    """
+    root = root or os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    committed = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    pairs, missing = [], []
+    for baseline_path in committed:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(fresh_dir, name)
+        if os.path.exists(current_path):
+            pairs.append((baseline_path, current_path))
+        else:
+            missing.append(name)
+    return pairs, missing
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("pairs", nargs="+", metavar="BASELINE:CURRENT",
+    parser.add_argument("pairs", nargs="*", metavar="BASELINE:CURRENT",
                         help="colon-separated baseline/current record pair")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional speedup drop vs the baseline "
                              "(default: 0.20)")
+    parser.add_argument("--fresh-dir", default=None, metavar="DIR",
+                        help="diff every committed BENCH_*.json against the "
+                             "same-named fresh record in DIR; a committed "
+                             "record missing from DIR fails the gate")
     arguments = parser.parse_args(argv)
     if not 0.0 <= arguments.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if bool(arguments.pairs) == bool(arguments.fresh_dir):
+        parser.error("pass either BASELINE:CURRENT pairs or --fresh-dir, "
+                     "not both and not neither")
 
     failures = []
-    for pair in arguments.pairs:
-        baseline_path, separator, current_path = pair.partition(":")
-        if not separator or not baseline_path or not current_path:
-            parser.error("expected BASELINE:CURRENT, got {!r}".format(pair))
+    pairs = []
+    if arguments.fresh_dir:
+        pairs, missing = fresh_dir_pairs(arguments.fresh_dir)
+        for name in missing:
+            failures.append("{}: committed record has no fresh copy in {} "
+                            "(did its benchmark job stop recording?)".format(
+                                name, arguments.fresh_dir))
+        if not pairs and not missing:
+            failures.append("{}: no committed BENCH_*.json records found"
+                            .format(arguments.fresh_dir))
+    else:
+        for pair in arguments.pairs:
+            baseline_path, separator, current_path = pair.partition(":")
+            if not separator or not baseline_path or not current_path:
+                parser.error("expected BASELINE:CURRENT, got {!r}".format(pair))
+            pairs.append((baseline_path, current_path))
+
+    for baseline_path, current_path in pairs:
         error = compare(baseline_path, current_path, arguments.tolerance)
         if error:
             failures.append(error)

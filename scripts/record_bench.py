@@ -1,6 +1,6 @@
 """Performance benchmarks recorded to committed ``BENCH_*.json`` files.
 
-Five suites, selected by the positional ``suite`` argument:
+Six suites, selected by the positional ``suite`` argument:
 
 ``prefix-cache`` (default, -> ``BENCH_prefix_cache.json``)
     Candidate throughput with the disk-tier fitted-prefix cache on vs
@@ -42,6 +42,15 @@ Five suites, selected by the positional ``suite`` argument:
     record stream before timing counts.  Gate: events-on throughput
     >= ``TELEMETRY_THRESHOLD``x of events-off (i.e. <= ~5% overhead).
 
+``fault-tolerance`` (-> ``BENCH_fault_tolerance.json``)
+    Process-backend candidate throughput with the supervised worker pool
+    (fold deadlines, heartbeats, crash retry) vs the plain pool, plus a
+    third arm in which the supervised pool absorbs one injected worker
+    SIGKILL mid-run.  Every arm's record stream is asserted bit-identical
+    to a serial baseline.  Gates: supervision overhead when idle
+    >= ``FAULT_TOLERANCE_THRESHOLD``x (<= ~5%), and recovery throughput
+    >= ``FAULT_RECOVERY_THRESHOLD``x of the fault-free supervised run.
+
 Every suite asserts that its fast path reproduces the slow path's scores
 bit-for-bit before reporting a speedup, and exits non-zero when the
 speedup misses the gate.  CI records the suites and diffs them against
@@ -58,6 +67,7 @@ Usage::
 """
 
 import argparse
+import contextlib
 import json
 import os
 import platform
@@ -756,6 +766,182 @@ def run_telemetry_overhead_benchmark(budget=TELEMETRY_BUDGET,
     return payload
 
 
+# -- fault-tolerance suite -------------------------------------------------------
+
+#: Acceptance bar: supervised (deadlines + heartbeats + retry machinery,
+#: no faults) candidate throughput vs the plain unsupervised pool.  0.95x
+#: means supervision may cost at most ~5% when idle.
+FAULT_TOLERANCE_THRESHOLD = 0.95
+
+#: Acceptance bar: throughput of a supervised run that absorbs one
+#: worker SIGKILL vs the fault-free supervised run.  The respawn pause is
+#: real wall-clock; it must stay under ~30% of the run.
+FAULT_RECOVERY_THRESHOLD = 0.7
+
+#: Worker processes evaluating folds.
+FAULT_WORKERS = 2
+
+#: Pipeline evaluations per timed run.
+FAULT_BUDGET = 12
+
+#: Candidates proposed per scheduling window.
+FAULT_PENDING = 4
+
+#: Per-fold fit cost; large enough that one worker respawn (~1s of
+#: process start + import) cannot dominate the run, and that the
+#: supervised pool's per-fold dispatch round-trip (the worker idles
+#: between reporting a result and receiving the next fold; the plain
+#: pool prefetches into a shared call queue) is amortized the way any
+#: real model fit amortizes it.
+FAULT_FIT_SECONDS = 0.3
+
+#: Timed passes per arm; the best pass is recorded (the floor is what a
+#: tolerance gate can hold).
+FAULT_REPEATS = 3
+
+#: Folds claimed by the pool warm-up before the timed search starts
+#: (``2 * FAULT_WORKERS`` warm candidates x 2 splits): the injected kill
+#: is scheduled past them, mid-way through the timed folds.
+FAULT_WARM_FOLDS = 2 * FAULT_WORKERS * 2
+
+#: Global fold index (warm-up included) at which the fault fires.
+FAULT_AT_FOLD = FAULT_WARM_FOLDS + FAULT_BUDGET  # = warm + half the timed folds
+
+
+def _fault_warm_pool(backend):
+    """Spawn every pool worker before any clock starts."""
+    from repro.tasks import synth
+
+    task = synth.make_single_table_classification(
+        name="fault-warmup", n_samples=40, random_state=99)
+    searcher = _tenant_search(backend, 0.0, n_pending=2 * FAULT_WORKERS)
+    searcher.search(task, budget=2 * FAULT_WORKERS)
+
+
+def _fault_tolerance_pass(task, supervised, plan=None):
+    """One warmed, timed search; returns ``(result, elapsed_seconds)``.
+
+    The backend is built inside ``plan.activate()`` when a plan is given:
+    workers read the fault plan from their environment at spawn time.
+    """
+    from repro.automl import ProcessBackend
+
+    kwargs = {"workers": FAULT_WORKERS}
+    if supervised:
+        kwargs.update(fold_timeout=120.0, max_fold_retries=1)
+    context = plan.activate() if plan is not None else contextlib.nullcontext()
+    with context:
+        backend = ProcessBackend(**kwargs)
+        try:
+            _fault_warm_pool(backend)
+            searcher = _tenant_search(backend, FAULT_FIT_SECONDS,
+                                      n_pending=FAULT_PENDING)
+            started = time.time()
+            result = searcher.search(task, budget=FAULT_BUDGET)
+            elapsed = time.time() - started
+        finally:
+            backend.shutdown()
+    return result, elapsed
+
+
+def run_fault_tolerance_benchmark(budget=FAULT_BUDGET, repeats=FAULT_REPEATS):
+    """Measure supervision overhead when idle and recovery under a kill.
+
+    Three process-backend arms over the same workload: the plain
+    unsupervised pool, the supervised pool with no faults, and the
+    supervised pool absorbing one injected worker SIGKILL mid-run.
+    Every arm's record stream is asserted bit-identical to a serial
+    baseline — the fault-masking guarantee — and the faulted arm must
+    hold ``FAULT_RECOVERY_THRESHOLD``x of fault-free throughput.  The
+    unsupervised-vs-supervised ``speedup`` is returned for the gates.
+    """
+    from repro.automl import FaultPlan
+    from repro.tasks import synth
+
+    task = synth.make_single_table_classification(
+        name="fault-bench", n_samples=80, random_state=0)
+    baseline = _tenant_documents(
+        _tenant_search("serial", FAULT_FIT_SECONDS).search(task, budget=budget))
+
+    unsupervised_timings, supervised_timings, faulted_timings = [], [], []
+    faulted_stats = None
+    # interleaved (unsupervised, supervised, faulted, ...) so machine-load
+    # drift biases every arm's floor equally
+    for _ in range(repeats):
+        result, elapsed = _fault_tolerance_pass(task, supervised=False)
+        assert _tenant_documents(result) == baseline, (
+            "unsupervised run diverged from the serial baseline")
+        unsupervised_timings.append(elapsed)
+
+        result, elapsed = _fault_tolerance_pass(task, supervised=True)
+        assert _tenant_documents(result) == baseline, (
+            "supervised run diverged from the serial baseline")
+        assert result.supervisor_stats["workers_died"] == 0
+        supervised_timings.append(elapsed)
+
+        plan = FaultPlan.single("worker_kill", at_fold=FAULT_AT_FOLD)
+        result, elapsed = _fault_tolerance_pass(task, supervised=True, plan=plan)
+        assert _tenant_documents(result) == baseline, (
+            "the worker kill leaked into the record stream")
+        stats = result.supervisor_stats
+        assert stats["workers_died"] == 1 and stats["pools_rebuilt"] == 1, stats
+        assert stats["folds_quarantined"] == 0, stats
+        faulted_timings.append(elapsed)
+        faulted_stats = stats
+
+    unsupervised_elapsed = min(unsupervised_timings)
+    supervised_elapsed = min(supervised_timings)
+    faulted_elapsed = min(faulted_timings)
+    speedup = unsupervised_elapsed / supervised_elapsed
+    recovery_ratio = supervised_elapsed / faulted_elapsed
+    recovery_seconds = max(0.0, faulted_elapsed - supervised_elapsed)
+    assert recovery_ratio >= FAULT_RECOVERY_THRESHOLD, (
+        "one worker kill cost {:.2f}s: throughput fell to {:.2f}x of "
+        "fault-free (needs {:.2f}x)".format(
+            recovery_seconds, recovery_ratio, FAULT_RECOVERY_THRESHOLD)
+    )
+
+    payload = {
+        "benchmark": "fault_tolerance_overhead_and_recovery",
+        "workload": {
+            "budget": budget,
+            "n_splits": 2,
+            "n_pending": FAULT_PENDING,
+            "workers": FAULT_WORKERS,
+            "fold_fit_seconds": FAULT_FIT_SECONDS,
+            "backend": "process",
+            "fold_timeout": 120.0,
+            "max_fold_retries": 1,
+            "timed_passes": repeats,
+            "template": "encoder -> timed-identity fit -> logistic -> decoder",
+        },
+        "unsupervised": {
+            "elapsed_seconds": round(unsupervised_elapsed, 3),
+            "all_passes_seconds": [round(t, 3) for t in unsupervised_timings],
+            "candidates_per_second": round(budget / unsupervised_elapsed, 3),
+        },
+        "supervised": {
+            "elapsed_seconds": round(supervised_elapsed, 3),
+            "all_passes_seconds": [round(t, 3) for t in supervised_timings],
+            "candidates_per_second": round(budget / supervised_elapsed, 3),
+        },
+        "faulted": {
+            "elapsed_seconds": round(faulted_elapsed, 3),
+            "all_passes_seconds": [round(t, 3) for t in faulted_timings],
+            "candidates_per_second": round(budget / faulted_elapsed, 3),
+            "fault": {"kind": "worker_kill", "at_fold": FAULT_AT_FOLD},
+            "recovery_seconds": round(recovery_seconds, 3),
+            "recovery_ratio": round(recovery_ratio, 3),
+            "recovery_threshold": FAULT_RECOVERY_THRESHOLD,
+            "supervisor_stats": faulted_stats,
+        },
+        "speedup": round(speedup, 3),
+        "threshold": FAULT_TOLERANCE_THRESHOLD,
+        "records_identical": True,
+    }
+    return payload
+
+
 # -- CLI -------------------------------------------------------------------------
 
 #: suite name -> (runner, acceptance threshold, default output file,
@@ -781,6 +967,11 @@ SUITES = {
                   "BENCH_telemetry_overhead.json",
                   ("events off", "events_off"), ("events on", "events_on"),
                   "candidates_per_second"),
+    "fault-tolerance": (run_fault_tolerance_benchmark, FAULT_TOLERANCE_THRESHOLD,
+                        "BENCH_fault_tolerance.json",
+                        ("unsupervised", "unsupervised"),
+                        ("supervised", "supervised"),
+                        "candidates_per_second"),
 }
 
 

@@ -17,6 +17,7 @@ from repro.automl.backends import (
     get_backend,
 )
 from repro.automl.catalog import TemplateCatalog, default_template_catalog, get_templates
+from repro.automl.faultinject import FaultPlan
 from repro.automl.checkpoint import (
     CheckpointError,
     CheckpointManager,
@@ -41,6 +42,11 @@ from repro.automl.session import (
     AutoBazaarSession,
     run_fleet_from_directories,
     run_from_directory,
+)
+from repro.automl.supervisor import (
+    FoldTimeoutError,
+    SupervisedWorkerPool,
+    WorkerCrashError,
 )
 
 __all__ = [
@@ -74,4 +80,8 @@ __all__ = [
     "make_prefix_cache_config",
     "task_content_digest",
     "fold_data_key",
+    "SupervisedWorkerPool",
+    "WorkerCrashError",
+    "FoldTimeoutError",
+    "FaultPlan",
 ]

@@ -77,6 +77,15 @@ def build_parser():
                              "map read-only (non-shareable tasks fall back to "
                              "pickle automatically); 'pickle' forces the historical "
                              "on-disk hand-off (default: backend default, shm)")
+    parser.add_argument("--fold-timeout", type=float, default=None, metavar="SECONDS",
+                        help="supervised process pool: kill the worker of any fold "
+                             "running longer than SECONDS and retry the fold "
+                             "(default: no deadline; setting this or "
+                             "--max-fold-retries enables supervision)")
+    parser.add_argument("--max-fold-retries", type=int, default=None, metavar="N",
+                        help="supervised process pool: crash/timeout retries per "
+                             "fold before it is recorded as a failed evaluation "
+                             "(default: 1 when supervision is enabled)")
     parser.add_argument("--batch-eval", action="store_true",
                         help="evaluate same-template candidates proposed together "
                              "as fused batches (shared preprocessing prefix, "
@@ -148,6 +157,11 @@ def build_resume_parser():
                         help="worker count for the thread/process backends")
     parser.add_argument("--worker-cache", type=int, default=None, metavar="TASKS",
                         help="worker-resident task cache of the process backend")
+    parser.add_argument("--fold-timeout", type=float, default=None, metavar="SECONDS",
+                        help="supervised process pool: per-fold deadline for the "
+                             "remaining evaluations (see the run parser)")
+    parser.add_argument("--max-fold-retries", type=int, default=None, metavar="N",
+                        help="supervised process pool: crash/timeout retries per fold")
     parser.add_argument("--prefix-cache", default="off", choices=("off", "mem", "disk"),
                         help="fitted-prefix cache for the remaining evaluations "
                              "(content-addressed, score-preserving; default: off)")
@@ -177,6 +191,12 @@ def _print_result(result):
         print("task data planes     : {}".format(
             ", ".join("{} {}".format(plane, count)
                       for plane, count in sorted(plane_counts.items()))))
+    supervisor_stats = getattr(result, "supervisor_stats", None)
+    if supervisor_stats:
+        print("fault recovery       : {workers_died} workers died, "
+              "{folds_retried} folds retried, {folds_timed_out} timed out, "
+              "{pools_rebuilt} rebuilds, {folds_quarantined} quarantined".format(
+                  **supervisor_stats))
     fleet_stats = getattr(result, "fleet_stats", None)
     if fleet_stats:
         print("fleet tenant         : {tenant} (weight {weight:g}, "
@@ -199,6 +219,8 @@ def _resume_main(argv):
             prefix_cache=arguments.prefix_cache,
             cache_dir=arguments.cache_dir,
             telemetry=arguments.telemetry,
+            fold_timeout=arguments.fold_timeout,
+            max_fold_retries=arguments.max_fold_retries,
         )
     except (FileNotFoundError, ValueError, CheckpointError,
             ReplayMismatchError, StoreCorruptionError) as error:
@@ -250,6 +272,8 @@ def _fleet_main(arguments, task_dirs):
             batch_eval=arguments.batch_eval,
             weights=weights,
             telemetry=arguments.telemetry,
+            fold_timeout=arguments.fold_timeout,
+            max_fold_retries=arguments.max_fold_retries,
         )
     except (FileNotFoundError, ValueError) as error:
         print("error: {}".format(error), file=sys.stderr)
@@ -307,6 +331,8 @@ def main(argv=None):
             data_plane=arguments.data_plane,
             batch_eval=arguments.batch_eval,
             telemetry=arguments.telemetry,
+            fold_timeout=arguments.fold_timeout,
+            max_fold_retries=arguments.max_fold_retries,
         )
     except (FileNotFoundError, ValueError, CheckpointError) as error:
         print("error: {}".format(error), file=sys.stderr)

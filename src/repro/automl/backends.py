@@ -73,7 +73,7 @@ from itertools import count
 
 import numpy as np
 
-from repro.automl import batch_eval, shm
+from repro.automl import batch_eval, faultinject, shm
 from repro.automl.prefix_cache import (
     fold_data_key,
     resolve_prefix_cache,
@@ -280,6 +280,7 @@ def evaluate_fold(template, hyperparameters, train_task, val_task, cache_config=
     """
     from repro.automl import search
 
+    faultinject.maybe_inject()
     if capture_events:
         begin_capture()
         capture_event("fold_started")
@@ -323,10 +324,17 @@ _WORKER_TASK_CACHE_SIZE = 8
 
 
 def _configure_worker_cache(cache_size):
-    """Process-pool initializer: size (and reset) the worker-resident cache."""
+    """Process-pool initializer: size (and reset) the worker-resident cache.
+
+    Also arms the env-configured fault-injection plan (a no-op outside the
+    chaos suite) — the initializer runs in every worker the pool ever
+    spawns, including the replacements of crashed ones, so the plan
+    reaches the whole fleet.
+    """
     global _WORKER_TASK_CACHE_SIZE
     _WORKER_TASK_CACHE_SIZE = int(cache_size)
     _WORKER_TASK_CACHE.clear()
+    faultinject.install_from_env()
 
 
 class TaskPayload:
@@ -386,15 +394,33 @@ def evaluate_fold_indices(template, hyperparameters, task_ref, train_indices, va
     fold's data key is derived from the resident task's memoized content
     digest plus the train-index array, so every candidate sharing the
     fold shares the key without re-hashing the dataset.
+
+    A failure *resolving* the task reference — a shared-memory segment
+    that vanished under the worker — is infrastructure, not pipeline
+    code, so its payload is flagged ``"retriable"``: the supervised pool
+    repairs the data plane and retries instead of recording it.
     """
     from repro.automl import search
 
+    faultinject.maybe_inject(task_ref)
     if capture_events:
         begin_capture()
         capture_event("fold_started")
     started = time.time()
     try:
         task = _resolve_task(task_ref)
+    except Exception as failure:  # noqa: BLE001 - transport faults are retriable data
+        payload = {
+            "score": None,
+            "raw_score": None,
+            "error": _format_error(failure),
+            "elapsed": time.time() - started,
+            "retriable": True,
+        }
+        if capture_events:
+            payload["events"] = end_capture()
+        return payload
+    try:
         train_task, val_task = materialize_cv_fold(task, train_indices, val_indices)
         prefix_cache = resolve_prefix_cache(cache_config)
         extra = {}
@@ -440,13 +466,30 @@ def evaluate_fold_indices_batch(template, hyperparameters_list, task_ref, train_
     shm attach, the batch-group event) is attached to the *first*
     member's payload, which is where the coordinator attributes the
     group's shared work.
+
+    As in :func:`evaluate_fold_indices`, a task-resolution failure marks
+    every member's payload ``"retriable"`` so the supervised pool can
+    repair the data plane and retry the whole batched fold.
     """
+    faultinject.maybe_inject(task_ref)
     if capture_events:
         begin_capture()
         capture_event("fold_started", batch_size=len(hyperparameters_list))
     started = time.time()
     try:
         task = _resolve_task(task_ref)
+    except Exception as failure:  # noqa: BLE001 - transport faults are retriable data
+        share = (time.time() - started) / max(len(hyperparameters_list), 1)
+        error = _format_error(failure)
+        payloads = [
+            {"score": None, "raw_score": None, "error": error, "elapsed": share,
+             "retriable": True}
+            for _ in hyperparameters_list
+        ]
+        if capture_events and payloads:
+            payloads[0]["events"] = end_capture()
+        return payloads
+    try:
         train_task, val_task = materialize_cv_fold(task, train_indices, val_indices)
         prefix_cache = resolve_prefix_cache(cache_config)
         data_key = None
@@ -1219,11 +1262,23 @@ class ProcessBackend(_PoolBackend):
         back to the pickle hand-off per task.  ``"pickle"`` forces the
         historical on-disk pickle for everything.  The per-task plane
         actually used is tallied in :attr:`plane_counts`.
+    fold_timeout:
+        Seconds a dispatched fold may run before the supervised pool
+        kills its worker and retries the fold.  Setting this (or
+        ``max_fold_retries``) swaps the plain ``ProcessPoolExecutor``
+        for a :class:`~repro.automl.supervisor.SupervisedWorkerPool`:
+        worker deaths no longer surface as ``BrokenProcessPool`` but as
+        a per-worker respawn plus a retried fold, and a fold that keeps
+        killing its worker is quarantined as a recorded failure.
+    max_fold_retries:
+        Crash/timeout retries per fold before quarantine (default 1
+        when supervision is enabled).
     """
 
     name = "process"
 
-    def __init__(self, workers=None, task_cache_size=8, data_plane="shm"):
+    def __init__(self, workers=None, task_cache_size=8, data_plane="shm",
+                 fold_timeout=None, max_fold_retries=None):
         self.task_cache_size = int(task_cache_size)
         if self.task_cache_size < 0:
             raise ValueError("task_cache_size must be non-negative")
@@ -1234,6 +1289,12 @@ class ProcessBackend(_PoolBackend):
                 )
             )
         self.data_plane = data_plane
+        self.fold_timeout = None if fold_timeout is None else float(fold_timeout)
+        self.max_fold_retries = (
+            None if max_fold_retries is None else int(max_fold_retries)
+        )
+        if self.max_fold_retries is not None and self.max_fold_retries < 0:
+            raise ValueError("max_fold_retries must be non-negative")
         self._payloads = OrderedDict()  # id(task) -> (task, TaskPayload)
         self._segments = OrderedDict()  # id(task) -> (task, SharedTaskSegment)
         self._payload_ids = count()
@@ -1246,14 +1307,61 @@ class ProcessBackend(_PoolBackend):
         shm.sweep_stale_segments()
         super().__init__(workers=workers)
 
+    @property
+    def supervised(self):
+        """Whether folds run under the supervised (fault-tolerant) pool."""
+        return self.fold_timeout is not None or self.max_fold_retries is not None
+
     def _make_executor(self):
-        if not self.task_cache_size:
+        initializer, initargs = None, ()
+        if self.task_cache_size:
+            initializer = _configure_worker_cache
+            initargs = (self.task_cache_size,)
+        if self.supervised:
+            from repro.automl.supervisor import (
+                DEFAULT_MAX_FOLD_RETRIES,
+                SupervisedWorkerPool,
+            )
+
+            retries = self.max_fold_retries
+            if retries is None:
+                retries = DEFAULT_MAX_FOLD_RETRIES
+            pool = SupervisedWorkerPool(
+                max_workers=self.workers,
+                initializer=initializer,
+                initargs=initargs,
+                fold_timeout=self.fold_timeout,
+                max_fold_retries=retries,
+            )
+            pool.set_fault_listener(self._repair_data_plane)
+            return pool
+        if initializer is None:
             return ProcessPoolExecutor(max_workers=self.workers)
         return ProcessPoolExecutor(
             max_workers=self.workers,
-            initializer=_configure_worker_cache,
-            initargs=(self.task_cache_size,),
+            initializer=initializer,
+            initargs=initargs,
         )
+
+    @property
+    def supervisor_stats(self):
+        """Supervision counters, or ``None`` when running unsupervised."""
+        stats = getattr(self._executor, "stats", None)
+        return dict(stats) if stats is not None else None
+
+    def _repair_data_plane(self):
+        """Re-publish any shm segment whose backing file went missing.
+
+        The supervised pool calls this before retrying a fold, so a
+        segment unlinked out from under the workers (a crashed writer, a
+        fault-injection unlink) is restored from the coordinator's
+        still-live mapping and the retried fold can attach again.
+        """
+        for _, segment in list(self._segments.values()):
+            try:
+                segment.ensure_published()
+            except Exception:  # noqa: BLE001 - a failed repair fails the retry, not us
+                pass
 
     def _task_payload(self, task):
         """The on-disk payload handle for ``task``, written on first use.
@@ -1433,28 +1541,32 @@ BACKENDS = {
 }
 
 
-def get_backend(backend, workers=None, task_cache_size=None, data_plane=None):
+def get_backend(backend, workers=None, task_cache_size=None, data_plane=None,
+                fold_timeout=None, max_fold_retries=None):
     """Resolve a backend instance from a name, class or instance.
 
     ``workers`` is forwarded to the pool backends and ignored by the
     serial backend; ``task_cache_size`` (the worker-resident dataset cache
-    knob) and ``data_plane`` (the task transport, ``"shm"``/``"pickle"``)
-    apply only to the process backend and keep the backend's own defaults
-    when ``None``.  Setting either for anything that cannot honor it — an
-    already-constructed instance, or a backend without a worker cache —
-    is rejected rather than silently ignored.
+    knob), ``data_plane`` (the task transport, ``"shm"``/``"pickle"``)
+    and the supervision knobs ``fold_timeout``/``max_fold_retries`` apply
+    only to the process backend and keep the backend's own defaults when
+    ``None``.  Setting any of them for something that cannot honor it —
+    an already-constructed instance, or a backend without worker
+    processes — is rejected rather than silently ignored.
     """
+    process_knobs = (
+        ("task_cache_size", task_cache_size),
+        ("data_plane", data_plane),
+        ("fold_timeout", fold_timeout),
+        ("max_fold_retries", max_fold_retries),
+    )
     if isinstance(backend, ExecutionBackend):
-        if task_cache_size is not None:
-            raise ValueError(
-                "task_cache_size cannot be applied to an existing backend "
-                "instance; configure it on the backend directly"
-            )
-        if data_plane is not None:
-            raise ValueError(
-                "data_plane cannot be applied to an existing backend "
-                "instance; configure it on the backend directly"
-            )
+        for knob, value in process_knobs:
+            if value is not None:
+                raise ValueError(
+                    "{} cannot be applied to an existing backend "
+                    "instance; configure it on the backend directly".format(knob)
+                )
         return backend
     if isinstance(backend, type) and issubclass(backend, ExecutionBackend):
         # instantiate the class itself so user subclasses are honored
@@ -1470,23 +1582,17 @@ def get_backend(backend, workers=None, task_cache_size=None, data_plane=None):
             ) from None
     if issubclass(backend_class, ProcessBackend):
         kwargs = {"workers": workers}
-        if task_cache_size is not None:
-            kwargs["task_cache_size"] = task_cache_size
-        if data_plane is not None:
-            kwargs["data_plane"] = data_plane
+        for knob, value in process_knobs:
+            if value is not None:
+                kwargs[knob] = value
         return backend_class(**kwargs)
-    if task_cache_size is not None:
-        raise ValueError(
-            "task_cache_size only applies to the process backend, not {!r}".format(
-                getattr(backend_class, "name", backend_class.__name__)
+    for knob, value in process_knobs:
+        if value is not None:
+            raise ValueError(
+                "{} only applies to the process backend, not {!r}".format(
+                    knob, getattr(backend_class, "name", backend_class.__name__)
+                )
             )
-        )
-    if data_plane is not None:
-        raise ValueError(
-            "data_plane only applies to the process backend, not {!r}".format(
-                getattr(backend_class, "name", backend_class.__name__)
-            )
-        )
     if issubclass(backend_class, _PoolBackend):
         return backend_class(workers=workers)
     return backend_class()

@@ -389,7 +389,8 @@ class ExperimentRun:
 
     def execute(self, backend="serial", workers=None, task_cache_size=None,
                 on_report=None, prefix_cache="off", cache_dir=None,
-                data_plane=None, batch_eval=False, telemetry=None):
+                data_plane=None, batch_eval=False, telemetry=None,
+                fold_timeout=None, max_fold_retries=None):
         """Run — or resume — the search; returns the ``SearchResult``.
 
         ``telemetry`` enables structured event recording: ``"run-dir"``
@@ -401,7 +402,8 @@ class ExperimentRun:
         telemetry never shapes the record stream.
 
         Execution knobs (``backend``/``workers``/``task_cache_size``/
-        ``data_plane``/``batch_eval``, and the fitted-prefix cache
+        ``data_plane``/``batch_eval``, the supervision knobs
+        ``fold_timeout``/``max_fold_retries``, and the fitted-prefix cache
         ``prefix_cache``/``cache_dir``) may differ between run and resume:
         the determinism guarantee makes the record stream identical across
         backends — prefix caching preserves scores exactly (entries are
@@ -419,14 +421,15 @@ class ExperimentRun:
                                  task_cache_size=task_cache_size, on_report=on_report,
                                  prefix_cache=prefix_cache, cache_dir=cache_dir,
                                  data_plane=data_plane, batch_eval=batch_eval,
-                                 telemetry=telemetry)
+                                 telemetry=telemetry, fold_timeout=fold_timeout,
+                                 max_fold_retries=max_fold_retries)
         finally:
             if run_lock is not None:
                 os.close(run_lock)
 
     def _execute(self, backend, workers, task_cache_size, on_report,
                  prefix_cache="off", cache_dir=None, data_plane=None, batch_eval=False,
-                 telemetry=None):
+                 telemetry=None, fold_timeout=None, max_fold_retries=None):
         manifest = self.manifest
         task_dir = os.path.join(self.run_dir, TASK_DIRNAME)
         fingerprint = task_fingerprint(task_dir)
@@ -497,6 +500,8 @@ class ExperimentRun:
             data_plane=data_plane,
             batch_eval=batch_eval,
             telemetry=telemetry,
+            fold_timeout=fold_timeout,
+            max_fold_retries=max_fold_retries,
         )
         if snapshot is not None:
             elapsed_offset = float(snapshot.get("elapsed") or 0.0)
@@ -553,7 +558,8 @@ class ExperimentRun:
 
 
 def resume_run(run_dir, backend="serial", workers=None, task_cache_size=None,
-               prefix_cache="off", cache_dir=None, telemetry=None):
+               prefix_cache="off", cache_dir=None, telemetry=None,
+               fold_timeout=None, max_fold_retries=None):
     """Resume a killed (or completed) checkpointed run; returns the run.
 
     Replays the durable record prefix to reconstruct the exact search
@@ -566,5 +572,6 @@ def resume_run(run_dir, backend="serial", workers=None, task_cache_size=None,
     """
     run = ExperimentRun.open(run_dir)
     run.execute(backend=backend, workers=workers, task_cache_size=task_cache_size,
-                prefix_cache=prefix_cache, cache_dir=cache_dir, telemetry=telemetry)
+                prefix_cache=prefix_cache, cache_dir=cache_dir, telemetry=telemetry,
+                fold_timeout=fold_timeout, max_fold_retries=max_fold_retries)
     return run

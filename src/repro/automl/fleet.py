@@ -65,7 +65,7 @@ from repro.automl.backends import (
     evaluate_fold_indices,
     evaluate_fold_indices_batch,
 )
-from repro.automl.prefix_cache import PREFIX_CACHE_MODES
+from repro.automl.prefix_cache import PREFIX_CACHE_MODES, sweep_orphan_cache_tmp
 from repro.telemetry.sink import emit_active
 
 #: Pass-value charge for a tenant's first folds, before any measured cost
@@ -304,6 +304,11 @@ class TenantBackend(_PoolBackend):
         """This tenant's fair-share and data-plane counters (a fresh dict)."""
         return self._fleet._tenant_stats(self._state)
 
+    @property
+    def supervisor_stats(self):
+        """The shared pool's supervision counters (``None`` unsupervised)."""
+        return self._fleet.supervisor_stats
+
     def __repr__(self):
         return "TenantBackend(tenant={!r}, fleet={!r})".format(
             self._state.name, self._fleet
@@ -343,11 +348,18 @@ class FleetCoordinator:
         the worker count) — enough queued work that workers never idle
         between admissions, small enough that fair share, cancellation and
         pruning keep their grip on the interleave.
+    fold_timeout, max_fold_retries:
+        Process-fleet supervision knobs (see
+        :class:`~repro.automl.backends.ProcessBackend`).  Setting either
+        runs the whole fleet on a supervised pool: a tenant whose fold
+        SIGKILLs a worker costs the fleet one worker respawn and one
+        retried fold, not a ``BrokenProcessPool`` for every tenant —
+        folds already running on the surviving workers are untouched.
     """
 
     def __init__(self, backend="process", workers=None, task_cache_size=None,
                  data_plane=None, prefix_cache="off", cache_dir=None,
-                 max_backlog=None):
+                 max_backlog=None, fold_timeout=None, max_fold_retries=None):
         if prefix_cache not in PREFIX_CACHE_MODES:
             raise ValueError(
                 "Unknown prefix-cache mode {!r}; expected one of {}".format(
@@ -370,11 +382,19 @@ class FleetCoordinator:
                 kwargs["task_cache_size"] = int(task_cache_size)
             if data_plane is not None:
                 kwargs["data_plane"] = data_plane
+            if fold_timeout is not None:
+                kwargs["fold_timeout"] = fold_timeout
+            if max_fold_retries is not None:
+                kwargs["max_fold_retries"] = max_fold_retries
             self._pool = ProcessBackend(**kwargs)
         elif backend == "thread":
             if task_cache_size is not None or data_plane is not None:
                 raise ValueError(
                     "task_cache_size/data_plane only apply to the process fleet"
+                )
+            if fold_timeout is not None or max_fold_retries is not None:
+                raise ValueError(
+                    "fold_timeout/max_fold_retries only apply to the process fleet"
                 )
             self._pool = ThreadBackend(workers=workers)
         else:
@@ -389,6 +409,10 @@ class FleetCoordinator:
             cache_dir = tempfile.mkdtemp(prefix="repro-fleet-cache-")
             self._owned_cache_dir = cache_dir
         self.cache_dir = cache_dir
+        if cache_dir is not None:
+            # companion of the sweep_stale_segments call above: reclaim
+            # cache temp files orphaned by killed writers of earlier runs
+            sweep_orphan_cache_tmp(cache_dir)
         backlog = self.workers if max_backlog is None else int(max_backlog)
         if backlog < 0:
             raise ValueError("max_backlog must be non-negative")
@@ -592,6 +616,11 @@ class FleetCoordinator:
         with self._lock:
             states = list(self._tenants.values())
         return {state.name: self._tenant_stats(state) for state in states}
+
+    @property
+    def supervisor_stats(self):
+        """The shared pool's supervision counters (``None`` unsupervised)."""
+        return getattr(self._pool, "supervisor_stats", None)
 
     # -- lifecycle ----------------------------------------------------------------
 

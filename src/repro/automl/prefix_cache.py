@@ -161,6 +161,11 @@ class FittedPrefixCache:
     def __init__(self, cache_dir=None, max_entries=DEFAULT_MAX_ENTRIES,
                  max_disk_entries=DEFAULT_MAX_DISK_ENTRIES):
         self.cache_dir = cache_dir
+        if cache_dir is not None:
+            # reclaim temp files orphaned by writers that were SIGKILLed
+            # mid-write (the supervised pool kills hung workers); live
+            # writers are safe — their pid rides in the filename
+            sweep_orphan_cache_tmp(cache_dir)
         self.max_entries = int(max_entries)
         if self.max_entries < 1:
             raise ValueError("max_entries must be at least 1")
@@ -260,8 +265,10 @@ class FittedPrefixCache:
             # every disk failure — unpicklable artifacts, a full or
             # read-only filesystem — leaves the entry memory-only; a cache
             # write must never fail the evaluation it was accelerating
+            # the writer's pid rides in the filename so the orphan sweep
+            # can tell a dead writer's leftover from an in-flight write
             descriptor, temp_path = tempfile.mkstemp(
-                prefix=".prefix-", suffix=".tmp", dir=self.cache_dir
+                prefix=_tmp_prefix(), suffix=".tmp", dir=self.cache_dir
             )
             with os.fdopen(descriptor, "wb") as stream:
                 stream.write(payload)
@@ -310,6 +317,57 @@ def _unlink_quietly(path):
         os.unlink(path)
     except OSError:
         pass
+
+
+# -- orphaned temp-file sweep -----------------------------------------------------
+
+_TMP_MARKER = ".prefix-"
+
+
+def _tmp_prefix():
+    """The mkstemp prefix for this process's in-flight cache writes."""
+    return "{}{}-".format(_TMP_MARKER, os.getpid())
+
+
+def _tmp_writer_pid(name):
+    """The writer pid embedded in a temp filename, or ``None``."""
+    if not (name.startswith(_TMP_MARKER) and name.endswith(".tmp")):
+        return None
+    pid_text = name[len(_TMP_MARKER):].split("-", 1)[0]
+    try:
+        return int(pid_text)
+    except ValueError:
+        return None
+
+
+def sweep_orphan_cache_tmp(cache_dir):
+    """Remove ``*.tmp`` cache files left behind by killed writers.
+
+    Disk-tier writes go through ``mkstemp`` + atomic rename, so a writer
+    SIGKILLed mid-write (a crashed worker, a fold past its deadline)
+    leaks its temp file forever.  Each temp filename embeds its writer's
+    pid; files whose writer is dead — or whose name predates the pid
+    convention — are unlinked.  Runs at cache startup alongside the shm
+    plane's ``sweep_stale_segments``.  Returns the number removed.
+    """
+    removed = 0
+    from repro.automl.shm import _pid_alive
+
+    try:
+        with os.scandir(cache_dir) as scan:
+            candidates = [
+                entry.name for entry in scan
+                if entry.name.startswith(_TMP_MARKER) and entry.name.endswith(".tmp")
+            ]
+    except OSError:
+        return 0
+    for name in candidates:
+        pid = _tmp_writer_pid(name)
+        if pid == os.getpid() or (pid is not None and _pid_alive(pid)):
+            continue
+        _unlink_quietly(os.path.join(cache_dir, name))
+        removed += 1
+    return removed
 
 
 # -- per-process cache resolution ------------------------------------------------

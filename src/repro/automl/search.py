@@ -52,6 +52,7 @@ from repro.automl.prefix_cache import (
     PREFIX_CACHE_MODES,
     fold_data_key,
     make_prefix_cache_config,
+    sweep_orphan_cache_tmp,
     task_content_digest,
 )
 from repro.explorer.store import normalize_value
@@ -147,7 +148,7 @@ class SearchResult:
 
     def __init__(self, task_name, best_template, best_hyperparameters, best_score,
                  best_pipeline, records, test_score=None, elapsed=0.0, cache_stats=None,
-                 fleet_stats=None, plane_counts=None):
+                 fleet_stats=None, plane_counts=None, supervisor_stats=None):
         self.task_name = task_name
         self.best_template = best_template
         self.best_hyperparameters = best_hyperparameters
@@ -163,6 +164,10 @@ class SearchResult:
         #: Tasks shipped per transport (``{"shm": n, "pickle": n}``) when
         #: the search ran on a process-boundary backend; ``None`` otherwise.
         self.plane_counts = plane_counts
+        #: Fault-tolerance counters (worker deaths, fold retries/timeouts,
+        #: pool rebuilds) when the search ran on a supervised process
+        #: pool; ``None`` otherwise.
+        self.supervisor_stats = supervisor_stats
 
     @property
     def n_evaluated(self):
@@ -440,6 +445,16 @@ class AutoBazaarSearch:
         a sink is opened there for the duration of each ``search()`` call
         and closed on exit.  The recorded stream replays with
         ``python -m repro.telemetry <dir>``.
+    fold_timeout, max_fold_retries:
+        Fault-tolerance knobs of the process backend (see
+        :class:`~repro.automl.backends.ProcessBackend`).  Setting either
+        runs folds on a supervised worker pool: a fold past
+        ``fold_timeout`` seconds gets its worker killed and is retried, a
+        crashed worker is respawned with its in-flight fold requeued, and
+        a fold that keeps crashing workers (``max_fold_retries``
+        exhausted) is recorded as a failed evaluation.  Folds are pure,
+        so retries leave the record stream bit-identical to a fault-free
+        run.  Rejected for backends without a process boundary.
     """
 
     def __init__(self, templates=None, tuner_class=GPEiTuner, selector_class=UCB1Selector,
@@ -447,7 +462,8 @@ class AutoBazaarSearch:
                  warm_start_store=None, backend="serial", workers=None, n_pending=1,
                  schedule="window", task_cache_size=None, estimator_seed=None,
                  prefix_cache="off", cache_dir=None, prune_margin=None,
-                 data_plane=None, batch_eval=False, telemetry=None):
+                 data_plane=None, batch_eval=False, telemetry=None,
+                 fold_timeout=None, max_fold_retries=None):
         if schedule not in ("window", "barrier"):
             raise ValueError(
                 "Unknown schedule {!r}; expected 'window' or 'barrier'".format(schedule)
@@ -478,6 +494,8 @@ class AutoBazaarSearch:
         self.data_plane = data_plane
         self.batch_eval = bool(batch_eval)
         self.telemetry = telemetry
+        self.fold_timeout = fold_timeout
+        self.max_fold_retries = max_fold_retries
 
     # -- setup ----------------------------------------------------------------------
 
@@ -608,7 +626,8 @@ class AutoBazaarSearch:
 
         backend = get_backend(
             self.backend, workers=self.workers, task_cache_size=self.task_cache_size,
-            data_plane=self.data_plane,
+            data_plane=self.data_plane, fold_timeout=self.fold_timeout,
+            max_fold_retries=self.max_fold_retries,
         )
         # a backend instance supplied by the caller outlives this search;
         # one resolved from a name is owned here and shut down on exit
@@ -624,6 +643,10 @@ class AutoBazaarSearch:
             if self.prefix_cache == "disk" and cache_dir is None:
                 owned_cache_dir = tempfile.mkdtemp(prefix="repro-prefix-cache-")
                 cache_dir = owned_cache_dir
+            elif cache_dir is not None:
+                # a shared, reused directory may hold temp files orphaned
+                # by killed writers of earlier runs; sweep them up front
+                sweep_orphan_cache_tmp(cache_dir)
             cache_config = make_prefix_cache_config(self.prefix_cache, cache_dir=cache_dir)
         cache_totals = {"hits": 0, "misses": 0, "bytes_written": 0}
 
@@ -963,6 +986,10 @@ class AutoBazaarSearch:
         if plane_counts is not None:
             plane_counts = dict(plane_counts)
 
+        # supervision counters survive the pool's shutdown, so this works
+        # whether the backend is owned (already shut down) or shared
+        supervisor_stats = getattr(backend, "supervisor_stats", None)
+
         if sink is not None:
             sink.emit(
                 "search_finished", tenant=tenant, task=task.name,
@@ -986,6 +1013,7 @@ class AutoBazaarSearch:
             cache_stats=cache_stats,
             fleet_stats=fleet_stats,
             plane_counts=plane_counts,
+            supervisor_stats=supervisor_stats,
         )
 
 

@@ -110,6 +110,12 @@ class AutoBazaarSession:
         solves — including all tenants of :meth:`solve_fleet`, which
         interleave into one totally ordered stream.  A ``TelemetrySink``
         instance is used as-is (caller-owned); ``None`` (default) is off.
+    fold_timeout, max_fold_retries:
+        Fault-tolerance knobs of the process backend (supervised worker
+        pool, see :class:`~repro.automl.backends.ProcessBackend`):
+        deadline per fold in seconds, and crash/timeout retries per fold
+        before the fold is recorded as a failed evaluation.  ``None``
+        (default) runs unsupervised.
     """
 
     def __init__(self, budget=20, tuner="gp_ei", selector="ucb1", n_splits=3,
@@ -117,7 +123,7 @@ class AutoBazaarSession:
                  backend="serial", workers=None, n_pending=1, schedule="window",
                  task_cache_size=None, store_path=None, prefix_cache="off",
                  cache_dir=None, prune_margin=None, data_plane=None, batch_eval=False,
-                 telemetry=None):
+                 telemetry=None, fold_timeout=None, max_fold_retries=None):
         self.budget = budget
         self.tuner_class = get_tuner(tuner)
         self.selector_class = get_selector(selector)
@@ -135,6 +141,8 @@ class AutoBazaarSession:
         self.prune_margin = prune_margin
         self.data_plane = data_plane
         self.batch_eval = bool(batch_eval)
+        self.fold_timeout = fold_timeout
+        self.max_fold_retries = max_fold_retries
         self._owned_sink = None
         if telemetry is not None and not isinstance(telemetry, TelemetrySink):
             telemetry = self._owned_sink = TelemetrySink(str(telemetry))
@@ -173,6 +181,8 @@ class AutoBazaarSession:
             data_plane=self.data_plane,
             batch_eval=self.batch_eval,
             telemetry=self.telemetry,
+            fold_timeout=self.fold_timeout,
+            max_fold_retries=self.max_fold_retries,
         )
         result = searcher.search(
             task, budget=self.budget, test_task=test_task,
@@ -228,6 +238,8 @@ class AutoBazaarSession:
             data_plane=self.data_plane,
             prefix_cache=self.prefix_cache,
             cache_dir=self.cache_dir,
+            fold_timeout=self.fold_timeout,
+            max_fold_retries=self.max_fold_retries,
         )
         results = [None] * len(tasks)
         failures = []
@@ -342,7 +354,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
                        workers=None, n_pending=1, schedule="window", task_cache_size=None,
                        store_path=None, warm_start="auto", run_dir=None, checkpoint_every=1,
                        prefix_cache="off", cache_dir=None, prune_margin=None,
-                       data_plane=None, batch_eval=False, telemetry=None):
+                       data_plane=None, batch_eval=False, telemetry=None,
+                       fold_timeout=None, max_fold_retries=None):
     """One-shot helper behind the command-line interface.
 
     Loads the task stored in ``task_directory``, runs a search, optionally
@@ -408,7 +421,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
                              task_cache_size=task_cache_size,
                              prefix_cache=prefix_cache, cache_dir=cache_dir,
                              data_plane=data_plane, batch_eval=batch_eval,
-                             telemetry=telemetry)
+                             telemetry=telemetry, fold_timeout=fold_timeout,
+                             max_fold_retries=max_fold_retries)
         # hand back the familiar session surface (report/summary/save_store)
         # wrapped around the run's durable store and result.  The store is
         # the run's own record log: query and close() it, but solving more
@@ -429,7 +443,8 @@ def run_from_directory(task_directory, budget=20, tuner="gp_ei", selector="ucb1"
             n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
             store_path=store_path, warm_start=warm_start, prefix_cache=prefix_cache,
             cache_dir=cache_dir, prune_margin=prune_margin, data_plane=data_plane,
-            batch_eval=batch_eval, telemetry=telemetry,
+            batch_eval=batch_eval, telemetry=telemetry, fold_timeout=fold_timeout,
+            max_fold_retries=max_fold_retries,
         )
         session.solve_directory(task_directory)
     if output:
@@ -443,7 +458,7 @@ def run_fleet_from_directories(task_directories, budget=20, tuner="gp_ei", selec
                                task_cache_size=None, store_path=None, warm_start="auto",
                                prefix_cache="off", cache_dir=None, prune_margin=None,
                                data_plane=None, batch_eval=False, weights=None,
-                               telemetry=None):
+                               telemetry=None, fold_timeout=None, max_fold_retries=None):
     """Fleet-mode twin of :func:`run_from_directory` behind ``--fleet``.
 
     Loads every task folder, solves them *concurrently* as tenants of one
@@ -472,7 +487,8 @@ def run_fleet_from_directories(task_directories, budget=20, tuner="gp_ei", selec
         n_pending=n_pending, schedule=schedule, task_cache_size=task_cache_size,
         store_path=store_path, warm_start=warm_start, prefix_cache=prefix_cache,
         cache_dir=cache_dir, prune_margin=prune_margin, data_plane=data_plane,
-        batch_eval=batch_eval, telemetry=telemetry,
+        batch_eval=batch_eval, telemetry=telemetry, fold_timeout=fold_timeout,
+        max_fold_retries=max_fold_retries,
     )
     tasks = [load_task(task_directory) for task_directory in task_directories]
     session.solve_fleet(tasks, weights=weights)

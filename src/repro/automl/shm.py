@@ -257,6 +257,32 @@ class SharedTaskSegment:
         _close_quietly(self._shm)
         _unlink_silently(self._shm)
 
+    def ensure_published(self):
+        """Recreate the backing file if it was unlinked under us.
+
+        The publisher's mapping stays valid after an unlink (the kernel
+        keeps the pages while any mapping lives), so a segment yanked out
+        of ``/dev/shm`` by a crashed writer or a fault injection can be
+        restored byte-for-byte under the *same name* — workers re-attach
+        on the fold retry without any handle changing.  Returns whether a
+        republication happened.
+        """
+        with self._lock:
+            if self._refs <= 0:
+                return False
+            if not os.path.isdir(_SHM_DIR):
+                return False  # no shm filesystem to check against
+            if os.path.exists(os.path.join(_SHM_DIR, self.name)):
+                return False
+            fresh = _open_shm(name=self.name, create=True, size=self._shm.size)
+            fresh.buf[:] = self._shm.buf[:]
+            stale = self._shm
+            self._shm = fresh
+            with _LIVE_LOCK:
+                _LIVE_SEGMENTS[self.name] = fresh
+            _close_quietly(stale)
+            return True
+
     def __repr__(self):
         return "SharedTaskSegment(name={!r})".format(self.name)
 

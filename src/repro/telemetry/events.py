@@ -68,6 +68,11 @@ EVENT_TYPES = frozenset({
     "fleet_admission",
     "fleet_pass_value",
     "fleet_queue_depth",
+    # supervised execution layer (fault tolerance)
+    "worker_died",
+    "fold_retried",
+    "pool_rebuilt",
+    "fold_timed_out",
 })
 
 

@@ -1,11 +1,14 @@
 """Structural validation of the CI workflow (a dry-run stand-in for actionlint).
 
 The pipeline is part of the contract: lint, tier-1 tests, the benchmark
-smoke run and the crash/resume durability smoke must stay distinct jobs,
-the test job must cover the supported interpreter matrix, and every job
-must keep pip caching on.
+smoke runs, the crash/resume durability smoke and the chaos suite must
+stay distinct jobs, every benchmark job must upload its fresh record to
+the single ``bench-gate`` job that diffs all committed ``BENCH_*.json``
+baselines, the test job must cover the supported interpreter matrix,
+and every job must keep pip caching on.
 """
 
+import glob
 import os
 
 import pytest
@@ -14,11 +17,23 @@ yaml = pytest.importorskip("yaml")
 
 WORKFLOW = os.path.join(os.path.dirname(__file__), "..", ".github", "workflows", "ci.yml")
 
+#: The benchmark jobs feeding the unified regression gate.
+BENCH_JOBS = {"prefix-cache", "data-plane", "multi-tenant", "telemetry", "chaos"}
+
 
 @pytest.fixture(scope="module")
 def workflow():
     with open(WORKFLOW) as stream:
         return yaml.safe_load(stream)
+
+
+def _runs(workflow, job):
+    return [step.get("run", "") for step in workflow["jobs"][job]["steps"]]
+
+
+def _uploads(workflow, job):
+    return [step for step in workflow["jobs"][job]["steps"]
+            if step.get("uses", "").startswith("actions/upload-artifact")]
 
 
 def test_workflow_parses_and_triggers(workflow):
@@ -34,7 +49,7 @@ def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
     jobs = workflow["jobs"]
     assert set(jobs) == {"lint", "tests", "bench-smoke", "crash-resume",
                          "prefix-cache", "data-plane", "multi-tenant",
-                         "telemetry"}
+                         "telemetry", "chaos", "bench-gate"}
     assert any("ruff check" in step.get("run", "") for step in jobs["lint"]["steps"])
     assert any("python -m pytest -x -q" in step.get("run", "")
                for step in jobs["tests"]["steps"])
@@ -43,64 +58,47 @@ def test_lint_tests_and_smoke_runs_are_distinct_jobs(workflow):
 
 
 def test_prefix_cache_smoke_records_the_throughput_benchmark(workflow):
-    """The cache's 1.5x throughput bar is CI-enforced, its result recorded,
-    and the fresh record diffed against the committed baseline."""
-    steps = workflow["jobs"]["prefix-cache"]["steps"]
-    runs = [step.get("run", "") for step in steps]
+    """The cache's 1.5x throughput bar is CI-enforced and its fresh record
+    handed to the unified bench gate."""
+    runs = _runs(workflow, "prefix-cache")
     smoke = [run for run in runs if "scripts/record_bench.py" in run]
     assert smoke, "the prefix-cache job must run scripts/record_bench.py"
     assert "BENCH_prefix_cache.json" in smoke[0]
-    gate = [run for run in runs if "check_bench_regression.py" in run]
-    assert gate, "the job must run the perf-regression gate"
-    assert "--tolerance 0.20" in gate[0]
-    assert "BENCH_prefix_cache.json" in gate[0]
-    # the baseline is snapshotted before the recorder overwrites it
-    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
-    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
+    uploads = _uploads(workflow, "prefix-cache")
+    assert uploads and "BENCH_prefix_cache.json" in uploads[0]["with"]["path"]
     # the script and the committed benchmark record both exist
     root = os.path.join(os.path.dirname(__file__), "..")
     assert os.path.exists(os.path.join(root, "scripts", "record_bench.py"))
     assert os.path.exists(os.path.join(root, "BENCH_prefix_cache.json"))
 
 
-def test_data_plane_smoke_records_both_benchmarks_and_gates_regressions(workflow):
-    """The 1.3x/1.5x data-plane and batched-eval bars are CI-enforced and the
-    fresh records are diffed against the committed baselines."""
-    steps = workflow["jobs"]["data-plane"]["steps"]
-    runs = [step.get("run", "") for step in steps]
+def test_data_plane_smoke_records_both_benchmarks(workflow):
+    """The 1.3x/1.5x data-plane and batched-eval bars are CI-enforced and
+    both fresh records handed to the unified bench gate."""
+    runs = _runs(workflow, "data-plane")
     assert any("record_bench.py data-plane" in run and "BENCH_data_plane.json" in run
                for run in runs), "the job must record the data-plane benchmark"
     assert any("record_bench.py batched-eval" in run and "BENCH_batched_eval.json" in run
                for run in runs), "the job must record the batched-eval benchmark"
-    gate = [run for run in runs if "check_bench_regression.py" in run]
-    assert gate, "the job must run the perf-regression gate"
-    assert "--tolerance 0.20" in gate[0]
-    assert "BENCH_data_plane.json" in gate[0] and "BENCH_batched_eval.json" in gate[0]
-    # the baselines are snapshotted before the recorders overwrite them
-    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
-    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
-    # the scripts and the committed benchmark records all exist
+    uploads = _uploads(workflow, "data-plane")
+    assert uploads, "the job must upload its fresh records"
+    path = uploads[0]["with"]["path"]
+    assert "BENCH_data_plane.json" in path and "BENCH_batched_eval.json" in path
+    # the committed benchmark records both exist
     root = os.path.join(os.path.dirname(__file__), "..")
-    assert os.path.exists(os.path.join(root, "scripts", "check_bench_regression.py"))
     assert os.path.exists(os.path.join(root, "BENCH_data_plane.json"))
     assert os.path.exists(os.path.join(root, "BENCH_batched_eval.json"))
 
 
-def test_multi_tenant_smoke_records_the_benchmark_and_gates_regressions(workflow):
+def test_multi_tenant_smoke_records_the_benchmark(workflow):
     """The fleet's 0.8x/1.5x aggregate-throughput bars are CI-enforced and
-    the fresh record is diffed against the committed baseline."""
-    steps = workflow["jobs"]["multi-tenant"]["steps"]
-    runs = [step.get("run", "") for step in steps]
+    the fresh record handed to the unified bench gate."""
+    runs = _runs(workflow, "multi-tenant")
     assert any("record_bench.py multi-tenant" in run
                and "BENCH_multi_tenant.json" in run
                for run in runs), "the job must record the multi-tenant benchmark"
-    gate = [run for run in runs if "check_bench_regression.py" in run]
-    assert gate, "the job must run the perf-regression gate"
-    assert "--tolerance 0.20" in gate[0]
-    assert "BENCH_multi_tenant.json" in gate[0]
-    # the baseline is snapshotted before the recorder overwrites it
-    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
-    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
+    uploads = _uploads(workflow, "multi-tenant")
+    assert uploads and "BENCH_multi_tenant.json" in uploads[0]["with"]["path"]
     # the committed benchmark record and the benchmark test both exist
     root = os.path.join(os.path.dirname(__file__), "..")
     assert os.path.exists(os.path.join(root, "BENCH_multi_tenant.json"))
@@ -110,26 +108,79 @@ def test_multi_tenant_smoke_records_the_benchmark_and_gates_regressions(workflow
 
 def test_telemetry_job_runs_round_trip_and_overhead_gates(workflow):
     """The replay guarantee and the <= ~5% overhead bar are CI-enforced and
-    the fresh overhead record is diffed against the committed baseline."""
-    steps = workflow["jobs"]["telemetry"]["steps"]
-    runs = [step.get("run", "") for step in steps]
+    the fresh overhead record handed to the unified bench gate."""
+    runs = _runs(workflow, "telemetry")
     assert any("pytest tests/telemetry" in run for run in runs), (
         "the job must run the replayer round-trip smoke")
     assert any("record_bench.py telemetry" in run
                and "BENCH_telemetry_overhead.json" in run
                for run in runs), "the job must record the overhead benchmark"
-    gate = [run for run in runs if "check_bench_regression.py" in run]
-    assert gate, "the job must run the perf-regression gate"
-    assert "--tolerance 0.20" in gate[0]
-    assert "BENCH_telemetry_overhead.json" in gate[0]
-    # the baseline is snapshotted before the recorder overwrites it
-    snapshot = [run for run in runs if ".bench-baseline" in run and "cp " in run]
-    assert snapshot and runs.index(snapshot[0]) < runs.index(gate[0])
+    uploads = _uploads(workflow, "telemetry")
+    assert uploads and "BENCH_telemetry_overhead.json" in uploads[0]["with"]["path"]
     # the committed benchmark record and the round-trip tests both exist
     root = os.path.join(os.path.dirname(__file__), "..")
     assert os.path.exists(os.path.join(root, "BENCH_telemetry_overhead.json"))
     assert os.path.exists(os.path.join(root, "tests", "telemetry",
                                        "test_replayer.py"))
+
+
+def test_chaos_job_runs_fault_injection_and_recovery_gates(workflow):
+    """The fault-masking guarantee and the 0.95x/0.7x supervision bars are
+    CI-enforced and the fresh record handed to the unified bench gate."""
+    runs = _runs(workflow, "chaos")
+    assert any("tests/automl/test_fault_tolerance.py" in run for run in runs), (
+        "the job must run the fault-injection chaos suite")
+    assert any("tests/automl/test_supervisor.py" in run for run in runs), (
+        "the job must run the supervised-pool unit tests")
+    assert any("record_bench.py fault-tolerance" in run
+               and "BENCH_fault_tolerance.json" in run
+               for run in runs), "the job must record the fault-tolerance benchmark"
+    uploads = _uploads(workflow, "chaos")
+    assert uploads and "BENCH_fault_tolerance.json" in uploads[0]["with"]["path"]
+    # the committed benchmark record, the chaos suite and the benchmark
+    # twin all exist
+    root = os.path.join(os.path.dirname(__file__), "..")
+    assert os.path.exists(os.path.join(root, "BENCH_fault_tolerance.json"))
+    assert os.path.exists(os.path.join(root, "tests", "automl",
+                                       "test_fault_tolerance.py"))
+    assert os.path.exists(os.path.join(root, "benchmarks",
+                                       "test_bench_fault_tolerance.py"))
+
+
+def test_bench_gate_diffs_every_committed_record(workflow):
+    """One unified regression gate: every benchmark job feeds it and it
+    diffs every committed BENCH_*.json within the 20% tolerance."""
+    job = workflow["jobs"]["bench-gate"]
+    assert set(job["needs"]) == BENCH_JOBS
+    downloads = [step for step in job["steps"]
+                 if step.get("uses", "").startswith("actions/download-artifact")]
+    assert downloads, "the gate must collect the fresh records"
+    assert downloads[0]["with"]["path"] == ".bench-fresh"
+    assert downloads[0]["with"].get("merge-multiple") is True
+    gate = [run for run in _runs(workflow, "bench-gate")
+            if "check_bench_regression.py" in run]
+    assert gate, "the gate must run the regression checker"
+    assert "--tolerance 0.20" in gate[0]
+    assert "--fresh-dir .bench-fresh" in gate[0]
+    # every bench job uploads at least one fresh record, and together
+    # they cover every committed baseline the gate will look for
+    uploaded = set()
+    for name in BENCH_JOBS:
+        uploads = _uploads(workflow, name)
+        assert uploads, "{} must upload its fresh record(s)".format(name)
+        for step in uploads:
+            uploaded.update(line.strip()
+                            for line in step["with"]["path"].splitlines()
+                            if line.strip())
+    root = os.path.join(os.path.dirname(__file__), "..")
+    committed = {os.path.basename(path)
+                 for path in glob.glob(os.path.join(root, "BENCH_*.json"))}
+    assert committed, "committed BENCH_*.json baselines must exist"
+    assert committed <= uploaded, (
+        "committed records {} have no uploading job".format(
+            sorted(committed - uploaded)))
+    assert os.path.exists(os.path.join(root, "scripts",
+                                       "check_bench_regression.py"))
 
 
 def test_crash_resume_smoke_runs_the_kill_and_resume_gate(workflow):
